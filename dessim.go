@@ -1,0 +1,46 @@
+package splash4
+
+import (
+	"time"
+
+	"repro/internal/dessim"
+	"repro/internal/sync4"
+)
+
+// The discrete-event simulation surface: replay a run's synchronization
+// census on a modeled machine, capturing serialization and critical path.
+// See internal/dessim.
+
+// SimEvent is one step of a simulated thread's trace.
+type SimEvent = dessim.Event
+
+// SimTrace holds one event sequence per simulated thread.
+type SimTrace = dessim.Trace
+
+// SimResult is a simulation outcome (makespan, per-thread clocks,
+// sync/compute split).
+type SimResult = dessim.Result
+
+// Simulated event kinds.
+const (
+	SimCompute  = dessim.Compute
+	SimBarrier  = dessim.Barrier
+	SimLock     = dessim.Lock
+	SimRMW      = dessim.RMW
+	SimFlagSet  = dessim.FlagSet
+	SimFlagWait = dessim.FlagWait
+)
+
+// Simulate replays tr on machine m with the named kit's construct costs.
+func Simulate(tr SimTrace, m Machine, kitName string) (SimResult, error) {
+	return dessim.Simulate(tr, m, kitName)
+}
+
+// TraceFromSnapshot synthesizes per-thread traces matching a measured
+// synchronization census: same barrier episodes, lock and RMW counts per
+// thread, the given aggregate compute time spread across phases, and RMW
+// traffic spread over hotCells distinct objects (use the census's
+// RMWCells() when it was collected with Instrument).
+func TraceFromSnapshot(s sync4.Snapshot, threads int, compute time.Duration, hotCells int) SimTrace {
+	return dessim.FromSnapshot(s, threads, compute, hotCells)
+}

@@ -1,0 +1,56 @@
+// Perfmodel: collect the synchronization-event census of a real run and
+// replay it under the analytical machine models (the reproduction's stand-in
+// for the paper's gem5 Ice Lake simulations — see DESIGN.md, S6). The
+// modeled classic-vs-lockfree gap shows the paper's shape even when the host
+// has too few cores to exhibit it on wall-clock time.
+//
+//	go run ./examples/perfmodel
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	splash4 "repro"
+)
+
+func main() {
+	bench, err := splash4.ByName("ocean")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := splash4.Config{Threads: 16, Scale: splash4.ScaleSmall, Seed: 1}
+	opt := splash4.Options{Reps: 1, Warmup: 1, QuiesceGC: true, Instrument: true, TimedSync: true}
+
+	classicRes, lockfreeRes, err := splash4.Pair(bench, cfg, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s, %d threads: synchronization census\n", bench.Name(), cfg.Threads)
+	for _, res := range []splash4.Result{classicRes, lockfreeRes} {
+		s := res.Sync
+		fmt.Printf("  %-9s locks=%-8d barriers=%-8d rmw-ops=%-8d blocked=%v\n",
+			res.Kit+":", s.LockAcquires, s.BarrierWaits, s.RMWOps(),
+			time.Duration(s.BlockedNanos()).Round(time.Microsecond))
+	}
+
+	for _, m := range []splash4.Machine{splash4.IceLakeLike(), splash4.EpycLike()} {
+		ec, err := m.Estimate(classicRes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		el, err := m.Estimate(lockfreeRes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		norm := float64(el.Total) / float64(ec.Total)
+		fmt.Printf("\nmodeled on %s:\n", m.Name)
+		fmt.Printf("  classic:  compute %v + sync %v = %v\n",
+			ec.ComputeTime.Round(time.Microsecond), ec.SyncTime.Round(time.Microsecond), ec.Total.Round(time.Microsecond))
+		fmt.Printf("  lockfree: compute %v + sync %v = %v\n",
+			el.ComputeTime.Round(time.Microsecond), el.SyncTime.Round(time.Microsecond), el.Total.Round(time.Microsecond))
+		fmt.Printf("  normalized execution time: %.3f (%.1f%% reduction)\n", norm, (1-norm)*100)
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: run one kernel under both synchronization kits and print the
+// paper's headline metric — the normalized execution time of the lock-free
+// (Splash-4) build relative to the lock-based (Splash-3) build.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	splash4 "repro"
+)
+
+func main() {
+	bench, err := splash4.ByName("fft")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	threads := runtime.GOMAXPROCS(0) * 2 // oversubscribe a little: contention is the point
+	cfg := splash4.Config{
+		Threads: threads,
+		Scale:   splash4.ScaleSmall,
+		Seed:    1,
+	}
+	opt := splash4.Options{Reps: 5, Warmup: 1, Verify: true, QuiesceGC: true}
+
+	classicRes, lockfreeRes, err := splash4.Pair(bench, cfg, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	norm := float64(lockfreeRes.Times.Mean()) / float64(classicRes.Times.Mean())
+	fmt.Printf("%s, %d threads, %s inputs (verified)\n", bench.Name(), threads, cfg.Scale)
+	fmt.Printf("  Splash-3 style (classic):  %v\n", classicRes.Times.Mean().Round(time.Microsecond))
+	fmt.Printf("  Splash-4 style (lockfree): %v\n", lockfreeRes.Times.Mean().Round(time.Microsecond))
+	fmt.Printf("  normalized execution time: %.3f (%.1f%% reduction)\n", norm, (1-norm)*100)
+}

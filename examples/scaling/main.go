@@ -1,0 +1,56 @@
+// Scaling study: sweep thread counts for a few contention-sensitive
+// workloads and print the speedup of each kit over the one-thread classic
+// baseline — a small version of the paper's scalability figure (experiment
+// E2 in DESIGN.md; the full version is `splash4-report -exp E2`).
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	splash4 "repro"
+)
+
+func main() {
+	sweep := []int{1, 2, 4, 8, 16}
+	workloads := []string{"ocean", "radix", "water-nsquared"}
+	opt := splash4.Options{Reps: 3, Warmup: 1, QuiesceGC: true}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprint(tw, "benchmark\tkit")
+	for _, t := range sweep {
+		fmt.Fprintf(tw, "\tt=%d", t)
+	}
+	fmt.Fprintln(tw)
+
+	for _, name := range workloads {
+		bench, err := splash4.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := splash4.Run(bench, splash4.Config{
+			Threads: 1, Kit: splash4.Classic(), Scale: splash4.ScaleSmall, Seed: 1,
+		}, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, kit := range []splash4.Kit{splash4.Classic(), splash4.Lockfree()} {
+			fmt.Fprintf(tw, "%s\t%s", name, kit.Name())
+			for _, t := range sweep {
+				res, err := splash4.Run(bench, splash4.Config{
+					Threads: t, Kit: kit, Scale: splash4.ScaleSmall, Seed: 1,
+				}, opt)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprintf(tw, "\t%.2f", float64(base.Times.Mean())/float64(res.Times.Mean()))
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	tw.Flush()
+}

@@ -1,0 +1,121 @@
+package dessim
+
+import (
+	"time"
+
+	"repro/internal/sync4"
+)
+
+// This file synthesizes canonical workload traces. The generators mirror
+// the suite's dominant parallel shapes; FromSnapshot assembles them from a
+// real run's synchronization census so a measured workload can be replayed
+// on a modeled machine.
+
+// PhasedTrace builds the barrier-phased shape of OCEAN/FFT/LU: episodes of
+// per-thread compute separated by a global barrier, with rmwPerPhase
+// updates of a shared reduction cell folded in per thread and phase.
+// computePerPhase is each thread's compute time per phase. Skew adds a
+// linearly growing imbalance: thread t computes (1 + skew*t/threads) times
+// the base amount, which is how stragglers stress a barrier.
+func PhasedTrace(threads, phases int, computePerPhase time.Duration, rmwPerPhase int, skew float64) Trace {
+	tr := make(Trace, threads)
+	for t := 0; t < threads; t++ {
+		factor := 1 + skew*float64(t)/float64(threads)
+		dur := time.Duration(float64(computePerPhase) * factor)
+		var evs []Event
+		for p := 0; p < phases; p++ {
+			evs = append(evs, Event{Kind: Compute, Dur: dur})
+			for r := 0; r < rmwPerPhase; r++ {
+				evs = append(evs, Event{Kind: RMW, Obj: 0})
+			}
+			evs = append(evs, Event{Kind: Barrier, Obj: 0})
+		}
+		tr[t] = evs
+	}
+	return tr
+}
+
+// TaskLoopTrace builds the dynamic-task shape of RAYTRACE/VOLREND: each
+// task is one ticket from a shared counter followed by compute. Tasks are
+// dealt round-robin, approximating the self-balancing loop.
+func TaskLoopTrace(threads, tasks int, computePerTask time.Duration) Trace {
+	tr := make(Trace, threads)
+	for task := 0; task < tasks; task++ {
+		t := task % threads
+		tr[t] = append(tr[t],
+			Event{Kind: RMW, Obj: 0},
+			Event{Kind: Compute, Dur: computePerTask})
+	}
+	for t := 0; t < threads; t++ {
+		tr[t] = append(tr[t], Event{Kind: Barrier, Obj: 0})
+	}
+	return tr
+}
+
+// MergeTrace builds the per-cell accumulation shape of the WATER codes:
+// per step, each thread computes, then updates `cells` shared cells spread
+// over a cell space of size span (span == cells means no two threads
+// collide on purpose; span < cells*threads creates collisions), then a
+// barrier.
+func MergeTrace(threads, steps, cells, span int, computePerStep time.Duration) Trace {
+	if span < 1 {
+		span = 1
+	}
+	tr := make(Trace, threads)
+	for t := 0; t < threads; t++ {
+		var evs []Event
+		for s := 0; s < steps; s++ {
+			evs = append(evs, Event{Kind: Compute, Dur: computePerStep})
+			for cRef := 0; cRef < cells; cRef++ {
+				evs = append(evs, Event{Kind: RMW, Obj: (t*cells + cRef) % span})
+			}
+			evs = append(evs, Event{Kind: Barrier, Obj: 0})
+		}
+		tr[t] = evs
+	}
+	return tr
+}
+
+// FromSnapshot synthesizes a trace that matches a measured census: the same
+// number of barrier episodes, lock acquisitions and RMW operations per
+// thread, with the measured compute time spread evenly across phases.
+// hotCells is the number of distinct cells the RMW traffic is spread over
+// (1 models a single contended counter, larger values model per-molecule or
+// per-cell accumulation).
+func FromSnapshot(s sync4.Snapshot, threads int, compute time.Duration, hotCells int) Trace {
+	if hotCells < 1 {
+		hotCells = 1
+	}
+	episodes := int(s.BarrierWaits) / threads
+	if episodes < 1 {
+		episodes = 1
+	}
+	rmwTotal := s.RMWOps() + s.QueuePuts + s.QueueGets + s.StackPushes + s.StackPops
+	rmwPerThread := int(rmwTotal) / threads
+	locksPerThread := int(s.LockAcquires) / threads
+	computePerPhase := compute / time.Duration(threads*episodes)
+
+	tr := make(Trace, threads)
+	for t := 0; t < threads; t++ {
+		var evs []Event
+		rmwLeft := rmwPerThread
+		lockLeft := locksPerThread
+		for p := 0; p < episodes; p++ {
+			evs = append(evs, Event{Kind: Compute, Dur: computePerPhase})
+			phasesLeft := episodes - p
+			nr := rmwLeft / phasesLeft
+			nl := lockLeft / phasesLeft
+			for i := 0; i < nr; i++ {
+				evs = append(evs, Event{Kind: RMW, Obj: (t + i) % hotCells})
+			}
+			for i := 0; i < nl; i++ {
+				evs = append(evs, Event{Kind: Lock, Obj: (t + i) % hotCells})
+			}
+			rmwLeft -= nr
+			lockLeft -= nl
+			evs = append(evs, Event{Kind: Barrier, Obj: 0})
+		}
+		tr[t] = evs
+	}
+	return tr
+}

@@ -1,0 +1,145 @@
+// Package harness runs suite benchmarks under controlled conditions and
+// collects timing samples and synchronization-event censuses. It is the
+// measurement layer behind the CLI, the report generator and bench_test.go.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/sync4"
+)
+
+// Options controls how a benchmark is measured.
+type Options struct {
+	// Reps is the number of measured repetitions. Each repetition gets a
+	// freshly Prepared instance. Defaults to 1 when <= 0.
+	Reps int
+	// Warmup repetitions run before measurement and are discarded.
+	Warmup int
+	// Verify runs Instance.Verify after every repetition and fails the
+	// run on the first verification error.
+	Verify bool
+	// QuiesceGC forces a collection before each timed repetition and
+	// disables the collector during it, restoring the previous GC target
+	// afterwards. This trades memory headroom for lower variance — the
+	// Go stand-in for the bare-metal runs in the paper.
+	QuiesceGC bool
+	// Instrument wraps the kit so synchronization events are counted.
+	// The census of the last repetition is stored in Result.Sync.
+	Instrument bool
+	// TimedSync additionally records wall time spent in blocking
+	// synchronization calls (implies Instrument).
+	TimedSync bool
+}
+
+func (o Options) reps() int {
+	if o.Reps <= 0 {
+		return 1
+	}
+	return o.Reps
+}
+
+// Result is the outcome of measuring one (benchmark, config) pair.
+type Result struct {
+	Bench   string
+	Kit     string
+	Threads int
+	Scale   core.Scale
+	Times   *stats.Sample
+	// Sync holds the synchronization-event census of the last measured
+	// repetition; it is the zero Snapshot unless Options.Instrument (or
+	// TimedSync) was set.
+	Sync sync4.Snapshot
+	// HasSync reports whether Sync was collected.
+	HasSync bool
+}
+
+// Run measures b under cfg. Every repetition prepares a fresh instance, so
+// instances never see reuse; inputs are identical across repetitions because
+// Prepare derives them from cfg.Seed.
+func Run(b core.Benchmark, cfg core.Config, opt Options) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Bench:   b.Name(),
+		Kit:     cfg.Kit.Name(),
+		Threads: cfg.Threads,
+		Scale:   cfg.Scale,
+		Times:   &stats.Sample{},
+	}
+
+	var counters *sync4.Counters
+	runCfg := cfg
+	if opt.Instrument || opt.TimedSync {
+		counters = new(sync4.Counters)
+		runCfg.Kit = sync4.Instrument(cfg.Kit, counters, opt.TimedSync)
+	}
+
+	for rep := 0; rep < opt.Warmup; rep++ {
+		if _, err := runOnce(b, runCfg, opt, false); err != nil {
+			return res, fmt.Errorf("%s/%s warmup rep %d: %w", b.Name(), cfg.Kit.Name(), rep, err)
+		}
+	}
+	for rep := 0; rep < opt.reps(); rep++ {
+		if counters != nil {
+			counters.Reset()
+		}
+		elapsed, err := runOnce(b, runCfg, opt, opt.Verify)
+		if err != nil {
+			return res, fmt.Errorf("%s/%s rep %d: %w", b.Name(), cfg.Kit.Name(), rep, err)
+		}
+		res.Times.Add(elapsed)
+	}
+	if counters != nil {
+		res.Sync = counters.Snapshot()
+		res.HasSync = true
+	}
+	return res, nil
+}
+
+// runOnce prepares one instance, times Run, and optionally verifies.
+func runOnce(b core.Benchmark, cfg core.Config, opt Options, verify bool) (time.Duration, error) {
+	inst, err := b.Prepare(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("prepare: %w", err)
+	}
+	if opt.QuiesceGC {
+		runtime.GC()
+		prev := debug.SetGCPercent(-1)
+		defer debug.SetGCPercent(prev)
+	}
+	start := time.Now()
+	err = inst.Run()
+	elapsed := time.Since(start)
+	if err != nil {
+		return elapsed, fmt.Errorf("run: %w", err)
+	}
+	if verify {
+		if err := inst.Verify(); err != nil {
+			return elapsed, fmt.Errorf("verify: %w", err)
+		}
+	}
+	return elapsed, nil
+}
+
+// Pair measures b under both kits with otherwise identical configuration
+// and returns (classic result, lockfree result). It is the unit step of the
+// paper's Splash-3 vs Splash-4 comparison.
+func Pair(b core.Benchmark, cfg core.Config, classicKit, lockfreeKit sync4.Kit, opt Options) (Result, Result, error) {
+	cfgC := cfg
+	cfgC.Kit = classicKit
+	rc, err := Run(b, cfgC, opt)
+	if err != nil {
+		return rc, Result{}, err
+	}
+	cfgL := cfg
+	cfgL.Kit = lockfreeKit
+	rl, err := Run(b, cfgL, opt)
+	return rc, rl, err
+}

@@ -1,0 +1,184 @@
+package harness_test
+
+import (
+	"errors"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/lockfree"
+)
+
+// fakeBench is a controllable benchmark for harness tests.
+type fakeBench struct {
+	name       string
+	prepareErr error
+	runErr     error
+	verifyErr  error
+	sleep      time.Duration
+	prepares   *int
+	runs       *int
+	verifies   *int
+	useKit     bool
+}
+
+func (f *fakeBench) Name() string        { return f.name }
+func (f *fakeBench) Description() string { return "fake benchmark for harness tests" }
+
+func (f *fakeBench) Prepare(cfg core.Config) (core.Instance, error) {
+	if f.prepares != nil {
+		*f.prepares++
+	}
+	if f.prepareErr != nil {
+		return nil, f.prepareErr
+	}
+	inst := &fakeInstance{b: f}
+	if f.useKit {
+		inst.ctr = cfg.Kit.NewCounter()
+		inst.threads = cfg.Threads
+	}
+	return inst, nil
+}
+
+type fakeInstance struct {
+	b       *fakeBench
+	ctr     interface{ Inc() int64 }
+	threads int
+}
+
+func (i *fakeInstance) Run() error {
+	if i.b.runs != nil {
+		*i.b.runs++
+	}
+	if i.b.sleep > 0 {
+		time.Sleep(i.b.sleep)
+	}
+	if i.ctr != nil {
+		core.Parallel(i.threads, func(int) { i.ctr.Inc() })
+	}
+	return i.b.runErr
+}
+
+func (i *fakeInstance) Verify() error { return i.b.verifyErr }
+
+func TestRunRepetitions(t *testing.T) {
+	var prepares, runs int
+	b := &fakeBench{name: "fake", prepares: &prepares, runs: &runs, sleep: time.Millisecond}
+	res, err := harness.Run(b, core.Config{Threads: 2, Kit: classic.New()},
+		harness.Options{Reps: 3, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prepares != 5 || runs != 5 {
+		t.Fatalf("prepares=%d runs=%d, want 5 each (3 reps + 2 warmup)", prepares, runs)
+	}
+	if res.Times.N() != 3 {
+		t.Fatalf("recorded %d samples, want 3 (warmup discarded)", res.Times.N())
+	}
+	if res.Times.Min() < time.Millisecond {
+		t.Fatalf("measured %v, below the 1ms sleep", res.Times.Min())
+	}
+	if res.Bench != "fake" || res.Kit != "classic" || res.Threads != 2 {
+		t.Fatalf("result metadata wrong: %+v", res)
+	}
+	if res.HasSync {
+		t.Fatal("census collected without Instrument")
+	}
+}
+
+func TestRunDefaultsToOneRep(t *testing.T) {
+	var runs int
+	b := &fakeBench{name: "fake", runs: &runs}
+	res, err := harness.Run(b, core.Config{Threads: 1, Kit: classic.New()}, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 || res.Times.N() != 1 {
+		t.Fatalf("runs=%d samples=%d, want 1 each", runs, res.Times.N())
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	sentinel := errors.New("boom")
+	cases := []struct {
+		name string
+		b    *fakeBench
+		opt  harness.Options
+	}{
+		{"prepare", &fakeBench{name: "p", prepareErr: sentinel}, harness.Options{}},
+		{"run", &fakeBench{name: "r", runErr: sentinel}, harness.Options{}},
+		{"verify", &fakeBench{name: "v", verifyErr: sentinel}, harness.Options{Verify: true}},
+		{"warmup", &fakeBench{name: "w", runErr: sentinel}, harness.Options{Warmup: 1}},
+	}
+	for _, c := range cases {
+		_, err := harness.Run(c.b, core.Config{Threads: 1, Kit: classic.New()}, c.opt)
+		if !errors.Is(err, sentinel) {
+			t.Errorf("%s: error %v does not wrap sentinel", c.name, err)
+		}
+	}
+}
+
+func TestRunSkipsVerifyWhenDisabled(t *testing.T) {
+	b := &fakeBench{name: "v", verifyErr: errors.New("should not surface")}
+	if _, err := harness.Run(b, core.Config{Threads: 1, Kit: classic.New()}, harness.Options{}); err != nil {
+		t.Fatalf("verify ran despite Verify=false: %v", err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	b := &fakeBench{name: "bad"}
+	if _, err := harness.Run(b, core.Config{Threads: 0, Kit: classic.New()}, harness.Options{}); err == nil {
+		t.Fatal("accepted Threads=0")
+	}
+	if _, err := harness.Run(b, core.Config{Threads: 1}, harness.Options{}); err == nil {
+		t.Fatal("accepted nil kit")
+	}
+}
+
+func TestQuiesceGCRestoresTarget(t *testing.T) {
+	prev := debug.SetGCPercent(100)
+	defer debug.SetGCPercent(prev)
+
+	b := &fakeBench{name: "gc"}
+	if _, err := harness.Run(b, core.Config{Threads: 1, Kit: classic.New()},
+		harness.Options{Reps: 2, QuiesceGC: true}); err != nil {
+		t.Fatal(err)
+	}
+	// The harness must restore the GC target it found.
+	if got := debug.SetGCPercent(100); got != 100 {
+		t.Fatalf("GC percent left at %d after QuiesceGC runs", got)
+	}
+}
+
+func TestInstrumentCollectsCensus(t *testing.T) {
+	b := &fakeBench{name: "kit", useKit: true}
+	res, err := harness.Run(b, core.Config{Threads: 4, Kit: lockfree.New()},
+		harness.Options{Reps: 2, Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasSync {
+		t.Fatal("no census collected")
+	}
+	// The census is per-repetition (reset between reps): 4 Incs.
+	if got := res.Sync.CounterOps; got != 4 {
+		t.Fatalf("CounterOps = %d, want 4 (last rep only)", got)
+	}
+	if res.Kit != "lockfree" {
+		t.Fatalf("result kit %q leaked the instrumentation wrapper", res.Kit)
+	}
+}
+
+func TestPairRunsBothKits(t *testing.T) {
+	b := &fakeBench{name: "pair", useKit: true}
+	rc, rl, err := harness.Pair(b, core.Config{Threads: 2}, classic.New(), lockfree.New(), harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Kit != "classic" || rl.Kit != "lockfree" {
+		t.Fatalf("pair kits = %q, %q", rc.Kit, rl.Kit)
+	}
+}

@@ -1,0 +1,129 @@
+package perfmodel_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+	"repro/internal/sync4"
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/workloads/ocean"
+)
+
+// census builds a synthetic synchronization snapshot.
+func census(locks, barriers, rmw int64) sync4.Snapshot {
+	return sync4.Snapshot{
+		LockAcquires: locks,
+		BarrierWaits: barriers,
+		CounterOps:   rmw,
+	}
+}
+
+func machines() []perfmodel.Machine {
+	return []perfmodel.Machine{perfmodel.IceLakeLike(), perfmodel.EpycLike()}
+}
+
+func TestLockfreeCheaperThanClassicForSameCensus(t *testing.T) {
+	s := census(1000, 500, 10000)
+	for _, m := range machines() {
+		for _, threads := range []int{2, 8, 32, 64} {
+			c := m.SyncCycles("classic", threads, s)
+			l := m.SyncCycles("lockfree", threads, s)
+			if l >= c {
+				t.Errorf("%s t=%d: lockfree cycles %.0f >= classic %.0f", m.Name, threads, l, c)
+			}
+		}
+	}
+}
+
+func TestGapGrowsWithThreads(t *testing.T) {
+	s := census(0, 1000, 50000)
+	for _, m := range machines() {
+		prevRatio := 0.0
+		for _, threads := range []int{2, 8, 32} {
+			c := m.SyncCycles("classic", threads, s)
+			l := m.SyncCycles("lockfree", threads, s)
+			ratio := c / l
+			if ratio <= prevRatio {
+				t.Errorf("%s: classic/lockfree ratio did not grow: t=%d ratio=%.2f prev=%.2f",
+					m.Name, threads, ratio, prevRatio)
+			}
+			prevRatio = ratio
+		}
+	}
+}
+
+func TestSingleThreadHasNoContentionPenalty(t *testing.T) {
+	s := census(100, 0, 100)
+	m := perfmodel.IceLakeLike()
+	// At one thread, classic pays only uncontended lock costs.
+	got := m.SyncCycles("classic", 1, s)
+	want := 200 * m.LockUncontended
+	if got != want {
+		t.Fatalf("classic 1-thread cycles = %.0f, want %.0f", got, want)
+	}
+	gotLF := m.SyncCycles("lockfree", 1, s)
+	wantLF := 200 * m.AtomicRMW
+	if gotLF != wantLF {
+		t.Fatalf("lockfree 1-thread cycles = %.0f, want %.0f", gotLF, wantLF)
+	}
+}
+
+func TestEpycShowsLargerReductionThanIceLake(t *testing.T) {
+	// The paper's headline: the reduction is larger on EPYC (52%) than on
+	// the simulated Ice Lake (34%). The models must preserve that order.
+	s := census(2000, 2000, 100000)
+	threads := 64
+	var reductions []float64
+	for _, m := range []perfmodel.Machine{perfmodel.IceLakeLike(), perfmodel.EpycLike()} {
+		c := m.SyncCycles("classic", threads, s)
+		l := m.SyncCycles("lockfree", threads, s)
+		reductions = append(reductions, 1-l/c)
+	}
+	if reductions[1] <= reductions[0] {
+		t.Fatalf("EPYC reduction %.3f not larger than Ice Lake %.3f", reductions[1], reductions[0])
+	}
+}
+
+func TestEstimateRequiresCensus(t *testing.T) {
+	m := perfmodel.IceLakeLike()
+	res := harness.Result{Bench: "x", Kit: "classic", Threads: 4, Times: &stats.Sample{}}
+	if _, err := m.Estimate(res); err == nil {
+		t.Fatal("Estimate accepted a result without census")
+	}
+}
+
+func TestEstimateEndToEnd(t *testing.T) {
+	// Real census from a real workload, modeled on both machines: the
+	// modeled lockfree total must undercut the modeled classic total.
+	b := ocean.New()
+	opt := harness.Options{Reps: 1, Instrument: true, TimedSync: true}
+	rc, rl, err := harness.Pair(b, core.Config{Threads: 8, Scale: core.ScaleTest, Seed: 1},
+		classic.New(), lockfree.New(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range machines() {
+		ec, err := m.Estimate(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		el, err := m.Estimate(rl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ec.Total <= 0 || el.Total <= 0 {
+			t.Fatalf("%s: non-positive modeled totals: %v, %v", m.Name, ec.Total, el.Total)
+		}
+		if el.SyncTime >= ec.SyncTime {
+			t.Errorf("%s: modeled lockfree sync %v >= classic %v", m.Name, el.SyncTime, ec.SyncTime)
+		}
+		if ec.SyncTime <= 0 || ec.SyncTime > time.Minute {
+			t.Errorf("%s: implausible modeled sync time %v", m.Name, ec.SyncTime)
+		}
+	}
+}

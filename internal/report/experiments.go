@@ -1,0 +1,250 @@
+package report
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dessim"
+	"repro/internal/harness"
+	"repro/internal/perfmodel"
+	"repro/internal/results"
+	"repro/internal/stats"
+	"repro/internal/sync4"
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/workloads/all"
+)
+
+// E5PerfModel reproduces the simulated-architecture figure (the gem5 Ice
+// Lake role): the synchronization census of each run is replayed under the
+// analytical machine models and the modeled execution times are normalized
+// classic-vs-lockfree per benchmark, for both modeled machines.
+func E5PerfModel(cfg Config) error {
+	suite, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	t := cfg.threads()
+	machines := []perfmodel.Machine{perfmodel.IceLakeLike(), perfmodel.EpycLike()}
+	tab := results.New("E5",
+		fmt.Sprintf("modeled machines (gem5 substitute, analytical), %d threads, scale=%s", t, cfg.Scale),
+		"machine", "benchmark", "classic(model)", "lockfree(model)", "normalized", "reduction")
+
+	for _, m := range machines {
+		var norms []float64
+		for _, b := range suite {
+			rc, rl, err := harness.Pair(b, core.Config{Threads: t, Scale: cfg.Scale, Seed: cfg.Seed},
+				classic.New(), lockfree.New(), cfg.options(true, true))
+			if err != nil {
+				return err
+			}
+			ec, err := m.Estimate(rc)
+			if err != nil {
+				return err
+			}
+			el, err := m.Estimate(rl)
+			if err != nil {
+				return err
+			}
+			norm := float64(el.Total) / float64(ec.Total)
+			norms = append(norms, norm)
+			tab.AddRow(m.Name, b.Name(), us(ec.Total), us(el.Total),
+				fmt.Sprintf("%.3f", norm), pct(norm))
+		}
+		mean := stats.GeoMean(norms)
+		tab.AddRow(m.Name, "GEOMEAN", "", "", fmt.Sprintf("%.3f", mean), pct(mean))
+	}
+	return tab.Emit(cfg.Out, cfg.CSVDir, "")
+}
+
+// E5bDESReplay reproduces the simulated-architecture experiment with the
+// discrete-event simulator: each benchmark's measured synchronization
+// census is synthesized into per-thread event traces (spread over the
+// number of RMW objects the workload actually built) and replayed on the
+// modeled machines, capturing serialization and critical path rather than
+// closed-form costs.
+func E5bDESReplay(cfg Config) error {
+	suite, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	t := cfg.threads()
+	machines := []perfmodel.Machine{perfmodel.IceLakeLike(), perfmodel.EpycLike()}
+	tab := results.New("E5b",
+		fmt.Sprintf("discrete-event replay (gem5 substitute), %d threads, scale=%s", t, cfg.Scale),
+		"machine", "benchmark", "classic(sim)", "lockfree(sim)", "normalized", "reduction")
+
+	for _, m := range machines {
+		var norms []float64
+		for _, b := range suite {
+			res, err := harness.Run(b, core.Config{Threads: t, Kit: classic.New(), Scale: cfg.Scale, Seed: cfg.Seed},
+				cfg.options(true, true))
+			if err != nil {
+				return err
+			}
+			s := res.Sync
+			// Aggregate compute budget: wall time times the host
+			// parallelism actually available during the run.
+			par := runtime.GOMAXPROCS(0)
+			if par > t {
+				par = t
+			}
+			compute := res.Times.Mean() * time.Duration(par)
+			if blocked := time.Duration(s.BlockedNanos()); blocked < compute {
+				compute -= blocked
+			}
+			trace := dessim.FromSnapshot(s, t, compute, int(s.RMWCells()))
+			rc, err := dessim.Simulate(trace, m, "classic")
+			if err != nil {
+				return err
+			}
+			rl, err := dessim.Simulate(trace, m, "lockfree")
+			if err != nil {
+				return err
+			}
+			norm := float64(rl.Makespan) / float64(rc.Makespan)
+			norms = append(norms, norm)
+			tab.AddRow(m.Name, b.Name(), us(rc.Makespan), us(rl.Makespan),
+				fmt.Sprintf("%.3f", norm), pct(norm))
+		}
+		mean := stats.GeoMean(norms)
+		tab.AddRow(m.Name, "GEOMEAN", "", "", fmt.Sprintf("%.3f", mean), pct(mean))
+	}
+	return tab.Emit(cfg.Out, cfg.CSVDir, "")
+}
+
+// AblationKits returns the kit ladder of the E7 ablation: the classic
+// baseline, classic with only the read-modify-write constructs made atomic,
+// classic with only the barrier made atomic, and the full lockfree kit.
+func AblationKits() []sync4.Kit {
+	lf := lockfree.New()
+	cl := classic.New()
+	return []sync4.Kit{
+		cl,
+		sync4.Compose("atomics-only", cl, sync4.Overrides{
+			Counters:     lf,
+			Accumulators: lf,
+			MinMaxes:     lf,
+		}),
+		sync4.Compose("barrier-only", cl, sync4.Overrides{Barriers: lf}),
+		lf,
+	}
+}
+
+// ablationBenchmarks are the workloads the ablation runs on: one dominated
+// by barriers (ocean), one by reductions and barriers (fft), one by the
+// prefix/permute barrier pattern (radix), and one by per-molecule merges
+// (water-nsquared).
+var ablationBenchmarks = []string{"fft", "radix", "ocean", "water-nsquared"}
+
+// E7Ablation reproduces the design-choice ablation called out in DESIGN.md:
+// how much of the lockfree kit's gain comes from atomic RMWs alone versus
+// the atomic barrier alone.
+func E7Ablation(cfg Config) error {
+	t := cfg.threads()
+	tab := results.New("E7",
+		fmt.Sprintf("construct ablation, %d threads, scale=%s", t, cfg.Scale),
+		"benchmark", "kit", "time", "normalized-to-classic")
+
+	names := cfg.Benchmarks
+	if len(names) == 0 {
+		names = ablationBenchmarks
+	}
+	for _, name := range names {
+		b, err := all.ByName(name)
+		if err != nil {
+			return err
+		}
+		var baseline *stats.Sample
+		for _, kit := range AblationKits() {
+			res, err := harness.Run(b, core.Config{Threads: t, Kit: kit, Scale: cfg.Scale, Seed: cfg.Seed},
+				cfg.options(false, false))
+			if err != nil {
+				return err
+			}
+			if baseline == nil {
+				baseline = res.Times
+			}
+			tab.AddRow(name, kit.Name(), us(res.Times.Mean()),
+				fmt.Sprintf("%.3f", stats.Normalized(res.Times, baseline)))
+		}
+	}
+	return tab.Emit(cfg.Out, cfg.CSVDir, "")
+}
+
+// E8SyncShare characterizes where the time goes: the share of aggregate
+// thread time each benchmark spends blocked inside synchronization
+// constructs, per kit. This is the figure that explains *why* the lock-free
+// rewrite helps where it does.
+func E8SyncShare(cfg Config) error {
+	suite, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	t := cfg.threads()
+	tab := results.New("E8",
+		fmt.Sprintf("synchronization share of thread time, %d threads, scale=%s", t, cfg.Scale),
+		"benchmark", "kit", "wall", "blocked(sum)", "sync-share")
+
+	for _, b := range suite {
+		for _, kit := range []sync4.Kit{classic.New(), lockfree.New()} {
+			res, err := harness.Run(b, core.Config{Threads: t, Kit: kit, Scale: cfg.Scale, Seed: cfg.Seed},
+				cfg.options(true, true))
+			if err != nil {
+				return err
+			}
+			blocked := time.Duration(res.Sync.BlockedNanos())
+			aggregate := res.Times.Mean() * time.Duration(t)
+			share := 0.0
+			if aggregate > 0 {
+				share = float64(blocked) / float64(aggregate)
+				if share > 1 {
+					share = 1
+				}
+			}
+			tab.AddRow(b.Name(), kit.Name(), us(res.Times.Mean()), us(blocked),
+				fmt.Sprintf("%.1f%%", share*100))
+		}
+	}
+	return tab.Emit(cfg.Out, cfg.CSVDir, "")
+}
+
+// E9GCCensus characterizes the Go-specific fidelity cost this reproduction
+// documents in DESIGN.md: allocations and garbage-collector activity inside
+// each benchmark's timed region. Workloads are designed to preallocate, so
+// healthy rows show near-zero allocation and no collections; regressions
+// here mean the runtime, not the algorithm, is being measured.
+func E9GCCensus(cfg Config) error {
+	suite, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	t := cfg.threads()
+	tab := results.New("E9",
+		fmt.Sprintf("GC and allocation census (timed region), %d threads, scale=%s", t, cfg.Scale),
+		"benchmark", "kit", "allocs", "alloc-bytes", "gc-cycles", "gc-pause")
+
+	for _, b := range suite {
+		for _, kit := range []sync4.Kit{classic.New(), lockfree.New()} {
+			inst, err := b.Prepare(core.Config{Threads: t, Kit: kit, Scale: cfg.Scale, Seed: cfg.Seed})
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			if err := inst.Run(); err != nil {
+				return err
+			}
+			runtime.ReadMemStats(&after)
+			tab.AddRow(b.Name(), kit.Name(),
+				after.Mallocs-before.Mallocs,
+				after.TotalAlloc-before.TotalAlloc,
+				after.NumGC-before.NumGC,
+				time.Duration(after.PauseTotalNs-before.PauseTotalNs))
+		}
+	}
+	return tab.Emit(cfg.Out, cfg.CSVDir, "")
+}

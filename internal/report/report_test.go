@@ -1,0 +1,199 @@
+package report_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// tinyConfig keeps report runs fast: two benchmarks, test inputs, one rep.
+func tinyConfig(buf *bytes.Buffer) report.Config {
+	return report.Config{
+		Threads:    4,
+		Sweep:      []int{1, 2},
+		Scale:      core.ScaleTest,
+		Reps:       1,
+		Seed:       1,
+		Benchmarks: []string{"fft", "radix"},
+		Out:        buf,
+	}
+}
+
+func TestE1ProducesNormalizedTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.E1NormalizedTime(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E1", "fft", "radix", "GEOMEAN", "normalized"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2ProducesSweepColumns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.E2Scaling(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"t=1", "t=2", "classic", "lockfree"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE3ListsWholeSuite(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.E3Inventory(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cholesky", "fft", "lu", "radix", "barnes", "fmm",
+		"ocean", "radiosity", "raytrace", "volrend", "water-nsquared", "water-spatial"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E3 output missing %q", want)
+		}
+	}
+}
+
+func TestE4ReportsCensus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.E4SyncCensus(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"barriers", "rmw-ops", "blocked"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE5ModelsBothMachines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.E5PerfModel(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"icelake-sim", "epyc-rome", "GEOMEAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE5bRunsDESReplay(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.E5bDESReplay(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E5b", "discrete-event", "icelake-sim", "epyc-rome", "GEOMEAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E5b output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE6CoversPrimitives(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	if err := report.E6Primitives(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"barrier", "lock", "counter", "accumulator", "queue", "speedup",
+		"ticket", "tree", "striped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E6 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE7RunsKitLadder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.E7Ablation(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"classic", "atomics-only", "barrier-only", "lockfree"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E7 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE8ReportsSyncShare(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.E8SyncShare(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E8", "sync-share", "fft", "radix", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E8 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE9ReportsGCCensus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.E9GCCensus(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E9", "allocs", "gc-cycles", "fft", "radix"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E9 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.CSVDir = t.TempDir()
+	if err := report.E1NormalizedTime(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.CSVDir, "e1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "benchmark,classic,lockfree") {
+		t.Fatalf("e1.csv header wrong: %q", string(data)[:50])
+	}
+}
+
+func TestUnknownBenchmarkRejected(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Benchmarks = []string{"nope"}
+	if err := report.E1NormalizedTime(cfg); err == nil {
+		t.Fatal("E1 accepted an unknown benchmark")
+	}
+}
+
+func TestAblationKitsLadder(t *testing.T) {
+	kits := report.AblationKits()
+	if len(kits) != 4 {
+		t.Fatalf("ablation ladder has %d kits, want 4", len(kits))
+	}
+	names := map[string]bool{}
+	for _, k := range kits {
+		names[k.Name()] = true
+	}
+	for _, want := range []string{"classic", "atomics-only", "barrier-only", "lockfree"} {
+		if !names[want] {
+			t.Errorf("ladder missing kit %q", want)
+		}
+	}
+}

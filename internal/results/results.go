@@ -1,0 +1,108 @@
+// Package results provides the typed table model the experiment generators
+// emit: a Table carries an experiment id, a title, column headers and string
+// rows, and renders either as an aligned text table (for the terminal) or
+// as CSV (for plotting pipelines). Keeping the data model separate from the
+// rendering lets every experiment produce both formats from one code path.
+package results
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one experiment's tabular output.
+type Table struct {
+	// ID is the experiment identifier ("E1", "E5b", ...).
+	ID string
+	// Title is the human-readable banner.
+	Title string
+	// Columns holds the header cells.
+	Columns []string
+	// Rows holds data cells; short rows are padded with empty cells.
+	Rows [][]string
+}
+
+// New builds an empty table.
+func New(id, title string, columns ...string) *Table {
+	return &Table{ID: id, Title: title, Columns: columns}
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as an aligned text block with a banner.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "\n== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// WriteCSV writes the table (header + rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		padded := row
+		if len(row) < len(t.Columns) {
+			padded = append(append([]string{}, row...),
+				make([]string, len(t.Columns)-len(row))...)
+		}
+		if err := cw.Write(padded); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the table to dir/<id>[-suffix].csv, creating dir if
+// needed. The suffix distinguishes multiple tables of one experiment.
+func (t *Table) SaveCSV(dir, suffix string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.ToLower(t.ID)
+	if suffix != "" {
+		name += "-" + suffix
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Emit renders the table to out and, when csvDir is non-empty, also saves
+// it as CSV — the one call every experiment generator ends with.
+func (t *Table) Emit(out io.Writer, csvDir, suffix string) error {
+	if err := t.Render(out); err != nil {
+		return err
+	}
+	if csvDir == "" {
+		return nil
+	}
+	return t.SaveCSV(csvDir, suffix)
+}

@@ -1,0 +1,83 @@
+package results_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/results"
+)
+
+func sample() *results.Table {
+	t := results.New("E1", "normalized time", "benchmark", "classic", "lockfree")
+	t.AddRow("fft", "10ms", "7ms")
+	t.AddRow("radix", 5, 4.5)
+	return t
+}
+
+func TestRenderText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== E1: normalized time ==", "benchmark", "fft", "radix", "4.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "benchmark,classic,lockfree" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if lines[1] != "fft,10ms,7ms" {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}
+
+func TestCSVPadsShortRows(t *testing.T) {
+	tab := results.New("E9", "x", "a", "b", "c")
+	tab.AddRow("only")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[1] != "only,," {
+		t.Fatalf("padded row = %q, want %q", lines[1], "only,,")
+	}
+}
+
+func TestSaveCSVAndEmit(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := sample().Emit(&buf, dir, "icelake"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e1-icelake.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "benchmark,classic,lockfree") {
+		t.Fatalf("saved CSV wrong: %q", data)
+	}
+	if !strings.Contains(buf.String(), "== E1") {
+		t.Fatal("Emit did not render text output")
+	}
+	// No csvDir: text only, no error.
+	if err := sample().Emit(&buf, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}

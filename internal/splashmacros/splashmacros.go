@@ -1,0 +1,140 @@
+// Package splashmacros provides the ANL/PARMACS macro vocabulary the
+// original Splash sources are written in (CREATE, WAIT_FOR_END, LOCK/ULOCK,
+// ALOCK/AULOCK, BARRIER, GSUM-style reductions, SETPAUSE/WAITPAUSE), mapped
+// onto a sync4.Kit. Code ported line by line from the C suite can keep its
+// shape: declare an Env, replace each macro with the matching method, and
+// the port runs under either kit — which is exactly how Splash-4 itself
+// relates to Splash-3.
+//
+//	C (ANL macros)           Go (this package)
+//	----------------------   ------------------------------
+//	MAIN_INITENV             env := splashmacros.NewEnv(threads, kit)
+//	CREATE(worker, P)        env.Create(worker)
+//	WAIT_FOR_END(P)          (implicit: Create returns when all workers do)
+//	LOCK(l); ULOCK(l)        l := env.NewLock(); l.Lock(); l.Unlock()
+//	ALOCK(al, i)             al := env.NewAlock(n); al.Lock(i); al.Unlock(i)
+//	BARRIER(b, P)            b := env.NewBarrier(); b.Wait()
+//	GSUM-style reduction     s := env.NewGsum(); s.Add(x); s.Sum()
+//	SETPAUSE / WAITPAUSE     p := env.NewPause(); p.Set(); p.Wait()
+//	CLOCK(t)                 t := splashmacros.Clock()
+package splashmacros
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sync4"
+)
+
+// Env carries the thread count and kit every macro expands against — the
+// role MAIN_INITENV plays in the C suite.
+type Env struct {
+	threads int
+	kit     sync4.Kit
+}
+
+// NewEnv builds a macro environment for the given worker count and kit.
+func NewEnv(threads int, kit sync4.Kit) (*Env, error) {
+	if threads < 1 {
+		return nil, fmt.Errorf("splashmacros: threads must be >= 1, got %d", threads)
+	}
+	if kit == nil {
+		return nil, fmt.Errorf("splashmacros: kit must not be nil")
+	}
+	return &Env{threads: threads, kit: kit}, nil
+}
+
+// Threads returns the environment's worker count (the suite's P).
+func (e *Env) Threads() int { return e.threads }
+
+// Create runs worker on every thread and returns when all finish — the
+// CREATE + WAIT_FOR_END pair. The worker receives its process id, as the
+// original's GET_PID idiom provides.
+func (e *Env) Create(worker func(pid int)) {
+	core.Parallel(e.threads, worker)
+}
+
+// NewLock expands LOCKDEC/LOCKINIT.
+func (e *Env) NewLock() sync4.Locker { return e.kit.NewLock() }
+
+// Alock is an array of locks — the suite's ALOCKDEC, used for per-element
+// protection (molecule locks, cell locks, hash buckets).
+type Alock struct {
+	locks []sync4.Locker
+}
+
+// NewAlock expands ALOCKDEC(n)/ALOCKINIT.
+func (e *Env) NewAlock(n int) *Alock {
+	if n < 1 {
+		panic("splashmacros: Alock size must be >= 1")
+	}
+	a := &Alock{locks: make([]sync4.Locker, n)}
+	for i := range a.locks {
+		a.locks[i] = e.kit.NewLock()
+	}
+	return a
+}
+
+// Lock expands ALOCK(a, i).
+func (a *Alock) Lock(i int) { a.locks[i].Lock() }
+
+// Unlock expands AULOCK(a, i).
+func (a *Alock) Unlock(i int) { a.locks[i].Unlock() }
+
+// Len returns the number of element locks.
+func (a *Alock) Len() int { return len(a.locks) }
+
+// NewBarrier expands BARDEC/BARINIT for the environment's thread count;
+// Wait is BARRIER(b, P).
+func (e *Env) NewBarrier() sync4.Barrier { return e.kit.NewBarrier(e.threads) }
+
+// Gsum is the global-sum reduction idiom (a lock-protected double plus a
+// barrier in Splash-3, one atomic accumulate in Splash-4).
+type Gsum struct {
+	acc sync4.Accumulator
+}
+
+// NewGsum builds a global sum starting at zero.
+func (e *Env) NewGsum() *Gsum { return &Gsum{acc: e.kit.NewAccumulator()} }
+
+// Add folds a thread's partial value into the sum.
+func (g *Gsum) Add(v float64) { g.acc.Add(v) }
+
+// Sum reads the reduced value; callers synchronize with a barrier first,
+// as the original idiom does.
+func (g *Gsum) Sum() float64 { return g.acc.Load() }
+
+// Reset clears the sum for the next phase (between barriers).
+func (g *Gsum) Reset() { g.acc.Store(0) }
+
+// Pause is the SETPAUSE/WAITPAUSE/CLEARPAUSE event. Clearing allocates a
+// fresh flag, because a kit flag is one-shot by design.
+type Pause struct {
+	kit  sync4.Kit
+	flag sync4.Flag
+}
+
+// NewPause expands PAUSEDEC/PAUSEINIT.
+func (e *Env) NewPause() *Pause { return &Pause{kit: e.kit, flag: e.kit.NewFlag()} }
+
+// Set expands SETPAUSE.
+func (p *Pause) Set() { p.flag.Set() }
+
+// Wait expands WAITPAUSE.
+func (p *Pause) Wait() { p.flag.Wait() }
+
+// IsSet reports whether the pause was set (the original's PAUSEFLAG test).
+func (p *Pause) IsSet() bool { return p.flag.IsSet() }
+
+// Clear expands CLEARPAUSE. It must only be called at a point where no
+// thread is waiting (the original has the same requirement).
+func (p *Pause) Clear() { p.flag = p.kit.NewFlag() }
+
+// Clock expands CLOCK(t): a wall-clock timestamp for the suite's
+// region-of-interest timing.
+func Clock() time.Time { return time.Now() }
+
+// Elapsed is the conventional end-of-run print: time between two Clock
+// readings.
+func Elapsed(start, end time.Time) time.Duration { return end.Sub(start) }

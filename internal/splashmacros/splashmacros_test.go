@@ -1,0 +1,191 @@
+package splashmacros_test
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/splashmacros"
+	"repro/internal/sync4"
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/workloads/workloadtest"
+)
+
+func envs(t *testing.T, threads int) []*splashmacros.Env {
+	t.Helper()
+	var es []*splashmacros.Env
+	for _, kit := range workloadtest.Kits() {
+		e, err := splashmacros.NewEnv(threads, kit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es = append(es, e)
+	}
+	return es
+}
+
+func TestNewEnvValidates(t *testing.T) {
+	if _, err := splashmacros.NewEnv(0, classic.New()); err == nil {
+		t.Fatal("accepted zero threads")
+	}
+	if _, err := splashmacros.NewEnv(2, nil); err == nil {
+		t.Fatal("accepted nil kit")
+	}
+	e, err := splashmacros.NewEnv(3, lockfree.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Threads() != 3 {
+		t.Fatalf("Threads() = %d", e.Threads())
+	}
+}
+
+func TestCreateRunsAllPids(t *testing.T) {
+	for _, e := range envs(t, 8) {
+		var mask atomic.Int64
+		e.Create(func(pid int) { mask.Add(1 << pid) })
+		if got := mask.Load(); got != (1<<8)-1 {
+			t.Fatalf("pid mask = %b, want all 8 set", got)
+		}
+	}
+}
+
+func TestAlockProtectsElements(t *testing.T) {
+	for _, e := range envs(t, 8) {
+		const cells = 4
+		al := e.NewAlock(cells)
+		if al.Len() != cells {
+			t.Fatalf("Alock.Len = %d", al.Len())
+		}
+		counts := make([]int, cells)
+		e.Create(func(pid int) {
+			for i := 0; i < 1000; i++ {
+				c := (pid + i) % cells
+				al.Lock(c)
+				counts[c]++
+				al.Unlock(c)
+			}
+		})
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != 8*1000 {
+			t.Fatalf("lost updates under Alock: %d", total)
+		}
+	}
+}
+
+// TestGsumReductionIdiom replays the canonical GSUM pattern: partial sums,
+// barrier, read, reset, next phase.
+func TestGsumReductionIdiom(t *testing.T) {
+	for _, e := range envs(t, 6) {
+		g := e.NewGsum()
+		b := e.NewBarrier()
+		var phase1, phase2 float64
+		e.Create(func(pid int) {
+			g.Add(float64(pid))
+			b.Wait()
+			if pid == 0 {
+				phase1 = g.Sum()
+				g.Reset()
+			}
+			b.Wait()
+			g.Add(1)
+			b.Wait()
+			if pid == 0 {
+				phase2 = g.Sum()
+			}
+		})
+		if phase1 != 15 { // 0+1+..+5
+			t.Fatalf("phase1 sum = %g, want 15", phase1)
+		}
+		if phase2 != 6 {
+			t.Fatalf("phase2 sum = %g, want 6", phase2)
+		}
+	}
+}
+
+func TestPauseIdiom(t *testing.T) {
+	for _, e := range envs(t, 4) {
+		p := e.NewPause()
+		b := e.NewBarrier()
+		shared := 0.0
+		e.Create(func(pid int) {
+			if pid == 0 {
+				shared = math.Pi
+				p.Set()
+			} else {
+				p.Wait()
+				if shared != math.Pi {
+					t.Error("WAITPAUSE returned before SETPAUSE's writes were visible")
+				}
+			}
+			b.Wait()
+			// CLEARPAUSE at a quiescent point, then reuse.
+			if pid == 0 {
+				p.Clear()
+				if p.IsSet() {
+					t.Error("pause still set after Clear")
+				}
+				p.Set()
+			}
+			b.Wait()
+			p.Wait() // set again: returns immediately for everyone
+		})
+	}
+}
+
+func TestClock(t *testing.T) {
+	start := splashmacros.Clock()
+	end := splashmacros.Clock()
+	if splashmacros.Elapsed(start, end) < 0 {
+		t.Fatal("negative elapsed time")
+	}
+}
+
+// TestPortedMiniKernel ports a tiny Splash-style kernel (parallel dot
+// product with phase structure) using only the macro vocabulary, and checks
+// it against the sequential result under both kits — the porting path the
+// package exists for.
+func TestPortedMiniKernel(t *testing.T) {
+	const n = 10000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	var want float64
+	for i := range x {
+		x[i] = float64(i%17) * 0.25
+		y[i] = float64(i%13) * 0.5
+		want += x[i] * y[i]
+	}
+	for _, kit := range []sync4.Kit{classic.New(), lockfree.New()} {
+		e, err := splashmacros.NewEnv(7, kit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := e.NewGsum()
+		b := e.NewBarrier()
+		var got float64
+		e.Create(func(pid int) {
+			chunk := (n + e.Threads() - 1) / e.Threads()
+			lo := pid * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			var local float64
+			for i := lo; i < hi; i++ {
+				local += x[i] * y[i]
+			}
+			g.Add(local)
+			b.Wait()
+			if pid == 0 {
+				got = g.Sum()
+			}
+		})
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Fatalf("kit %s: dot product %g, want %g", kit.Name(), got, want)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package stats provides the small statistics toolbox the harness and the
+// report generator share: samples of run times, summary statistics, and
+// normalization helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is a collection of measurements of one configuration.
+type Sample struct {
+	durations []time.Duration
+}
+
+// Add appends a measurement.
+func (s *Sample) Add(d time.Duration) { s.durations = append(s.durations, d) }
+
+// N returns the number of measurements.
+func (s *Sample) N() int { return len(s.durations) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() time.Duration {
+	if len(s.durations) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.durations {
+		sum += d
+	}
+	return sum / time.Duration(len(s.durations))
+}
+
+// Min returns the smallest measurement, or 0 for an empty sample.
+func (s *Sample) Min() time.Duration {
+	if len(s.durations) == 0 {
+		return 0
+	}
+	m := s.durations[0]
+	for _, d := range s.durations[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Max returns the largest measurement, or 0 for an empty sample.
+func (s *Sample) Max() time.Duration {
+	if len(s.durations) == 0 {
+		return 0
+	}
+	m := s.durations[0]
+	for _, d := range s.durations[1:] {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Median returns the middle measurement (lower of the two middles for even
+// sizes), or 0 for an empty sample.
+func (s *Sample) Median() time.Duration {
+	if len(s.durations) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(s.durations))
+	copy(sorted, s.durations)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[(len(sorted)-1)/2]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on the sorted sample, or 0 for an empty sample.
+func (s *Sample) Percentile(p float64) time.Duration {
+	if len(s.durations) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]time.Duration, len(s.durations))
+	copy(sorted, s.durations)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Stddev returns the sample standard deviation, or 0 when fewer than two
+// measurements exist.
+func (s *Sample) Stddev() time.Duration {
+	n := len(s.durations)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var ss float64
+	for _, d := range s.durations {
+		diff := float64(d) - mean
+		ss += diff * diff
+	}
+	return time.Duration(math.Sqrt(ss / float64(n-1)))
+}
+
+// RelStddev returns the standard deviation as a fraction of the mean
+// (coefficient of variation), or 0 when the mean is zero.
+func (s *Sample) RelStddev() float64 {
+	mean := s.Mean()
+	if mean == 0 {
+		return 0
+	}
+	return float64(s.Stddev()) / float64(mean)
+}
+
+// Durations returns a copy of the raw measurements.
+func (s *Sample) Durations() []time.Duration {
+	out := make([]time.Duration, len(s.durations))
+	copy(out, s.durations)
+	return out
+}
+
+// Normalized returns s's mean divided by base's mean: the paper's
+// "normalized execution time" metric (1.0 = the baseline, lower is better).
+// It returns NaN when the baseline mean is zero.
+func Normalized(s, base *Sample) float64 {
+	b := base.Mean()
+	if b == 0 {
+		return math.NaN()
+	}
+	return float64(s.Mean()) / float64(b)
+}
+
+// Speedup returns base's mean divided by s's mean (higher is better), or
+// NaN when s's mean is zero.
+func Speedup(s, base *Sample) float64 {
+	m := s.Mean()
+	if m == 0 {
+		return math.NaN()
+	}
+	return float64(base.Mean()) / float64(m)
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive and NaN
+// entries; it returns NaN when no usable entry exists. The paper averages
+// normalized execution times; the geometric mean is the standard way to do
+// that without letting one benchmark dominate.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, x := range xs {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, ignoring NaN entries; it returns
+// NaN when no usable entry exists.
+func Mean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		sum += x
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// String summarizes the sample as "mean ± stddev (n=N)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%v ± %v (n=%d)", s.Mean().Round(time.Microsecond),
+		s.Stddev().Round(time.Microsecond), s.N())
+}

@@ -1,0 +1,154 @@
+package stats_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func sample(ds ...time.Duration) *stats.Sample {
+	s := &stats.Sample{}
+	for _, d := range ds {
+		s.Add(d)
+	}
+	return s
+}
+
+func TestEmptySampleIsSafe(t *testing.T) {
+	s := &stats.Sample{}
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample returned non-zero statistics")
+	}
+	if s.RelStddev() != 0 {
+		t.Fatal("empty sample RelStddev != 0")
+	}
+}
+
+func TestBasicStatistics(t *testing.T) {
+	s := sample(10, 20, 30, 40, 50)
+	if got := s.Mean(); got != 30 {
+		t.Errorf("mean = %v, want 30", got)
+	}
+	if got := s.Min(); got != 10 {
+		t.Errorf("min = %v, want 10", got)
+	}
+	if got := s.Max(); got != 50 {
+		t.Errorf("max = %v, want 50", got)
+	}
+	if got := s.Median(); got != 30 {
+		t.Errorf("median = %v, want 30", got)
+	}
+	// Sample stddev of 10..50 step 10 is sqrt(250) ~ 15.81.
+	if got := float64(s.Stddev()); math.Abs(got-math.Sqrt(250)) > 1 {
+		t.Errorf("stddev = %v, want ~15.81", got)
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if got := sample(10, 20, 30, 40).Median(); got != 20 {
+		t.Errorf("median of even sample = %v, want lower middle 20", got)
+	}
+}
+
+func TestNormalizedAndSpeedupAreReciprocal(t *testing.T) {
+	a := sample(100, 100)
+	b := sample(200, 200)
+	if got := stats.Normalized(a, b); got != 0.5 {
+		t.Errorf("Normalized = %v, want 0.5", got)
+	}
+	if got := stats.Speedup(a, b); got != 2 {
+		t.Errorf("Speedup = %v, want 2", got)
+	}
+	if !math.IsNaN(stats.Normalized(a, &stats.Sample{})) {
+		t.Error("Normalized with zero baseline should be NaN")
+	}
+	if !math.IsNaN(stats.Speedup(&stats.Sample{}, a)) {
+		t.Error("Speedup of zero sample should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := stats.GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := stats.GeoMean([]float64{2, 0, -3, math.NaN()}); got != 2 {
+		t.Errorf("GeoMean should ignore non-positive and NaN entries: got %v", got)
+	}
+	if !math.IsNaN(stats.GeoMean(nil)) {
+		t.Error("GeoMean(nil) should be NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := stats.Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := stats.Mean([]float64{4, math.NaN()}); got != 4 {
+		t.Errorf("Mean should skip NaN: got %v", got)
+	}
+	if !math.IsNaN(stats.Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := sample(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 10}, {10, 10}, {50, 50}, {90, 90}, {95, 100}, {100, 100},
+		{-5, 10}, {150, 100},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%g) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	empty := &stats.Sample{}
+	if got := empty.Percentile(50); got != 0 {
+		t.Errorf("empty Percentile = %v", got)
+	}
+}
+
+func TestSampleProperties(t *testing.T) {
+	// Property: min <= median <= max, and mean within [min, max].
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := &stats.Sample{}
+		for _, r := range raw {
+			s.Add(time.Duration(r))
+		}
+		if s.Min() > s.Median() || s.Median() > s.Max() {
+			return false
+		}
+		if s.Mean() < s.Min() || s.Mean() > s.Max() {
+			return false
+		}
+		// Durations() returns a faithful copy.
+		ds := s.Durations()
+		if len(ds) != len(raw) {
+			return false
+		}
+		sorted := append([]time.Duration(nil), ds...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return sorted[0] == s.Min() && sorted[len(sorted)-1] == s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := sample(time.Millisecond, 3*time.Millisecond)
+	got := s.String()
+	if got == "" {
+		t.Fatal("String() empty")
+	}
+}

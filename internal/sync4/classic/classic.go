@@ -1,0 +1,301 @@
+// Package classic implements the Splash-3 style synchronization kit: every
+// construct is built from mutexes and condition variables, exactly as the
+// original pthreads macros (LOCK, BARRIER, PAUSE...) expand. It is the
+// baseline against which the lockfree kit is characterized.
+package classic
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/sync4"
+)
+
+// Kit is the lock-based synchronization kit. The zero value is ready to use.
+type Kit struct{}
+
+// New returns the classic kit.
+func New() Kit { return Kit{} }
+
+// Name implements sync4.Kit.
+func (Kit) Name() string { return "classic" }
+
+// NewBarrier implements sync4.Kit.
+func (Kit) NewBarrier(n int) sync4.Barrier {
+	if n < 1 {
+		panic("classic: barrier size must be >= 1")
+	}
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// NewLock implements sync4.Kit.
+func (Kit) NewLock() sync4.Locker { return new(sync.Mutex) }
+
+// NewCounter implements sync4.Kit.
+func (Kit) NewCounter() sync4.Counter { return new(counter) }
+
+// NewAccumulator implements sync4.Kit.
+func (Kit) NewAccumulator() sync4.Accumulator { return new(accumulator) }
+
+// NewMinMax implements sync4.Kit.
+func (Kit) NewMinMax() sync4.MinMax {
+	m := new(minmax)
+	m.Reset()
+	return m
+}
+
+// NewFlag implements sync4.Kit.
+func (Kit) NewFlag() sync4.Flag {
+	f := new(flag)
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// NewQueue implements sync4.Kit.
+func (Kit) NewQueue(capacity int) sync4.Queue {
+	if capacity < 1 {
+		panic("classic: queue capacity must be >= 1")
+	}
+	q := &queue{buf: make([]int64, capacity)}
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+// NewStack implements sync4.Kit.
+func (Kit) NewStack() sync4.Stack { return new(stack) }
+
+// barrier is the textbook centralized mutex/condvar barrier used by the
+// original Splash BARRIER macro: a count, a generation number, and a
+// broadcast when the last thread arrives.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func (b *barrier) Wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+type counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (c *counter) Add(delta int64) int64 {
+	c.mu.Lock()
+	c.v += delta
+	v := c.v
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counter) Inc() int64 { return c.Add(1) }
+
+func (c *counter) Load() int64 {
+	c.mu.Lock()
+	v := c.v
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counter) Store(v int64) {
+	c.mu.Lock()
+	c.v = v
+	c.mu.Unlock()
+}
+
+type accumulator struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (a *accumulator) Add(v float64) {
+	a.mu.Lock()
+	a.v += v
+	a.mu.Unlock()
+}
+
+func (a *accumulator) Load() float64 {
+	a.mu.Lock()
+	v := a.v
+	a.mu.Unlock()
+	return v
+}
+
+func (a *accumulator) Store(v float64) {
+	a.mu.Lock()
+	a.v = v
+	a.mu.Unlock()
+}
+
+type minmax struct {
+	mu       sync.Mutex
+	min, max float64
+}
+
+func (m *minmax) Update(v float64) {
+	m.mu.Lock()
+	if v < m.min {
+		m.min = v
+	}
+	if v > m.max {
+		m.max = v
+	}
+	m.mu.Unlock()
+}
+
+func (m *minmax) Min() float64 {
+	m.mu.Lock()
+	v := m.min
+	m.mu.Unlock()
+	return v
+}
+
+func (m *minmax) Max() float64 {
+	m.mu.Lock()
+	v := m.max
+	m.mu.Unlock()
+	return v
+}
+
+func (m *minmax) Reset() {
+	m.mu.Lock()
+	m.min = math.Inf(1)
+	m.max = math.Inf(-1)
+	m.mu.Unlock()
+}
+
+// flag is the Splash PAUSE/CLEARPAUSE/SETPAUSE construct: a boolean guarded
+// by a mutex, with waiters sleeping on a condition variable.
+type flag struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	set  bool
+}
+
+func (f *flag) Set() {
+	f.mu.Lock()
+	f.set = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+func (f *flag) Wait() {
+	f.mu.Lock()
+	for !f.set {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+func (f *flag) IsSet() bool {
+	f.mu.Lock()
+	v := f.set
+	f.mu.Unlock()
+	return v
+}
+
+// queue is a single-lock ring buffer. Producers block on a condition
+// variable when the queue is full, as a pthreads implementation would.
+type queue struct {
+	mu      sync.Mutex
+	notFull *sync.Cond
+	buf     []int64
+	head    int // next slot to read
+	n       int // number of elements
+}
+
+func (q *queue) Put(v int64) {
+	q.mu.Lock()
+	for q.n == len(q.buf) {
+		q.notFull.Wait()
+	}
+	q.put(v)
+	q.mu.Unlock()
+}
+
+func (q *queue) TryPut(v int64) bool {
+	q.mu.Lock()
+	if q.n == len(q.buf) {
+		q.mu.Unlock()
+		return false
+	}
+	q.put(v)
+	q.mu.Unlock()
+	return true
+}
+
+// put appends v; callers hold q.mu.
+func (q *queue) put(v int64) {
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+func (q *queue) TryGet() (int64, bool) {
+	q.mu.Lock()
+	if q.n == 0 {
+		q.mu.Unlock()
+		return 0, false
+	}
+	v := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.mu.Unlock()
+	q.notFull.Signal()
+	return v, true
+}
+
+func (q *queue) Len() int {
+	q.mu.Lock()
+	n := q.n
+	q.mu.Unlock()
+	return n
+}
+
+type stack struct {
+	mu  sync.Mutex
+	buf []int64
+}
+
+func (s *stack) Push(v int64) {
+	s.mu.Lock()
+	s.buf = append(s.buf, v)
+	s.mu.Unlock()
+}
+
+func (s *stack) TryPop() (int64, bool) {
+	s.mu.Lock()
+	if len(s.buf) == 0 {
+		s.mu.Unlock()
+		return 0, false
+	}
+	v := s.buf[len(s.buf)-1]
+	s.buf = s.buf[:len(s.buf)-1]
+	s.mu.Unlock()
+	return v, true
+}
+
+func (s *stack) Len() int {
+	s.mu.Lock()
+	n := len(s.buf)
+	s.mu.Unlock()
+	return n
+}

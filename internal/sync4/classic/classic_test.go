@@ -1,0 +1,18 @@
+package classic_test
+
+import (
+	"testing"
+
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/kittest"
+)
+
+func TestConformance(t *testing.T) {
+	kittest.Conformance(t, classic.New())
+}
+
+func TestName(t *testing.T) {
+	if got := classic.New().Name(); got != "classic" {
+		t.Fatalf("Name = %q, want classic", got)
+	}
+}

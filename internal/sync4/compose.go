@@ -1,0 +1,63 @@
+package sync4
+
+// Overrides selects, per construct family, a kit that replaces the base kit
+// of a composed kit. A nil field keeps the base kit for that family. This is
+// the mechanism behind the ablation experiment (E7 in DESIGN.md): e.g. a
+// classic kit whose counters and accumulators come from the lockfree kit
+// measures the contribution of atomic RMWs alone, without the atomic
+// barrier.
+type Overrides struct {
+	Barriers     Kit
+	Locks        Kit
+	Counters     Kit
+	Accumulators Kit
+	MinMaxes     Kit
+	Flags        Kit
+	Queues       Kit
+	Stacks       Kit
+}
+
+// Compose returns a kit that builds each construct family from the override
+// kit when one is given and from base otherwise. The name labels the
+// composition in reports.
+func Compose(name string, base Kit, o Overrides) Kit {
+	pick := func(k Kit) Kit {
+		if k != nil {
+			return k
+		}
+		return base
+	}
+	return &composedKit{
+		name:    name,
+		barrier: pick(o.Barriers),
+		lock:    pick(o.Locks),
+		counter: pick(o.Counters),
+		accum:   pick(o.Accumulators),
+		minmax:  pick(o.MinMaxes),
+		flag:    pick(o.Flags),
+		queue:   pick(o.Queues),
+		stack:   pick(o.Stacks),
+	}
+}
+
+type composedKit struct {
+	name    string
+	barrier Kit
+	lock    Kit
+	counter Kit
+	accum   Kit
+	minmax  Kit
+	flag    Kit
+	queue   Kit
+	stack   Kit
+}
+
+func (k *composedKit) Name() string                { return k.name }
+func (k *composedKit) NewBarrier(n int) Barrier    { return k.barrier.NewBarrier(n) }
+func (k *composedKit) NewLock() Locker             { return k.lock.NewLock() }
+func (k *composedKit) NewCounter() Counter         { return k.counter.NewCounter() }
+func (k *composedKit) NewAccumulator() Accumulator { return k.accum.NewAccumulator() }
+func (k *composedKit) NewMinMax() MinMax           { return k.minmax.NewMinMax() }
+func (k *composedKit) NewFlag() Flag               { return k.flag.NewFlag() }
+func (k *composedKit) NewQueue(capacity int) Queue { return k.queue.NewQueue(capacity) }
+func (k *composedKit) NewStack() Stack             { return k.stack.NewStack() }

@@ -1,0 +1,353 @@
+package sync4
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counters aggregates synchronization events observed by an instrumented
+// kit. All fields are updated atomically and may be read concurrently. The
+// *Nanos fields record wall time spent inside potentially-blocking calls
+// (lock acquisition, barrier waits, flag waits); they are only populated
+// when the instrumented kit was created with timing enabled.
+type Counters struct {
+	LockAcquires  atomic.Int64
+	BarrierWaits  atomic.Int64
+	CounterOps    atomic.Int64
+	AccumOps      atomic.Int64
+	MinMaxOps     atomic.Int64
+	FlagSets      atomic.Int64
+	FlagWaits     atomic.Int64
+	QueuePuts     atomic.Int64
+	QueueGets     atomic.Int64
+	QueueGetFails atomic.Int64
+	StackPushes   atomic.Int64
+	StackPops     atomic.Int64
+	StackPopFails atomic.Int64
+
+	LockNanos    atomic.Int64
+	BarrierNanos atomic.Int64
+	FlagNanos    atomic.Int64
+
+	// Construction counts: how many objects of each family the workload
+	// allocated. They tell a replay model how spread the traffic is
+	// (e.g. one global ray counter versus thousands of per-molecule
+	// accumulators).
+	LocksCreated    atomic.Int64
+	BarriersCreated atomic.Int64
+	CountersCreated atomic.Int64
+	AccumsCreated   atomic.Int64
+	MinMaxCreated   atomic.Int64
+	FlagsCreated    atomic.Int64
+	QueuesCreated   atomic.Int64
+	StacksCreated   atomic.Int64
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	c.LockAcquires.Store(0)
+	c.BarrierWaits.Store(0)
+	c.CounterOps.Store(0)
+	c.AccumOps.Store(0)
+	c.MinMaxOps.Store(0)
+	c.FlagSets.Store(0)
+	c.FlagWaits.Store(0)
+	c.QueuePuts.Store(0)
+	c.QueueGets.Store(0)
+	c.QueueGetFails.Store(0)
+	c.StackPushes.Store(0)
+	c.StackPops.Store(0)
+	c.StackPopFails.Store(0)
+	c.LockNanos.Store(0)
+	c.BarrierNanos.Store(0)
+	c.FlagNanos.Store(0)
+	// Construction counts are deliberately not reset: objects are built
+	// once during Prepare and live across measured repetitions.
+}
+
+// Snapshot is a plain-value copy of Counters, convenient for reports.
+type Snapshot struct {
+	LockAcquires  int64
+	BarrierWaits  int64
+	CounterOps    int64
+	AccumOps      int64
+	MinMaxOps     int64
+	FlagSets      int64
+	FlagWaits     int64
+	QueuePuts     int64
+	QueueGets     int64
+	QueueGetFails int64
+	StackPushes   int64
+	StackPops     int64
+	StackPopFails int64
+
+	LockNanos    int64
+	BarrierNanos int64
+	FlagNanos    int64
+
+	LocksCreated    int64
+	BarriersCreated int64
+	CountersCreated int64
+	AccumsCreated   int64
+	MinMaxCreated   int64
+	FlagsCreated    int64
+	QueuesCreated   int64
+	StacksCreated   int64
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		LockAcquires:  c.LockAcquires.Load(),
+		BarrierWaits:  c.BarrierWaits.Load(),
+		CounterOps:    c.CounterOps.Load(),
+		AccumOps:      c.AccumOps.Load(),
+		MinMaxOps:     c.MinMaxOps.Load(),
+		FlagSets:      c.FlagSets.Load(),
+		FlagWaits:     c.FlagWaits.Load(),
+		QueuePuts:     c.QueuePuts.Load(),
+		QueueGets:     c.QueueGets.Load(),
+		QueueGetFails: c.QueueGetFails.Load(),
+		StackPushes:   c.StackPushes.Load(),
+		StackPops:     c.StackPops.Load(),
+		StackPopFails: c.StackPopFails.Load(),
+		LockNanos:     c.LockNanos.Load(),
+		BarrierNanos:  c.BarrierNanos.Load(),
+		FlagNanos:     c.FlagNanos.Load(),
+
+		LocksCreated:    c.LocksCreated.Load(),
+		BarriersCreated: c.BarriersCreated.Load(),
+		CountersCreated: c.CountersCreated.Load(),
+		AccumsCreated:   c.AccumsCreated.Load(),
+		MinMaxCreated:   c.MinMaxCreated.Load(),
+		FlagsCreated:    c.FlagsCreated.Load(),
+		QueuesCreated:   c.QueuesCreated.Load(),
+		StacksCreated:   c.StacksCreated.Load(),
+	}
+}
+
+// RMWCells returns how many distinct read-modify-write objects (counters,
+// accumulators, min/max trackers, queues, stacks) the workload built: the
+// span its RMW traffic is spread over.
+func (s Snapshot) RMWCells() int64 {
+	return s.CountersCreated + s.AccumsCreated + s.MinMaxCreated + s.QueuesCreated + s.StacksCreated
+}
+
+// RMWOps returns the total number of read-modify-write style operations
+// (counter, accumulator and min/max updates): the events that become atomic
+// instructions in Splash-4 and lock-protected sections in Splash-3.
+func (s Snapshot) RMWOps() int64 { return s.CounterOps + s.AccumOps + s.MinMaxOps }
+
+// BlockedNanos returns the total time spent inside blocking synchronization
+// calls (locks, barriers, flag waits).
+func (s Snapshot) BlockedNanos() int64 { return s.LockNanos + s.BarrierNanos + s.FlagNanos }
+
+// Instrument wraps kit so that every synchronization operation increments
+// the matching field in c. When withTime is true, blocking operations also
+// accumulate their wall-clock duration; this adds two time.Now calls per
+// blocking operation, so leave it off for pure event censuses on hot paths.
+func Instrument(kit Kit, c *Counters, withTime bool) Kit {
+	return &instrumentedKit{base: kit, c: c, timed: withTime}
+}
+
+type instrumentedKit struct {
+	base  Kit
+	c     *Counters
+	timed bool
+}
+
+func (k *instrumentedKit) Name() string { return k.base.Name() + "+instr" }
+
+func (k *instrumentedKit) NewBarrier(n int) Barrier {
+	k.c.BarriersCreated.Add(1)
+	return &instrBarrier{b: k.base.NewBarrier(n), k: k}
+}
+
+func (k *instrumentedKit) NewLock() Locker {
+	k.c.LocksCreated.Add(1)
+	return &instrLock{l: k.base.NewLock(), k: k}
+}
+
+func (k *instrumentedKit) NewCounter() Counter {
+	k.c.CountersCreated.Add(1)
+	return &instrCounter{c: k.base.NewCounter(), k: k}
+}
+
+func (k *instrumentedKit) NewAccumulator() Accumulator {
+	k.c.AccumsCreated.Add(1)
+	return &instrAccum{a: k.base.NewAccumulator(), k: k}
+}
+
+func (k *instrumentedKit) NewMinMax() MinMax {
+	k.c.MinMaxCreated.Add(1)
+	return &instrMinMax{m: k.base.NewMinMax(), k: k}
+}
+
+func (k *instrumentedKit) NewFlag() Flag {
+	k.c.FlagsCreated.Add(1)
+	return &instrFlag{f: k.base.NewFlag(), k: k}
+}
+
+func (k *instrumentedKit) NewQueue(capacity int) Queue {
+	k.c.QueuesCreated.Add(1)
+	return &instrQueue{q: k.base.NewQueue(capacity), k: k}
+}
+
+func (k *instrumentedKit) NewStack() Stack {
+	k.c.StacksCreated.Add(1)
+	return &instrStack{s: k.base.NewStack(), k: k}
+}
+
+type instrBarrier struct {
+	b Barrier
+	k *instrumentedKit
+}
+
+func (b *instrBarrier) Wait() {
+	b.k.c.BarrierWaits.Add(1)
+	if b.k.timed {
+		start := time.Now()
+		b.b.Wait()
+		b.k.c.BarrierNanos.Add(time.Since(start).Nanoseconds())
+		return
+	}
+	b.b.Wait()
+}
+
+type instrLock struct {
+	l Locker
+	k *instrumentedKit
+}
+
+func (l *instrLock) Lock() {
+	l.k.c.LockAcquires.Add(1)
+	if l.k.timed {
+		start := time.Now()
+		l.l.Lock()
+		l.k.c.LockNanos.Add(time.Since(start).Nanoseconds())
+		return
+	}
+	l.l.Lock()
+}
+
+func (l *instrLock) Unlock() { l.l.Unlock() }
+
+type instrCounter struct {
+	c Counter
+	k *instrumentedKit
+}
+
+func (c *instrCounter) Add(delta int64) int64 {
+	c.k.c.CounterOps.Add(1)
+	return c.c.Add(delta)
+}
+
+func (c *instrCounter) Inc() int64 {
+	c.k.c.CounterOps.Add(1)
+	return c.c.Inc()
+}
+
+func (c *instrCounter) Load() int64   { return c.c.Load() }
+func (c *instrCounter) Store(v int64) { c.c.Store(v) }
+
+type instrAccum struct {
+	a Accumulator
+	k *instrumentedKit
+}
+
+func (a *instrAccum) Add(v float64) {
+	a.k.c.AccumOps.Add(1)
+	a.a.Add(v)
+}
+
+func (a *instrAccum) Load() float64   { return a.a.Load() }
+func (a *instrAccum) Store(v float64) { a.a.Store(v) }
+
+type instrMinMax struct {
+	m MinMax
+	k *instrumentedKit
+}
+
+func (m *instrMinMax) Update(v float64) {
+	m.k.c.MinMaxOps.Add(1)
+	m.m.Update(v)
+}
+
+func (m *instrMinMax) Min() float64 { return m.m.Min() }
+func (m *instrMinMax) Max() float64 { return m.m.Max() }
+func (m *instrMinMax) Reset()       { m.m.Reset() }
+
+type instrFlag struct {
+	f Flag
+	k *instrumentedKit
+}
+
+func (f *instrFlag) Set() {
+	f.k.c.FlagSets.Add(1)
+	f.f.Set()
+}
+
+func (f *instrFlag) Wait() {
+	f.k.c.FlagWaits.Add(1)
+	if f.k.timed {
+		start := time.Now()
+		f.f.Wait()
+		f.k.c.FlagNanos.Add(time.Since(start).Nanoseconds())
+		return
+	}
+	f.f.Wait()
+}
+
+func (f *instrFlag) IsSet() bool { return f.f.IsSet() }
+
+type instrQueue struct {
+	q Queue
+	k *instrumentedKit
+}
+
+func (q *instrQueue) Put(v int64) {
+	q.k.c.QueuePuts.Add(1)
+	q.q.Put(v)
+}
+
+func (q *instrQueue) TryPut(v int64) bool {
+	ok := q.q.TryPut(v)
+	if ok {
+		q.k.c.QueuePuts.Add(1)
+	}
+	return ok
+}
+
+func (q *instrQueue) TryGet() (int64, bool) {
+	v, ok := q.q.TryGet()
+	if ok {
+		q.k.c.QueueGets.Add(1)
+	} else {
+		q.k.c.QueueGetFails.Add(1)
+	}
+	return v, ok
+}
+
+func (q *instrQueue) Len() int { return q.q.Len() }
+
+type instrStack struct {
+	s Stack
+	k *instrumentedKit
+}
+
+func (s *instrStack) Push(v int64) {
+	s.k.c.StackPushes.Add(1)
+	s.s.Push(v)
+}
+
+func (s *instrStack) TryPop() (int64, bool) {
+	v, ok := s.s.TryPop()
+	if ok {
+		s.k.c.StackPops.Add(1)
+	} else {
+		s.k.c.StackPopFails.Add(1)
+	}
+	return v, ok
+}
+
+func (s *instrStack) Len() int { return s.s.Len() }

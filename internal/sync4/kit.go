@@ -1,0 +1,123 @@
+// Package sync4 defines the synchronization toolkit abstraction at the heart
+// of the Splash-4 reproduction.
+//
+// Splash-3 benchmarks synchronize with pthread-style mutexes, condition
+// variables and centralized barriers; Splash-4 keeps the workloads and
+// algorithms identical but replaces those constructs with lock-free
+// equivalents built on atomic operations. This package captures that design
+// as an interface: every workload in this repository is written once against
+// Kit, and runs unmodified on the classic (lock-based) kit or the lockfree
+// (atomics) kit. Comparing the two is exactly the comparison the paper makes
+// between Splash-3 and Splash-4.
+package sync4
+
+// Kit is a factory for the synchronization constructs a Splash workload
+// needs. Implementations must be safe for concurrent use once constructed;
+// the factory methods themselves are only called during single-threaded
+// setup.
+type Kit interface {
+	// Name identifies the kit in reports ("classic", "lockfree", ...).
+	Name() string
+
+	// NewBarrier returns a barrier for n participants. n must be >= 1.
+	NewBarrier(n int) Barrier
+
+	// NewLock returns a mutual-exclusion lock.
+	NewLock() Locker
+
+	// NewCounter returns a shared integer counter starting at zero.
+	NewCounter() Counter
+
+	// NewAccumulator returns a shared float64 sum starting at zero.
+	NewAccumulator() Accumulator
+
+	// NewMinMax returns a shared float64 min/max tracker. Min starts at
+	// +Inf and Max at -Inf.
+	NewMinMax() MinMax
+
+	// NewFlag returns a one-shot event flag, initially unset.
+	NewFlag() Flag
+
+	// NewQueue returns a FIFO task queue with the given capacity.
+	// Capacity must be >= 1; queues never grow.
+	NewQueue(capacity int) Queue
+
+	// NewStack returns a LIFO task stack.
+	NewStack() Stack
+}
+
+// Barrier synchronizes a fixed group of participants. Every participant must
+// call Wait; all calls return only after the last participant arrives. A
+// barrier is reusable for any number of episodes.
+type Barrier interface {
+	Wait()
+}
+
+// Locker is a mutual-exclusion lock. It deliberately mirrors sync.Locker so
+// classic kits can return a *sync.Mutex directly.
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+// Counter is a shared integer counter. In Splash-3 these are ints protected
+// by a lock (e.g. the global ray or task counters); in Splash-4 they are
+// fetch-and-add atomics.
+type Counter interface {
+	// Add adds delta and returns the new value.
+	Add(delta int64) int64
+	// Inc is Add(1).
+	Inc() int64
+	// Load returns the current value.
+	Load() int64
+	// Store resets the counter to v. Callers must ensure quiescence
+	// (typically between phases, after a barrier).
+	Store(v int64)
+}
+
+// Accumulator is a shared float64 sum (the global reductions in OCEAN,
+// WATER, BARNES...). Splash-3 guards a double with a lock; Splash-4 uses a
+// compare-and-swap loop on the bit pattern.
+type Accumulator interface {
+	Add(v float64)
+	Load() float64
+	Store(v float64)
+}
+
+// MinMax tracks the minimum and maximum of a stream of float64 values.
+type MinMax interface {
+	Update(v float64) // folds v into both min and max
+	Min() float64
+	Max() float64
+	Reset()
+}
+
+// Flag is a one-shot event: Set releases all current and future waiters.
+// Splash-3 implements these with a mutex + condition variable; Splash-4 with
+// an atomic flag and bounded spinning.
+type Flag interface {
+	Set()
+	Wait()
+	IsSet() bool
+}
+
+// Queue is a bounded multi-producer multi-consumer FIFO of int64 task ids.
+// Workloads store task payloads in their own arrays and pass indices.
+type Queue interface {
+	// Put enqueues v, spinning while the queue is full.
+	Put(v int64)
+	// TryPut enqueues v if there is room and reports whether it did.
+	TryPut(v int64) bool
+	// TryGet dequeues a value if one is available.
+	TryGet() (int64, bool)
+	// Len returns a point-in-time estimate of the queue length.
+	Len() int
+}
+
+// Stack is a multi-producer multi-consumer LIFO of int64 task ids
+// (RADIOSITY's work piles, CHOLESKY's supernode stack).
+type Stack interface {
+	Push(v int64)
+	TryPop() (int64, bool)
+	Len() int
+}

@@ -1,0 +1,162 @@
+package lockfree
+
+import (
+	"sync/atomic"
+)
+
+// This file holds construct variants beyond the kit interface: the
+// scalable-synchronization designs the Splash-4 papers point to as further
+// steps past a single atomic word. They carry thread-id-aware interfaces
+// (the kit's constructs deliberately do not), so they are exercised by the
+// primitive experiments (E6) and available to custom workloads rather than
+// wired into the suite kits.
+
+// TicketLock is a fair FIFO spinlock: acquirers take a ticket and spin
+// until the serving counter reaches it. It satisfies sync4.Locker.
+type TicketLock struct {
+	next    atomic.Uint64
+	serving atomic.Uint64
+}
+
+// Lock acquires the lock in ticket order.
+func (l *TicketLock) Lock() {
+	t := l.next.Add(1) - 1
+	spins := 0
+	for l.serving.Load() != t {
+		pause(&spins)
+	}
+}
+
+// Unlock releases the lock to the next ticket holder.
+func (l *TicketLock) Unlock() {
+	l.serving.Add(1)
+}
+
+// TreeBarrier is a combining-tree barrier: threads arrive at fixed leaf
+// groups, the last arrival of each group propagates one level up, and the
+// thread that closes the root flips a global phase word that all waiters
+// spin on. Arrival contention is bounded by the fan-in instead of the full
+// thread count. Unlike the kit barrier, Wait takes the caller's thread id,
+// which fixes its leaf group.
+type TreeBarrier struct {
+	n     int
+	fanIn int
+	// nodes is a heap-shaped array of arrival counters; node i's parent
+	// is (i-1)/fanIn in the conceptual tree built over the leaves.
+	counts []atomic.Int64
+	sizes  []int64
+	parent []int
+	leaf   []int // thread id -> leaf node index
+	phase  atomic.Uint64
+}
+
+// NewTreeBarrier builds a tree barrier for n threads with the given fan-in
+// (values < 2 default to 4).
+func NewTreeBarrier(n, fanIn int) *TreeBarrier {
+	if n < 1 {
+		panic("lockfree: tree barrier size must be >= 1")
+	}
+	if fanIn < 2 {
+		fanIn = 4
+	}
+	b := &TreeBarrier{n: n, fanIn: fanIn}
+
+	// Build levels bottom-up: level 0 has ceil(n/fanIn) nodes, each
+	// parent level shrinks by fanIn until a single root remains.
+	type level struct{ start, count int }
+	var levels []level
+	count := (n + fanIn - 1) / fanIn
+	total := 0
+	for {
+		levels = append(levels, level{start: total, count: count})
+		total += count
+		if count == 1 {
+			break
+		}
+		count = (count + fanIn - 1) / fanIn
+	}
+	b.counts = make([]atomic.Int64, total)
+	b.sizes = make([]int64, total)
+	b.parent = make([]int, total)
+	b.leaf = make([]int, n)
+
+	for t := 0; t < n; t++ {
+		b.leaf[t] = levels[0].start + t/fanIn
+	}
+	// Leaf sizes: how many threads map to each leaf.
+	for t := 0; t < n; t++ {
+		b.sizes[b.leaf[t]]++
+	}
+	for li := 0; li+1 < len(levels); li++ {
+		cur, next := levels[li], levels[li+1]
+		for i := 0; i < cur.count; i++ {
+			p := next.start + i/fanIn
+			b.parent[cur.start+i] = p
+			b.sizes[p]++
+		}
+	}
+	root := levels[len(levels)-1].start
+	b.parent[root] = -1
+	return b
+}
+
+// Wait blocks thread tid until all n threads have arrived.
+func (b *TreeBarrier) Wait(tid int) {
+	phase := b.phase.Load()
+	node := b.leaf[tid]
+	for {
+		if b.counts[node].Add(1) < b.sizes[node] {
+			// Not the last at this node: spin for the release.
+			spins := 0
+			for b.phase.Load() == phase {
+				pause(&spins)
+			}
+			return
+		}
+		// Last at this node: reset it for the next episode and climb.
+		b.counts[node].Store(0)
+		p := b.parent[node]
+		if p < 0 {
+			b.phase.Add(1)
+			return
+		}
+		node = p
+	}
+}
+
+// StripedCounter spreads a counter over per-thread cache-line-padded
+// stripes: AddAt touches only the caller's stripe, and Sum folds them. It
+// trades a slower read for contention-free increments — the natural next
+// step after fetch-and-add when even the atomic's line ping-pong shows up.
+type StripedCounter struct {
+	stripes []paddedInt64
+}
+
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// NewStripedCounter builds a counter with one stripe per thread.
+func NewStripedCounter(threads int) *StripedCounter {
+	if threads < 1 {
+		panic("lockfree: striped counter needs >= 1 stripe")
+	}
+	return &StripedCounter{stripes: make([]paddedInt64, threads)}
+}
+
+// AddAt adds delta to thread tid's stripe and returns the stripe's new
+// value (not the global sum, which would defeat the striping).
+func (c *StripedCounter) AddAt(tid int, delta int64) int64 {
+	return c.stripes[tid].v.Add(delta)
+}
+
+// Sum folds all stripes. It is linearizable only at quiescence (e.g. after
+// a barrier), which is exactly how the suite uses counters between phases.
+func (c *StripedCounter) Sum() int64 {
+	var total int64
+	for i := range c.stripes {
+		total += c.stripes[i].v.Load()
+	}
+	return total
+}

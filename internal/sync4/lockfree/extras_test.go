@@ -1,0 +1,109 @@
+package lockfree_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sync4/lockfree"
+)
+
+func TestTicketLockMutualExclusionAndFairness(t *testing.T) {
+	const threads = 8
+	const iters = 2000
+	var l lockfree.TicketLock
+	shared := 0
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				l.Lock()
+				shared++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != threads*iters {
+		t.Fatalf("lost updates: %d, want %d", shared, threads*iters)
+	}
+}
+
+func TestTreeBarrierEpisodes(t *testing.T) {
+	for _, cfg := range []struct{ n, fanIn int }{
+		{1, 4}, {2, 2}, {5, 2}, {8, 4}, {16, 4}, {17, 3}, {33, 4},
+	} {
+		b := lockfree.NewTreeBarrier(cfg.n, cfg.fanIn)
+		const episodes = 50
+		counters := make([]atomic.Int64, episodes)
+		errs := make(chan string, cfg.n)
+		var wg sync.WaitGroup
+		for tid := 0; tid < cfg.n; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				for e := 0; e < episodes; e++ {
+					counters[e].Add(1)
+					b.Wait(tid)
+					if got := counters[e].Load(); got != int64(cfg.n) {
+						errs <- "tree barrier released early"
+						return
+					}
+					b.Wait(tid)
+				}
+			}(tid)
+		}
+		wg.Wait()
+		close(errs)
+		for msg := range errs {
+			t.Fatalf("n=%d fanIn=%d: %s", cfg.n, cfg.fanIn, msg)
+		}
+	}
+}
+
+func TestTreeBarrierSingleThreadNoDeadlock(t *testing.T) {
+	b := lockfree.NewTreeBarrier(1, 4)
+	for i := 0; i < 100; i++ {
+		b.Wait(0)
+	}
+}
+
+func TestTreeBarrierRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTreeBarrier(0, 4) did not panic")
+		}
+	}()
+	lockfree.NewTreeBarrier(0, 4)
+}
+
+func TestStripedCounter(t *testing.T) {
+	const threads = 8
+	const iters = 10000
+	c := lockfree.NewStripedCounter(threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.AddAt(tid, 1)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := c.Sum(); got != threads*iters {
+		t.Fatalf("Sum = %d, want %d", got, threads*iters)
+	}
+}
+
+func TestStripedCounterRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStripedCounter(0) did not panic")
+		}
+	}()
+	lockfree.NewStripedCounter(0)
+}

@@ -1,0 +1,349 @@
+// Package lockfree implements the Splash-4 style synchronization kit: the
+// same constructs as package classic, rebuilt on atomic operations. Counters
+// become fetch-and-add, floating-point reductions become compare-and-swap
+// retry loops on the bit pattern, flags become atomic booleans with bounded
+// spinning, barriers become sense-free atomic phase barriers, and the task
+// structures become a Vyukov bounded MPMC ring and a Treiber stack.
+//
+// Go has no atomic floating-point types, so the CAS-loop formulation here is
+// the same one Splash-4 uses on targets without native atomic doubles.
+package lockfree
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/sync4"
+)
+
+// spinBudget is how many busy iterations a waiter performs between yields to
+// the Go scheduler. Pure spinning starves other goroutines when threads
+// exceed GOMAXPROCS; yielding every so often approximates the
+// spin-then-yield discipline of the original pthread spin waits.
+const spinBudget = 64
+
+// yieldEagerly is set when the runtime has so few processors that busy
+// waiting can only steal time from the goroutine being waited on. The
+// original suite assumes one pinned thread per core; on a starved runtime
+// the closest faithful behavior is immediate cooperative yielding.
+var yieldEagerly = runtime.GOMAXPROCS(0) <= 2
+
+// pause performs one step of a spin-wait, yielding every spinBudget steps
+// (every step on near-single-processor runtimes).
+func pause(i *int) {
+	*i++
+	if yieldEagerly || *i%spinBudget == 0 {
+		runtime.Gosched()
+	}
+}
+
+// Kit is the lock-free synchronization kit. The zero value is ready to use.
+type Kit struct{}
+
+// New returns the lockfree kit.
+func New() Kit { return Kit{} }
+
+// Name implements sync4.Kit.
+func (Kit) Name() string { return "lockfree" }
+
+// NewBarrier implements sync4.Kit.
+func (Kit) NewBarrier(n int) sync4.Barrier {
+	if n < 1 {
+		panic("lockfree: barrier size must be >= 1")
+	}
+	return &barrier{n: int64(n)}
+}
+
+// NewLock implements sync4.Kit.
+func (Kit) NewLock() sync4.Locker { return new(spinLock) }
+
+// NewCounter implements sync4.Kit.
+func (Kit) NewCounter() sync4.Counter { return new(counter) }
+
+// NewAccumulator implements sync4.Kit.
+func (Kit) NewAccumulator() sync4.Accumulator { return new(accumulator) }
+
+// NewMinMax implements sync4.Kit.
+func (Kit) NewMinMax() sync4.MinMax {
+	m := new(minmax)
+	m.Reset()
+	return m
+}
+
+// NewFlag implements sync4.Kit.
+func (Kit) NewFlag() sync4.Flag { return new(flag) }
+
+// NewQueue implements sync4.Kit.
+func (Kit) NewQueue(capacity int) sync4.Queue {
+	if capacity < 1 {
+		panic("lockfree: queue capacity must be >= 1")
+	}
+	return newQueue(capacity)
+}
+
+// NewStack implements sync4.Kit.
+func (Kit) NewStack() sync4.Stack { return new(stack) }
+
+// barrier is a counter/phase barrier: arrivals fetch-and-add a shared count;
+// the last arrival resets the count and advances the phase; everyone else
+// spins on the phase word. No per-thread sense state is needed, so the same
+// barrier value can be shared by value-agnostic callers, and it is reusable
+// immediately.
+type barrier struct {
+	n     int64
+	count atomic.Int64
+	phase atomic.Uint64
+}
+
+func (b *barrier) Wait() {
+	phase := b.phase.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.phase.Add(1)
+		return
+	}
+	spins := 0
+	for b.phase.Load() == phase {
+		pause(&spins)
+	}
+}
+
+// spinLock is a test-and-test-and-set lock with scheduler-friendly backoff.
+// Splash-4 keeps a handful of irreducible critical sections; on real
+// hardware those use pthread spinlocks, and this is the Go equivalent.
+type spinLock struct {
+	state atomic.Int32
+}
+
+func (l *spinLock) Lock() {
+	spins := 0
+	for {
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		pause(&spins)
+	}
+}
+
+func (l *spinLock) Unlock() {
+	if l.state.Swap(0) != 1 {
+		panic("lockfree: unlock of unlocked spinLock")
+	}
+}
+
+type counter struct {
+	v atomic.Int64
+}
+
+func (c *counter) Add(delta int64) int64 { return c.v.Add(delta) }
+func (c *counter) Inc() int64            { return c.v.Add(1) }
+func (c *counter) Load() int64           { return c.v.Load() }
+func (c *counter) Store(v int64)         { c.v.Store(v) }
+
+// accumulator adds float64 values with a CAS loop on the bit pattern.
+type accumulator struct {
+	bits atomic.Uint64
+}
+
+func (a *accumulator) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		cur := math.Float64frombits(old)
+		if a.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+func (a *accumulator) Load() float64   { return math.Float64frombits(a.bits.Load()) }
+func (a *accumulator) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+// minmax tracks min and max in two CAS'd words. The loops terminate early
+// when the stored value is already at least as extreme, so uncontended
+// reads of a stable extreme cost one load.
+type minmax struct {
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+func (m *minmax) Update(v float64) {
+	for {
+		old := m.minBits.Load()
+		if math.Float64frombits(old) <= v {
+			break
+		}
+		if m.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := m.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if m.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+func (m *minmax) Min() float64 { return math.Float64frombits(m.minBits.Load()) }
+func (m *minmax) Max() float64 { return math.Float64frombits(m.maxBits.Load()) }
+
+func (m *minmax) Reset() {
+	m.minBits.Store(math.Float64bits(math.Inf(1)))
+	m.maxBits.Store(math.Float64bits(math.Inf(-1)))
+}
+
+// flag is an atomic boolean with spin-then-yield waiting.
+type flag struct {
+	set atomic.Bool
+}
+
+func (f *flag) Set() { f.set.Store(true) }
+
+func (f *flag) Wait() {
+	spins := 0
+	for !f.set.Load() {
+		pause(&spins)
+	}
+}
+
+func (f *flag) IsSet() bool { return f.set.Load() }
+
+// queue is Vyukov's bounded MPMC ring buffer: each slot carries a sequence
+// number that encodes whether it is ready to be written (seq == pos) or read
+// (seq == pos+1), which lets producers and consumers claim slots with a
+// single CAS each and without blocking one another.
+type queue struct {
+	mask uint64
+	buf  []slot
+	_    [48]byte // keep enq and deq on separate cache lines
+	enq  atomic.Uint64
+	_    [56]byte
+	deq  atomic.Uint64
+}
+
+type slot struct {
+	seq atomic.Uint64
+	val int64
+	_   [48]byte // one slot per cache line to avoid false sharing
+}
+
+func newQueue(capacity int) *queue {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	q := &queue{mask: uint64(size - 1), buf: make([]slot, size)}
+	for i := range q.buf {
+		q.buf[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+func (q *queue) Put(v int64) {
+	spins := 0
+	for !q.TryPut(v) {
+		pause(&spins)
+	}
+}
+
+func (q *queue) TryPut(v int64) bool {
+	pos := q.enq.Load()
+	for {
+		s := &q.buf[pos&q.mask]
+		seq := s.seq.Load()
+		switch diff := int64(seq) - int64(pos); {
+		case diff == 0:
+			if q.enq.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = q.enq.Load()
+		case diff < 0:
+			return false // full
+		default:
+			pos = q.enq.Load()
+		}
+	}
+}
+
+func (q *queue) TryGet() (int64, bool) {
+	pos := q.deq.Load()
+	for {
+		s := &q.buf[pos&q.mask]
+		seq := s.seq.Load()
+		switch diff := int64(seq) - int64(pos+1); {
+		case diff == 0:
+			if q.deq.CompareAndSwap(pos, pos+1) {
+				v := s.val
+				s.seq.Store(pos + q.mask + 1)
+				return v, true
+			}
+			pos = q.deq.Load()
+		case diff < 0:
+			return 0, false // empty
+		default:
+			pos = q.deq.Load()
+		}
+	}
+}
+
+func (q *queue) Len() int {
+	n := int64(q.enq.Load()) - int64(q.deq.Load())
+	if n < 0 {
+		n = 0
+	}
+	if max := int64(q.mask + 1); n > max {
+		n = max
+	}
+	return int(n)
+}
+
+// stack is a Treiber stack. Go's garbage collector rules out the ABA hazard:
+// a node cannot be recycled while any thread still holds a pointer to it.
+type stack struct {
+	top atomic.Pointer[node]
+	n   atomic.Int64
+}
+
+type node struct {
+	val  int64
+	next *node
+}
+
+func (s *stack) Push(v int64) {
+	n := &node{val: v}
+	for {
+		old := s.top.Load()
+		n.next = old
+		if s.top.CompareAndSwap(old, n) {
+			s.n.Add(1)
+			return
+		}
+	}
+}
+
+func (s *stack) TryPop() (int64, bool) {
+	for {
+		old := s.top.Load()
+		if old == nil {
+			return 0, false
+		}
+		if s.top.CompareAndSwap(old, old.next) {
+			s.n.Add(-1)
+			return old.val, true
+		}
+	}
+}
+
+func (s *stack) Len() int {
+	n := s.n.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}

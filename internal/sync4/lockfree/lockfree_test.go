@@ -1,0 +1,27 @@
+package lockfree_test
+
+import (
+	"testing"
+
+	"repro/internal/sync4/kittest"
+	"repro/internal/sync4/lockfree"
+)
+
+func TestConformance(t *testing.T) {
+	kittest.Conformance(t, lockfree.New())
+}
+
+func TestName(t *testing.T) {
+	if got := lockfree.New().Name(); got != "lockfree" {
+		t.Fatalf("Name = %q, want lockfree", got)
+	}
+}
+
+func TestSpinLockUnlockPanicsWhenUnlocked(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked spinLock did not panic")
+		}
+	}()
+	lockfree.New().NewLock().Unlock()
+}

@@ -1,0 +1,72 @@
+// Package all assembles the complete benchmark suite. It is the single
+// place that knows every workload, so the CLI, the report generator and the
+// public facade share one inventory.
+package all
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/workloads/barnes"
+	"repro/internal/workloads/cholesky"
+	"repro/internal/workloads/fft"
+	"repro/internal/workloads/fmm"
+	"repro/internal/workloads/lu"
+	"repro/internal/workloads/lucont"
+	"repro/internal/workloads/ocean"
+	"repro/internal/workloads/oceancont"
+	"repro/internal/workloads/radiosity"
+	"repro/internal/workloads/radix"
+	"repro/internal/workloads/raytrace"
+	"repro/internal/workloads/volrend"
+	"repro/internal/workloads/waternsq"
+	"repro/internal/workloads/waterspatial"
+)
+
+// Suite returns every benchmark in canonical order: the kernels first (with
+// both LU layouts, as the original suite ships), then the applications
+// (with both OCEAN layouts), matching the ordering the suite's papers use
+// in their tables.
+func Suite() []core.Benchmark {
+	return []core.Benchmark{
+		// Kernels.
+		cholesky.New(),
+		fft.New(),
+		lucont.New(),
+		lu.New(),
+		radix.New(),
+		// Applications.
+		barnes.New(),
+		fmm.New(),
+		oceancont.New(),
+		ocean.New(),
+		radiosity.New(),
+		raytrace.New(),
+		volrend.New(),
+		waternsq.New(),
+		waterspatial.New(),
+	}
+}
+
+// ByName returns the named benchmark, or an error listing valid names.
+func ByName(name string) (core.Benchmark, error) {
+	for _, b := range Suite() {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	names := Names()
+	sort.Strings(names)
+	return nil, fmt.Errorf("unknown benchmark %q (valid: %v)", name, names)
+}
+
+// Names returns the benchmark names in suite order.
+func Names() []string {
+	suite := Suite()
+	names := make([]string, len(suite))
+	for i, b := range suite {
+		names[i] = b.Name()
+	}
+	return names
+}

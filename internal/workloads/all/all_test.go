@@ -1,0 +1,81 @@
+package all_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/workloads/all"
+)
+
+func TestSuiteHasFourteenUniqueWorkloads(t *testing.T) {
+	suite := all.Suite()
+	if len(suite) != 14 {
+		t.Fatalf("suite has %d workloads, want 14", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, b := range suite {
+		if b.Name() == "" || b.Description() == "" {
+			t.Errorf("workload %T lacks name or description", b)
+		}
+		if seen[b.Name()] {
+			t.Errorf("duplicate name %q", b.Name())
+		}
+		seen[b.Name()] = true
+	}
+	// The canonical members.
+	for _, want := range []string{
+		"cholesky", "fft", "lu", "lu-contiguous", "radix",
+		"barnes", "fmm", "ocean", "ocean-contiguous", "radiosity",
+		"raytrace", "volrend", "water-nsquared", "water-spatial",
+	} {
+		if !seen[want] {
+			t.Errorf("suite is missing %q", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := all.ByName("fft")
+	if err != nil || b.Name() != "fft" {
+		t.Fatalf("ByName(fft) = %v, %v", b, err)
+	}
+	if _, err := all.ByName("nope"); err == nil {
+		t.Fatal("ByName accepted an unknown name")
+	}
+}
+
+func TestNamesMatchesSuiteOrder(t *testing.T) {
+	names := all.Names()
+	suite := all.Suite()
+	if len(names) != len(suite) {
+		t.Fatalf("Names() length %d != suite length %d", len(names), len(suite))
+	}
+	for i := range names {
+		if names[i] != suite[i].Name() {
+			t.Fatalf("Names()[%d] = %q, suite[%d] = %q", i, names[i], i, suite[i].Name())
+		}
+	}
+}
+
+// TestWholeSuiteIntegration runs every workload end to end at test scale
+// under the lockfree kit with an odd thread count: the suite-level smoke
+// test that everything composes.
+func TestWholeSuiteIntegration(t *testing.T) {
+	for _, b := range all.Suite() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			t.Parallel()
+			inst, err := b.Prepare(core.Config{Threads: 3, Kit: lockfree.New(), Scale: core.ScaleTest, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := inst.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if err := inst.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package barnes_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/workloads/barnes"
+	"repro/internal/workloads/workloadtest"
+)
+
+func TestCorrectAcrossKitsAndThreads(t *testing.T) {
+	workloadtest.Matrix(t, barnes.New())
+}
+
+func TestRepeatedRunsWithContention(t *testing.T) {
+	// The locked tree build is the raciest phase of the suite; hammer it.
+	for run := 0; run < 4; run++ {
+		inst, err := barnes.New().Prepare(core.Config{Threads: 12, Kit: lockfree.New(), Scale: core.ScaleTest, Seed: int64(run)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+}
+
+func TestTooManyThreadsRejected(t *testing.T) {
+	_, err := barnes.New().Prepare(core.Config{Threads: 100000, Kit: lockfree.New(), Scale: core.ScaleTest})
+	if err == nil {
+		t.Fatal("Prepare accepted more threads than bodies")
+	}
+}
+
+func TestInstanceReuseFails(t *testing.T) {
+	inst, err := barnes.New().Prepare(core.Config{Threads: 2, Kit: lockfree.New(), Scale: core.ScaleTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}

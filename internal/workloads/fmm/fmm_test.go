@@ -1,0 +1,42 @@
+package fmm_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/workloads/fmm"
+	"repro/internal/workloads/workloadtest"
+)
+
+func TestCorrectAcrossKitsAndThreads(t *testing.T) {
+	workloadtest.Matrix(t, fmm.New())
+}
+
+func TestDifferentDistributions(t *testing.T) {
+	for _, seed := range []int64{0, 5, 1234} {
+		inst, err := fmm.New().Prepare(core.Config{Threads: 7, Kit: lockfree.New(), Scale: core.ScaleTest, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestInstanceReuseFails(t *testing.T) {
+	inst, err := fmm.New().Prepare(core.Config{Threads: 2, Kit: lockfree.New(), Scale: core.ScaleTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}

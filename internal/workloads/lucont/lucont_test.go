@@ -1,0 +1,42 @@
+package lucont_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sync4/classic"
+	"repro/internal/workloads/lucont"
+	"repro/internal/workloads/workloadtest"
+)
+
+func TestCorrectAcrossKitsAndThreads(t *testing.T) {
+	workloadtest.Matrix(t, lucont.New())
+}
+
+func TestSeedsFactorCorrectly(t *testing.T) {
+	for _, seed := range []int64{0, 3, -9} {
+		inst, err := lucont.New().Prepare(core.Config{Threads: 5, Kit: classic.New(), Scale: core.ScaleTest, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestInstanceReuseFails(t *testing.T) {
+	inst, err := lucont.New().Prepare(core.Config{Threads: 1, Kit: classic.New(), Scale: core.ScaleTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}

@@ -1,0 +1,66 @@
+package ocean_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/workloads/ocean"
+	"repro/internal/workloads/workloadtest"
+)
+
+func TestCorrectAcrossKitsAndThreads(t *testing.T) {
+	workloadtest.Matrix(t, ocean.New())
+}
+
+func TestConvergesFromDifferentSeeds(t *testing.T) {
+	// The grid is seed-independent (deterministic f), but Prepare must be
+	// robust to arbitrary seeds anyway.
+	for _, seed := range []int64{0, 1, -3} {
+		inst, err := ocean.New().Prepare(core.Config{Threads: 3, Kit: lockfree.New(), Scale: core.ScaleTest, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestThreadCountDoesNotChangeConvergence(t *testing.T) {
+	// Multigrid's V-cycle count is independent of the partition: every
+	// thread count must converge in the same number of cycles.
+	type cycler interface{ Cycles() int }
+	var want int
+	for i, threads := range []int{1, 2, 5, 8} {
+		inst, err := ocean.New().Prepare(core.Config{Threads: threads, Kit: classic.New(), Scale: core.ScaleTest, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got := inst.(cycler).Cycles()
+		if i == 0 {
+			want = got
+			if want <= 0 || want > 40 {
+				t.Fatalf("implausible V-cycle count %d", want)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("threads=%d converged in %d cycles, single thread needed %d", threads, got, want)
+		}
+	}
+}
+
+func TestTooManyThreadsRejected(t *testing.T) {
+	_, err := ocean.New().Prepare(core.Config{Threads: 100000, Kit: classic.New(), Scale: core.ScaleTest})
+	if err == nil {
+		t.Fatal("Prepare accepted more threads than grid rows")
+	}
+}

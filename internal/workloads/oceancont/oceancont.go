@@ -1,0 +1,118 @@
+// Package oceancont implements the Ocean-Contiguous variant: the same
+// multigrid solve as package ocean, but with the original suite's
+// "contiguous partitions" layout — on every grid level, each thread's band
+// of rows lives in its own contiguous allocation, so a worker smooths
+// memory it owns and only touches neighbors' storage at band edges. The
+// suite ships both layouts because the locality difference is one of the
+// things it characterizes.
+//
+// Synchronization is identical to package ocean: barrier-separated
+// red-black half-sweeps, restrictions and prolongations on every level,
+// plus a per-cycle global residual reduction.
+//
+// Scale mapping (interior grid): test 63^2, small 127^2, default 255^2,
+// large 511^2 (2^k - 1 interiors; see package ocean).
+package oceancont
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workloads/mgcommon"
+)
+
+// Benchmark is the Ocean-Contiguous descriptor.
+type Benchmark struct{}
+
+// New returns the Ocean-Contiguous benchmark.
+func New() Benchmark { return Benchmark{} }
+
+// Name implements core.Benchmark.
+func (Benchmark) Name() string { return "ocean-contiguous" }
+
+// Description implements core.Benchmark.
+func (Benchmark) Description() string {
+	return "multigrid elliptic solver, per-thread contiguous row bands (app)"
+}
+
+func gridSize(s core.Scale) int {
+	switch s {
+	case core.ScaleTest:
+		return 63
+	case core.ScaleSmall:
+		return 127
+	case core.ScaleDefault:
+		return 255
+	case core.ScaleLarge:
+		return 511
+	default:
+		return 255
+	}
+}
+
+// Prepare implements core.Benchmark.
+func (Benchmark) Prepare(cfg core.Config) (core.Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := gridSize(cfg.Scale)
+	if cfg.Threads > n {
+		return nil, fmt.Errorf("oceancont: threads (%d) exceed grid rows (%d)", cfg.Threads, n)
+	}
+	// Contiguous partitions: on each level, the rows a thread owns come
+	// from that thread's own allocation; the two boundary rows get their
+	// own slices. Row pointers give the shared engine uniform access.
+	alloc := func(sz int) [][]float64 {
+		width := sz + 2
+		rows := make([][]float64, width)
+		rows[0] = make([]float64, width)
+		rows[sz+1] = make([]float64, width)
+		for tid := 0; tid < cfg.Threads; tid++ {
+			lo, hi := core.BlockRange(tid, cfg.Threads, sz)
+			if hi == lo {
+				continue
+			}
+			band := make([]float64, (hi-lo)*width)
+			for r := lo; r < hi; r++ {
+				rows[r+1], band = band[:width:width], band[width:]
+			}
+		}
+		return rows
+	}
+	return &instance{
+		threads: cfg.Threads,
+		n:       n,
+		solver:  mgcommon.NewSolver(n, cfg.Threads, cfg.Kit, alloc, mgcommon.FillSinRHS),
+	}, nil
+}
+
+type instance struct {
+	threads int
+	n       int
+	solver  *mgcommon.Solver
+	ran     bool
+}
+
+// Run implements core.Instance.
+func (in *instance) Run() error {
+	if in.ran {
+		return fmt.Errorf("oceancont: instance reused")
+	}
+	in.ran = true
+	core.Parallel(in.threads, in.solver.Solve)
+	if !in.solver.Converged() {
+		return fmt.Errorf("oceancont: no convergence within %d V-cycles", in.solver.Cycles())
+	}
+	return nil
+}
+
+// Verify implements core.Instance: see mgcommon.VerifyPoisson.
+func (in *instance) Verify() error {
+	if !in.ran {
+		return fmt.Errorf("oceancont: verify before run")
+	}
+	return mgcommon.VerifyPoisson(in.solver)
+}
+
+// Cycles returns how many V-cycles the last Run needed (test hook).
+func (in *instance) Cycles() int { return in.solver.Cycles() }

@@ -1,0 +1,58 @@
+package oceancont_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sync4/classic"
+	"repro/internal/workloads/ocean"
+	"repro/internal/workloads/oceancont"
+	"repro/internal/workloads/workloadtest"
+)
+
+func TestCorrectAcrossKitsAndThreads(t *testing.T) {
+	workloadtest.Matrix(t, oceancont.New())
+}
+
+func TestMatchesNonContiguousVariantCycleCount(t *testing.T) {
+	// Both layouts run the same numerical algorithm, so they must
+	// converge in exactly the same number of V-cycles.
+	type cycler interface{ Cycles() int }
+	run := func(b core.Benchmark, threads int) int {
+		inst, err := b.Prepare(core.Config{Threads: threads, Kit: classic.New(), Scale: core.ScaleTest, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return inst.(cycler).Cycles()
+	}
+	for _, threads := range []int{1, 4} {
+		a := run(ocean.New(), threads)
+		b := run(oceancont.New(), threads)
+		if a != b {
+			t.Fatalf("threads=%d: ocean %d cycles, ocean-contiguous %d cycles", threads, a, b)
+		}
+	}
+}
+
+func TestBandPartitioningOddThreadCounts(t *testing.T) {
+	// Thread counts that do not divide the row count stress the band
+	// allocation; threads beyond the rows must be rejected.
+	for _, threads := range []int{3, 7, 13} {
+		inst, err := oceancont.New().Prepare(core.Config{Threads: threads, Kit: classic.New(), Scale: core.ScaleTest, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+	}
+	if _, err := oceancont.New().Prepare(core.Config{Threads: 100000, Kit: classic.New(), Scale: core.ScaleTest}); err == nil {
+		t.Fatal("accepted more threads than rows")
+	}
+}

@@ -1,0 +1,45 @@
+package radiosity_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/workloads/radiosity"
+	"repro/internal/workloads/workloadtest"
+)
+
+func TestCorrectAcrossKitsAndThreads(t *testing.T) {
+	workloadtest.Matrix(t, radiosity.New())
+}
+
+func TestExactDeterminismUnderContention(t *testing.T) {
+	// Verify() demands exact equality with a sequential replay; repeated
+	// contended runs must all match it.
+	for run := 0; run < 3; run++ {
+		inst, err := radiosity.New().Prepare(core.Config{Threads: 10, Kit: lockfree.New(), Scale: core.ScaleTest, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+}
+
+func TestInstanceReuseFails(t *testing.T) {
+	inst, err := radiosity.New().Prepare(core.Config{Threads: 2, Kit: classic.New(), Scale: core.ScaleTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}

@@ -1,0 +1,60 @@
+package radix_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/workloads/radix"
+	"repro/internal/workloads/workloadtest"
+)
+
+func TestCorrectAcrossKitsAndThreads(t *testing.T) {
+	workloadtest.Matrix(t, radix.New())
+}
+
+func TestDifferentSeedsStillSort(t *testing.T) {
+	for _, seed := range []int64{0, 2, 99, -7} {
+		inst, err := radix.New().Prepare(core.Config{Threads: 4, Kit: lockfree.New(), Scale: core.ScaleTest, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestManyThreadsOddCounts(t *testing.T) {
+	// Thread counts that do not divide the key count exercise the
+	// BlockRange remainders and the per-thread offset computation.
+	for _, threads := range []int{5, 11, 13, 31} {
+		inst, err := radix.New().Prepare(core.Config{Threads: threads, Kit: classic.New(), Scale: core.ScaleTest, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+	}
+}
+
+func TestInstanceReuseFails(t *testing.T) {
+	inst, err := radix.New().Prepare(core.Config{Threads: 1, Kit: classic.New(), Scale: core.ScaleTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}

@@ -1,0 +1,43 @@
+package raytrace_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/workloads/raytrace"
+	"repro/internal/workloads/workloadtest"
+)
+
+func TestCorrectAcrossKitsAndThreads(t *testing.T) {
+	workloadtest.Matrix(t, raytrace.New())
+}
+
+func TestDifferentScenesRender(t *testing.T) {
+	for _, seed := range []int64{0, 8, 99} {
+		inst, err := raytrace.New().Prepare(core.Config{Threads: 6, Kit: lockfree.New(), Scale: core.ScaleTest, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestInstanceReuseFails(t *testing.T) {
+	inst, err := raytrace.New().Prepare(core.Config{Threads: 2, Kit: classic.New(), Scale: core.ScaleTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}

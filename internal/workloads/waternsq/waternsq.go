@@ -1,0 +1,247 @@
+// Package waternsq implements the WATER-NSQUARED application: molecular
+// dynamics with an O(n^2) all-pairs force computation, velocity-Verlet
+// integration, and the suite's signature synchronization pattern — every
+// step each thread folds its privately accumulated force contributions into
+// shared per-molecule force cells. Splash-3 guards each cell with a
+// per-molecule lock; Splash-4 replaces the lock/update/unlock with an atomic
+// CAS accumulation. Here the cells are sync4.Accumulator values, so the same
+// code runs both ways.
+//
+// Fidelity note (see DESIGN.md): molecules are single Lennard-Jones sites in
+// reduced units rather than three-site rigid water with a predictor-
+// corrector; the pair interaction, the per-molecule merge, the global
+// potential/kinetic energy reductions and the barrier schedule are the
+// original's. Energy and momentum conservation make the physics verifiable.
+//
+// Scale mapping (molecules/steps): test 64/3, small 216/3, default 512/3
+// (512 molecules is the Splash default input), large 1000/5.
+package waternsq
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sync4"
+	"repro/internal/workloads/mdcommon"
+)
+
+// Benchmark is the WATER-NSQUARED descriptor.
+type Benchmark struct{}
+
+// New returns the WATER-NSQUARED benchmark.
+func New() Benchmark { return Benchmark{} }
+
+// Name implements core.Benchmark.
+func (Benchmark) Name() string { return "water-nsquared" }
+
+// Description implements core.Benchmark.
+func (Benchmark) Description() string {
+	return "O(n^2) molecular dynamics with per-molecule force merges (app)"
+}
+
+func params(s core.Scale) (n, steps int) {
+	switch s {
+	case core.ScaleTest:
+		return 64, 3
+	case core.ScaleSmall:
+		return 216, 3
+	case core.ScaleDefault:
+		return 512, 3
+	case core.ScaleLarge:
+		return 1000, 5
+	default:
+		return 512, 3
+	}
+}
+
+// Prepare implements core.Benchmark.
+func (Benchmark) Prepare(cfg core.Config) (core.Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n, steps := params(cfg.Scale)
+	if cfg.Threads > n {
+		return nil, fmt.Errorf("waternsq: threads (%d) exceed molecules (%d)", cfg.Threads, n)
+	}
+	return newInstance(n, steps, cfg), nil
+}
+
+type instance struct {
+	threads int
+	n       int
+	steps   int
+	box     float64
+	rc      float64
+	vShift  float64
+
+	x, v  []float64 // 3n positions and velocities
+	force []float64 // 3n merged forces for the current positions
+	priv  [][]float64
+
+	fAcc  []sync4.Accumulator // 3n shared force cells (the contended merge)
+	peAcc []sync4.Accumulator // per-step potential energy
+	keAcc []sync4.Accumulator // per-step kinetic energy
+	pAcc  []sync4.Accumulator // per-step 3-component momentum
+
+	barrier sync4.Barrier
+
+	pe0, ke0 float64 // initial energies for the conservation check
+	ran      bool
+}
+
+func newInstance(n, steps int, cfg core.Config) *instance {
+	box := mdcommon.Box(n)
+	rc := mdcommon.Cutoff(box)
+	in := &instance{
+		threads: cfg.Threads,
+		n:       n,
+		steps:   steps,
+		box:     box,
+		rc:      rc,
+		vShift:  mdcommon.VShift(rc),
+		x:       make([]float64, 3*n),
+		v:       make([]float64, 3*n),
+		force:   make([]float64, 3*n),
+		priv:    make([][]float64, cfg.Threads),
+		fAcc:    make([]sync4.Accumulator, 3*n),
+		peAcc:   make([]sync4.Accumulator, steps),
+		keAcc:   make([]sync4.Accumulator, steps),
+		pAcc:    make([]sync4.Accumulator, 3*steps),
+		barrier: cfg.Kit.NewBarrier(cfg.Threads),
+	}
+	for t := range in.priv {
+		in.priv[t] = make([]float64, 3*n)
+	}
+	for i := range in.fAcc {
+		in.fAcc[i] = cfg.Kit.NewAccumulator()
+	}
+	for s := 0; s < steps; s++ {
+		in.peAcc[s] = cfg.Kit.NewAccumulator()
+		in.keAcc[s] = cfg.Kit.NewAccumulator()
+		for d := 0; d < 3; d++ {
+			in.pAcc[3*s+d] = cfg.Kit.NewAccumulator()
+		}
+	}
+
+	mdcommon.InitState(in.x, in.v, n, box, cfg.Seed)
+	in.pe0 = mdcommon.Potential(in.x, n, box, rc, in.vShift)
+	mdcommon.ComputeForces(in.x, in.force, n, box, rc)
+	for i := 0; i < 3*n; i++ {
+		in.ke0 += 0.5 * in.v[i] * in.v[i]
+	}
+	return in
+}
+
+// Run implements core.Instance.
+func (in *instance) Run() error {
+	if in.ran {
+		return fmt.Errorf("waternsq: instance reused")
+	}
+	in.ran = true
+	core.Parallel(in.threads, in.worker)
+	return nil
+}
+
+func (in *instance) worker(tid int) {
+	n := in.n
+	lo, hi := core.BlockRange(tid, in.threads, n)
+	priv := in.priv[tid]
+	dt := mdcommon.Dt
+
+	for s := 0; s < in.steps; s++ {
+		// Half-kick and drift for owned molecules.
+		for i := lo; i < hi; i++ {
+			for d := 0; d < 3; d++ {
+				in.v[3*i+d] += 0.5 * dt * in.force[3*i+d]
+				in.x[3*i+d] = mdcommon.Wrap(in.x[3*i+d]+dt*in.v[3*i+d], in.box)
+			}
+		}
+		in.barrier.Wait()
+
+		// All-pairs forces. Outer molecules are distributed cyclically
+		// because the inner loop shrinks with i; contributions land in
+		// the thread-private array.
+		for i := range priv {
+			priv[i] = 0
+		}
+		var pe float64
+		for i := tid; i < n; i += in.threads {
+			pe += mdcommon.RowForces(in.x, priv, i, n, in.box, in.rc, in.vShift)
+		}
+		in.peAcc[s].Add(pe)
+
+		// The merge: fold private contributions into the shared
+		// per-molecule cells. This is the construct the paper
+		// rewrites: LOCK(mol[i]) ... UNLOCK in Splash-3, atomic CAS
+		// accumulation in Splash-4.
+		for i := 0; i < 3*n; i++ {
+			if priv[i] != 0 {
+				in.fAcc[i].Add(priv[i])
+			}
+		}
+		in.barrier.Wait()
+
+		// Publish merged forces for owned molecules and reset the
+		// cells for the next step (safe: only the owner touches them
+		// between barriers).
+		for i := 3 * lo; i < 3*hi; i++ {
+			in.force[i] = in.fAcc[i].Load()
+			in.fAcc[i].Store(0)
+		}
+		// Second half-kick plus kinetic-energy and momentum
+		// reductions.
+		var ke float64
+		var p [3]float64
+		for i := lo; i < hi; i++ {
+			for d := 0; d < 3; d++ {
+				in.v[3*i+d] += 0.5 * dt * in.force[3*i+d]
+				ke += 0.5 * in.v[3*i+d] * in.v[3*i+d]
+				p[d] += in.v[3*i+d]
+			}
+		}
+		in.keAcc[s].Add(ke)
+		for d := 0; d < 3; d++ {
+			in.pAcc[3*s+d].Add(p[d])
+		}
+		in.barrier.Wait()
+	}
+}
+
+// Verify implements core.Instance: momentum conservation, energy
+// conservation, agreement of the reduced potential energy with a sequential
+// recomputation, and agreement of the merged forces with a sequential force
+// oracle at the final positions.
+func (in *instance) Verify() error {
+	if !in.ran {
+		return fmt.Errorf("waternsq: verify before run")
+	}
+	last := in.steps - 1
+
+	for d := 0; d < 3; d++ {
+		if p := in.pAcc[3*last+d].Load(); math.Abs(p) > 1e-7*float64(in.n) {
+			return fmt.Errorf("waternsq: momentum[%d] drifted to %g", d, p)
+		}
+	}
+
+	e0 := in.pe0 + in.ke0
+	e1 := in.peAcc[last].Load() + in.keAcc[last].Load()
+	if drift := math.Abs(e1-e0) / math.Max(math.Abs(e0), 1); drift > 0.05 {
+		return fmt.Errorf("waternsq: energy drift %.3f%% (E0=%g, E1=%g)", drift*100, e0, e1)
+	}
+
+	peWant := mdcommon.Potential(in.x, in.n, in.box, in.rc, in.vShift)
+	peGot := in.peAcc[last].Load()
+	if math.Abs(peGot-peWant) > 1e-6*math.Max(math.Abs(peWant), 1) {
+		return fmt.Errorf("waternsq: reduced PE %g != recomputed %g", peGot, peWant)
+	}
+
+	want := make([]float64, 3*in.n)
+	mdcommon.ComputeForces(in.x, want, in.n, in.box, in.rc)
+	for i := range want {
+		if d := math.Abs(in.force[i] - want[i]); d > 1e-7*math.Max(math.Abs(want[i]), 1) {
+			return fmt.Errorf("waternsq: force[%d] = %g, oracle %g", i, in.force[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package waternsq_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/workloads/waternsq"
+	"repro/internal/workloads/workloadtest"
+)
+
+func TestCorrectAcrossKitsAndThreads(t *testing.T) {
+	workloadtest.Matrix(t, waternsq.New())
+}
+
+func TestSeedsVaryButConserve(t *testing.T) {
+	for _, seed := range []int64{2, 17, 100} {
+		inst, err := waternsq.New().Prepare(core.Config{Threads: 4, Kit: lockfree.New(), Scale: core.ScaleTest, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestTooManyThreadsRejected(t *testing.T) {
+	_, err := waternsq.New().Prepare(core.Config{Threads: 1000, Kit: lockfree.New(), Scale: core.ScaleTest})
+	if err == nil {
+		t.Fatal("Prepare accepted more threads than molecules")
+	}
+}
+
+func TestInstanceReuseFails(t *testing.T) {
+	inst, err := waternsq.New().Prepare(core.Config{Threads: 2, Kit: lockfree.New(), Scale: core.ScaleTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}

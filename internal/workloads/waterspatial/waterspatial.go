@@ -1,0 +1,341 @@
+// Package waterspatial implements the WATER-SPATIAL application: the same
+// molecular dynamics as WATER-NSQUARED, but with a 3-D cell-list spatial
+// decomposition so force computation touches only neighboring cells.
+//
+// Its synchronization signature differs from the O(n^2) version in one
+// construct: the cell lists are rebuilt every step by concurrent insertion,
+// guarded by a per-cell lock (Splash-3 LOCK macros on each box; Splash-4
+// turns the list push into an atomic exchange — here both come from the
+// kit, a mutex or a spinlock). The per-molecule force merge and the global
+// energy/momentum reductions are shared with WATER-NSQUARED.
+//
+// Scale mapping (molecules/steps): test 64/3, small 216/3, default 512/3,
+// large 1728/5.
+package waterspatial
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sync4"
+	"repro/internal/workloads/mdcommon"
+)
+
+// Benchmark is the WATER-SPATIAL descriptor.
+type Benchmark struct{}
+
+// New returns the WATER-SPATIAL benchmark.
+func New() Benchmark { return Benchmark{} }
+
+// Name implements core.Benchmark.
+func (Benchmark) Name() string { return "water-spatial" }
+
+// Description implements core.Benchmark.
+func (Benchmark) Description() string {
+	return "cell-list molecular dynamics with per-cell insertion locks (app)"
+}
+
+func params(s core.Scale) (n, steps int) {
+	switch s {
+	case core.ScaleTest:
+		return 64, 3
+	case core.ScaleSmall:
+		return 216, 3
+	case core.ScaleDefault:
+		return 512, 3
+	case core.ScaleLarge:
+		return 1728, 5
+	default:
+		return 512, 3
+	}
+}
+
+// Prepare implements core.Benchmark.
+func (Benchmark) Prepare(cfg core.Config) (core.Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n, steps := params(cfg.Scale)
+	if cfg.Threads > n {
+		return nil, fmt.Errorf("waterspatial: threads (%d) exceed molecules (%d)", cfg.Threads, n)
+	}
+	return newInstance(n, steps, cfg), nil
+}
+
+type instance struct {
+	threads int
+	n       int
+	steps   int
+	box     float64
+	rc      float64
+	vShift  float64
+
+	m        int // cells per dimension
+	ncells   int
+	cellSize float64
+	head     []int32 // cell -> first molecule, -1 when empty
+	next     []int32 // molecule -> next in its cell
+	nbr      [][]int32
+	cellLock []sync4.Locker
+
+	x, v  []float64
+	force []float64
+	priv  [][]float64
+
+	fAcc  []sync4.Accumulator
+	peAcc []sync4.Accumulator
+	keAcc []sync4.Accumulator
+	pAcc  []sync4.Accumulator
+
+	barrier sync4.Barrier
+
+	pe0, ke0 float64
+	ran      bool
+}
+
+func newInstance(n, steps int, cfg core.Config) *instance {
+	box := mdcommon.Box(n)
+	rc := mdcommon.Cutoff(box)
+	m := int(box / rc)
+	if m < 1 {
+		m = 1
+	}
+	in := &instance{
+		threads:  cfg.Threads,
+		n:        n,
+		steps:    steps,
+		box:      box,
+		rc:       rc,
+		vShift:   mdcommon.VShift(rc),
+		m:        m,
+		ncells:   m * m * m,
+		cellSize: box / float64(m),
+		x:        make([]float64, 3*n),
+		v:        make([]float64, 3*n),
+		force:    make([]float64, 3*n),
+		priv:     make([][]float64, cfg.Threads),
+		fAcc:     make([]sync4.Accumulator, 3*n),
+		peAcc:    make([]sync4.Accumulator, steps),
+		keAcc:    make([]sync4.Accumulator, steps),
+		pAcc:     make([]sync4.Accumulator, 3*steps),
+		barrier:  cfg.Kit.NewBarrier(cfg.Threads),
+	}
+	in.head = make([]int32, in.ncells)
+	in.next = make([]int32, n)
+	in.cellLock = make([]sync4.Locker, in.ncells)
+	for c := range in.cellLock {
+		in.cellLock[c] = cfg.Kit.NewLock()
+	}
+	in.buildNeighborLists()
+
+	for t := range in.priv {
+		in.priv[t] = make([]float64, 3*n)
+	}
+	for i := range in.fAcc {
+		in.fAcc[i] = cfg.Kit.NewAccumulator()
+	}
+	for s := 0; s < steps; s++ {
+		in.peAcc[s] = cfg.Kit.NewAccumulator()
+		in.keAcc[s] = cfg.Kit.NewAccumulator()
+		for d := 0; d < 3; d++ {
+			in.pAcc[3*s+d] = cfg.Kit.NewAccumulator()
+		}
+	}
+
+	mdcommon.InitState(in.x, in.v, n, box, cfg.Seed)
+	in.pe0 = mdcommon.Potential(in.x, n, box, rc, in.vShift)
+	mdcommon.ComputeForces(in.x, in.force, n, box, rc)
+	for i := 0; i < 3*n; i++ {
+		in.ke0 += 0.5 * in.v[i] * in.v[i]
+	}
+	return in
+}
+
+// buildNeighborLists precomputes, for every cell, the distinct neighbor cell
+// ids greater than its own id. Visiting (cell, neighbor>cell) pairs plus
+// intra-cell pairs covers every interacting pair exactly once, even when the
+// periodic wrap makes several of the 26 lattice neighbors coincide (small
+// m). Cell ids above the own id keep the ordering canonical.
+func (in *instance) buildNeighborLists() {
+	m := in.m
+	in.nbr = make([][]int32, in.ncells)
+	id := func(a, b, c int) int32 {
+		a = ((a % m) + m) % m
+		b = ((b % m) + m) % m
+		c = ((c % m) + m) % m
+		return int32((a*m+b)*m + c)
+	}
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			for c := 0; c < m; c++ {
+				own := id(a, b, c)
+				seen := map[int32]bool{own: true}
+				var list []int32
+				for da := -1; da <= 1; da++ {
+					for db := -1; db <= 1; db++ {
+						for dc := -1; dc <= 1; dc++ {
+							t := id(a+da, b+db, c+dc)
+							if t > own && !seen[t] {
+								seen[t] = true
+								list = append(list, t)
+							}
+						}
+					}
+				}
+				in.nbr[own] = list
+			}
+		}
+	}
+}
+
+// cellOf maps a position to its cell id.
+func (in *instance) cellOf(i int) int32 {
+	cx := int(in.x[3*i] / in.cellSize)
+	cy := int(in.x[3*i+1] / in.cellSize)
+	cz := int(in.x[3*i+2] / in.cellSize)
+	if cx >= in.m {
+		cx = in.m - 1
+	}
+	if cy >= in.m {
+		cy = in.m - 1
+	}
+	if cz >= in.m {
+		cz = in.m - 1
+	}
+	return int32((cx*in.m+cy)*in.m + cz)
+}
+
+// Run implements core.Instance.
+func (in *instance) Run() error {
+	if in.ran {
+		return fmt.Errorf("waterspatial: instance reused")
+	}
+	in.ran = true
+	core.Parallel(in.threads, in.worker)
+	return nil
+}
+
+func (in *instance) worker(tid int) {
+	n := in.n
+	molLo, molHi := core.BlockRange(tid, in.threads, n)
+	cellLo, cellHi := core.BlockRange(tid, in.threads, in.ncells)
+	priv := in.priv[tid]
+	dt := mdcommon.Dt
+
+	for s := 0; s < in.steps; s++ {
+		// Integrate and move owned molecules.
+		for i := molLo; i < molHi; i++ {
+			for d := 0; d < 3; d++ {
+				in.v[3*i+d] += 0.5 * dt * in.force[3*i+d]
+				in.x[3*i+d] = mdcommon.Wrap(in.x[3*i+d]+dt*in.v[3*i+d], in.box)
+			}
+		}
+		in.barrier.Wait()
+
+		// Rebuild cell lists: owners clear their cells, then each
+		// thread pushes its molecules under the destination cell's
+		// lock.
+		for c := cellLo; c < cellHi; c++ {
+			in.head[c] = -1
+		}
+		in.barrier.Wait()
+		for i := molLo; i < molHi; i++ {
+			c := in.cellOf(i)
+			l := in.cellLock[c]
+			l.Lock()
+			in.next[i] = in.head[c]
+			in.head[c] = int32(i)
+			l.Unlock()
+		}
+		in.barrier.Wait()
+
+		// Forces over owned cells: intra-cell pairs plus pairs with
+		// each greater-id neighbor cell.
+		for i := range priv {
+			priv[i] = 0
+		}
+		var pe float64
+		for c := cellLo; c < cellHi; c++ {
+			for i := in.head[c]; i >= 0; i = in.next[i] {
+				for j := in.next[i]; j >= 0; j = in.next[j] {
+					pe += mdcommon.PairInteraction(in.x, priv, int(i), int(j), in.box, in.rc, in.vShift)
+				}
+			}
+			for _, c2 := range in.nbr[c] {
+				for i := in.head[c]; i >= 0; i = in.next[i] {
+					for j := in.head[c2]; j >= 0; j = in.next[j] {
+						pe += mdcommon.PairInteraction(in.x, priv, int(i), int(j), in.box, in.rc, in.vShift)
+					}
+				}
+			}
+		}
+		in.peAcc[s].Add(pe)
+
+		// Per-molecule force merge (see waternsq).
+		for i := 0; i < 3*n; i++ {
+			if priv[i] != 0 {
+				in.fAcc[i].Add(priv[i])
+			}
+		}
+		in.barrier.Wait()
+
+		// Publish forces, reset cells, second half-kick, reductions.
+		for i := 3 * molLo; i < 3*molHi; i++ {
+			in.force[i] = in.fAcc[i].Load()
+			in.fAcc[i].Store(0)
+		}
+		var ke float64
+		var p [3]float64
+		for i := molLo; i < molHi; i++ {
+			for d := 0; d < 3; d++ {
+				in.v[3*i+d] += 0.5 * dt * in.force[3*i+d]
+				ke += 0.5 * in.v[3*i+d] * in.v[3*i+d]
+				p[d] += in.v[3*i+d]
+			}
+		}
+		in.keAcc[s].Add(ke)
+		for d := 0; d < 3; d++ {
+			in.pAcc[3*s+d].Add(p[d])
+		}
+		in.barrier.Wait()
+	}
+}
+
+// Verify implements core.Instance: the cell-list force computation must
+// reproduce the all-pairs oracle exactly (the cell size is >= the cutoff, so
+// the pair sets are identical), plus the same conservation checks as
+// WATER-NSQUARED.
+func (in *instance) Verify() error {
+	if !in.ran {
+		return fmt.Errorf("waterspatial: verify before run")
+	}
+	last := in.steps - 1
+
+	for d := 0; d < 3; d++ {
+		if p := in.pAcc[3*last+d].Load(); math.Abs(p) > 1e-7*float64(in.n) {
+			return fmt.Errorf("waterspatial: momentum[%d] drifted to %g", d, p)
+		}
+	}
+
+	e0 := in.pe0 + in.ke0
+	e1 := in.peAcc[last].Load() + in.keAcc[last].Load()
+	if drift := math.Abs(e1-e0) / math.Max(math.Abs(e0), 1); drift > 0.05 {
+		return fmt.Errorf("waterspatial: energy drift %.3f%% (E0=%g, E1=%g)", drift*100, e0, e1)
+	}
+
+	peWant := mdcommon.Potential(in.x, in.n, in.box, in.rc, in.vShift)
+	peGot := in.peAcc[last].Load()
+	if math.Abs(peGot-peWant) > 1e-6*math.Max(math.Abs(peWant), 1) {
+		return fmt.Errorf("waterspatial: reduced PE %g != recomputed %g", peGot, peWant)
+	}
+
+	want := make([]float64, 3*in.n)
+	mdcommon.ComputeForces(in.x, want, in.n, in.box, in.rc)
+	for i := range want {
+		if d := math.Abs(in.force[i] - want[i]); d > 1e-7*math.Max(math.Abs(want[i]), 1) {
+			return fmt.Errorf("waterspatial: force[%d] = %g, oracle %g", i, in.force[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package waterspatial_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/workloads/waterspatial"
+	"repro/internal/workloads/workloadtest"
+)
+
+func TestCorrectAcrossKitsAndThreads(t *testing.T) {
+	workloadtest.Matrix(t, waterspatial.New())
+}
+
+func TestCellMethodMatchesAllPairsOracle(t *testing.T) {
+	// Verify() compares against the O(n^2) oracle; exercising it across
+	// both kits at an awkward thread count is the integration check that
+	// the cell decomposition loses no pairs.
+	for _, kit := range workloadtest.Kits() {
+		inst, err := waterspatial.New().Prepare(core.Config{Threads: 5, Kit: kit, Scale: core.ScaleTest, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("kit %s: %v", kit.Name(), err)
+		}
+	}
+}
+
+func TestSeedsVaryButConserve(t *testing.T) {
+	for _, seed := range []int64{5, 23} {
+		inst, err := waterspatial.New().Prepare(core.Config{Threads: 6, Kit: lockfree.New(), Scale: core.ScaleTest, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestInstanceReuseFails(t *testing.T) {
+	inst, err := waterspatial.New().Prepare(core.Config{Threads: 2, Kit: classic.New(), Scale: core.ScaleTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}

@@ -1,0 +1,60 @@
+// Package workloadtest provides the shared correctness matrix every
+// workload's tests run: prepare, run and verify at test scale, under both
+// synchronization kits and a spread of thread counts (including counts that
+// do not divide the problem size and counts above GOMAXPROCS).
+package workloadtest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sync4"
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/lockfree"
+)
+
+// Kits returns the two kits of the suite comparison.
+func Kits() []sync4.Kit {
+	return []sync4.Kit{classic.New(), lockfree.New()}
+}
+
+// DefaultThreads is the thread matrix used by Matrix.
+var DefaultThreads = []int{1, 2, 3, 7, 16}
+
+// Matrix runs b at ScaleTest under every kit and thread count and fails the
+// test on any prepare/run/verify error.
+func Matrix(t *testing.T, b core.Benchmark) {
+	t.Helper()
+	MatrixThreads(t, b, DefaultThreads)
+}
+
+// MatrixThreads is Matrix with an explicit thread list, for workloads whose
+// test scale caps the usable parallelism.
+func MatrixThreads(t *testing.T, b core.Benchmark, threads []int) {
+	t.Helper()
+	for _, kit := range Kits() {
+		for _, n := range threads {
+			kit, n := kit, n
+			t.Run(fmt.Sprintf("%s/t%d", kit.Name(), n), func(t *testing.T) {
+				t.Parallel()
+				RunOnce(t, b, kit, n)
+			})
+		}
+	}
+}
+
+// RunOnce runs one prepare/run/verify cycle at ScaleTest and reports errors.
+func RunOnce(t *testing.T, b core.Benchmark, kit sync4.Kit, threads int) {
+	t.Helper()
+	inst, err := b.Prepare(core.Config{Threads: threads, Kit: kit, Scale: core.ScaleTest, Seed: 1})
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	if err := inst.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}

@@ -1,0 +1,28 @@
+package splash4
+
+import (
+	"repro/internal/splashmacros"
+	"repro/internal/sync4"
+)
+
+// The ANL/PARMACS macro surface: the vocabulary the original Splash C
+// sources are written in, for porting further Splash-style code onto the
+// kits. See internal/splashmacros for the macro-by-macro mapping.
+
+// MacroEnv is the macro environment (MAIN_INITENV): thread count plus kit.
+type MacroEnv = splashmacros.Env
+
+// Alock is an array of locks (ALOCKDEC/ALOCK/AULOCK).
+type Alock = splashmacros.Alock
+
+// Gsum is the global-sum reduction idiom.
+type Gsum = splashmacros.Gsum
+
+// Pause is the SETPAUSE/WAITPAUSE/CLEARPAUSE event.
+type Pause = splashmacros.Pause
+
+// NewMacroEnv builds a macro environment for the given worker count and
+// kit.
+func NewMacroEnv(threads int, kit sync4.Kit) (*MacroEnv, error) {
+	return splashmacros.NewEnv(threads, kit)
+}

@@ -1,0 +1,19 @@
+package splash4
+
+import "repro/internal/perfmodel"
+
+// Machine is the analytical cost model that stands in for the paper's gem5
+// simulations: it prices a run's synchronization-event census under
+// parameterizable per-construct costs. See internal/perfmodel.
+type Machine = perfmodel.Machine
+
+// Estimate is a Machine's modeled breakdown of one measured run.
+type Estimate = perfmodel.Estimate
+
+// IceLakeLike returns a machine model loosely shaped after the simulated
+// Intel Ice Lake server used in the paper.
+func IceLakeLike() Machine { return perfmodel.IceLakeLike() }
+
+// EpycLike returns a machine model loosely shaped after the AMD EPYC 7002
+// (Rome) machine used in the paper.
+func EpycLike() Machine { return perfmodel.EpycLike() }
