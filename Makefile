@@ -1,0 +1,32 @@
+# Build/verify entry points for the splash4 reproduction.
+#
+#   make check   tier-1 gate: build, go vet, splash4-vet concurrency
+#                invariants, full test suite
+#   make race    tier-2 gate: the whole suite under the Go race detector
+#   make vet     just the concurrency-invariant analyzers (splash4-vet)
+#   make bench   the testing.B experiment targets
+
+GO ?= go
+
+.PHONY: check vet race test build bench
+
+check: build
+	$(GO) vet ./...
+	$(GO) run ./cmd/splash4-vet ./...
+	$(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/splash4-vet ./...
+
+race:
+	$(GO) test -race ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,115 @@
+// Command splash4-vet runs the suite's concurrency-invariant analyzers over
+// Go packages of this module. It exists because the whole Splash-4
+// methodology — identical workloads, interchangeable synchronization kits —
+// collapses if a workload bypasses the sync4.Kit abstraction, copies a
+// construct, or spins on plain memory. See docs/ANALYSIS.md for the checks.
+//
+// Usage:
+//
+//	splash4-vet ./...                 # analyze the whole module
+//	splash4-vet ./internal/workloads/...
+//	splash4-vet -list                 # describe the analyzers
+//	splash4-vet -run kit-bypass,naked-spin ./...
+//	splash4-vet -json ./...           # machine-readable diagnostics
+//
+// Exit status: 0 when no unsuppressed diagnostics were found, 1 when at
+// least one was, 2 on usage or load errors. Diagnostics are suppressed, with
+// a mandatory reason, by a comment on or directly above the flagged line:
+//
+//	//lint:ignore sync4vet-<analyzer> reason
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		run     = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		quiet   = flag.Bool("q", false, "suppress the trailing summary line")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.Analyzers()
+	if *run != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, err := analysis.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	var pkgs []*analysis.Package
+	seen := make(map[string]bool)
+	for _, pattern := range patterns {
+		dirs, err := loader.DirForPattern(pattern)
+		if err != nil {
+			fatal(err)
+		}
+		for _, dir := range dirs {
+			if seen[dir] {
+				continue
+			}
+			seen[dir] = true
+			pkg, err := loader.LoadDirDefault(dir)
+			if err != nil {
+				fatal(err)
+			}
+			if pkg != nil {
+				pkgs = append(pkgs, pkg)
+			}
+		}
+	}
+
+	diags, suppressed := analysis.RunAnalyzers(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "splash4-vet: %d package(s), %d analyzer(s), %d diagnostic(s), %d suppressed\n",
+				len(pkgs), len(analyzers), len(diags), suppressed)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "splash4-vet:", err)
+	os.Exit(2)
+}

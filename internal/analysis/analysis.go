@@ -1,0 +1,149 @@
+// Package analysis is splash4-vet: a static analyzer for the concurrency
+// invariants this repository's classic-vs-lockfree comparison depends on.
+//
+// The Splash-4 methodology is only sound if every workload synchronizes
+// exclusively through the sync4.Kit abstraction: a raw sync.Mutex, a bare
+// atomic, a copied construct or a busy-wait on plain memory silently turns
+// the "same workload, two kits" comparison into two different workloads (or
+// into a data race, which is how Splash-2 shipped broken benchmarks for two
+// decades). The analyzers in this package encode those invariants and run
+// over the module's own source using only the standard library's go/ast and
+// go/types — the module stays dependency-free.
+//
+// Diagnostics can be suppressed, with a mandatory justification, by placing
+//
+//	//lint:ignore sync4vet-<analyzer> reason...
+//
+// on the flagged line or on the line directly above it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos      token.Position // file:line:col of the offending node
+	Analyzer string         // analyzer name, e.g. "kit-bypass"
+	Message  string         // what is wrong
+	Fix      string         // suggested fix, may be empty
+}
+
+// String formats the diagnostic in the familiar file:line:col style.
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	if d.Fix != "" {
+		s += fmt.Sprintf(" (fix: %s)", d.Fix)
+	}
+	return s
+}
+
+// Analyzer is one check. Run inspects a type-checked package through the
+// Pass and reports findings via Pass.Report.
+type Analyzer struct {
+	Name string // short kebab-case identifier used in output and suppressions
+	Doc  string // one-line description for -list output
+	Run  func(*Pass)
+}
+
+// Pass gives one analyzer a view of one package and collects its findings.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	PkgPath  string // import path inside the module, e.g. "repro/internal/fft"
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos with no suggested fix.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, "", format, args...)
+}
+
+// ReportFixf records a diagnostic at pos carrying a suggested fix.
+func (p *Pass) ReportFixf(pos token.Pos, fix, format string, args ...any) {
+	p.report(pos, fix, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		KitBypass,
+		ConstructCopy,
+		BarrierMismatch,
+		NakedSpin,
+		ErrcheckLite,
+	}
+}
+
+// ByName resolves a comma-free analyzer name, or returns an error naming the
+// valid choices.
+func ByName(name string) (*Analyzer, error) {
+	var names []string
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, nil
+		}
+		names = append(names, a.Name)
+	}
+	return nil, fmt.Errorf("unknown analyzer %q (valid: %v)", name, names)
+}
+
+// RunAnalyzers executes each analyzer over each package and returns the
+// surviving (unsuppressed) diagnostics sorted by position, plus the count of
+// findings that were silenced by //lint:ignore comments.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) (diags []Diagnostic, suppressed int) {
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.Path,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+		sup := suppressions(pkg.Fset, pkg.Files)
+		for _, d := range raw {
+			if sup.covers(d) {
+				suppressed++
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, suppressed
+}

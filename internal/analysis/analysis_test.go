@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one expectation parsed from a fixture comment of the form
+//
+//	// want <analyzer> "substring of the message"
+type want struct {
+	file     string // basename
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+var wantRE = regexp.MustCompile(`// want ([a-z-]+) "([^"]*)"`)
+
+// parseWants scans every fixture file in dir for want comments.
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRE.FindAllStringSubmatch(sc.Text(), -1) {
+				wants = append(wants, &want{file: e.Name(), line: line, analyzer: m[1], substr: m[2]})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// loadFixture type-checks one fixture directory under the given import
+// path. The path matters: kit-bypass only fires inside workload packages.
+func loadFixture(t *testing.T, fixture, pkgPath string) *Package {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", fixture, err)
+	}
+	if pkg == nil {
+		t.Fatalf("load %s: no Go files", fixture)
+	}
+	return pkg
+}
+
+// checkFixture runs every analyzer over the fixture and requires an exact
+// match between diagnostics and want comments: every want satisfied, no
+// diagnostic unaccounted for.
+func checkFixture(t *testing.T, fixture, pkgPath string, wantSuppressed int) {
+	t.Helper()
+	pkg := loadFixture(t, fixture, pkgPath)
+	diags, suppressed := RunAnalyzers([]*Package{pkg}, Analyzers())
+	wants := parseWants(t, pkg.Dir)
+
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == base && w.line == d.Pos.Line &&
+				w.analyzer == d.Analyzer && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic: %s:%d [%s] containing %q", w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+	if suppressed != wantSuppressed {
+		t.Errorf("suppressed %d diagnostics, want %d", suppressed, wantSuppressed)
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	// Bad fixtures carry want comments at every flagged position; good
+	// fixtures carry none and must stay silent under all five analyzers.
+	cases := []struct {
+		fixture    string
+		pkgPath    string
+		suppressed int
+	}{
+		{"kitbypass/bad", "repro/internal/workloads/kbfixbad", 0},
+		{"kitbypass/good", "repro/internal/workloads/kbfixgood", 0},
+		{"constructcopy/bad", "repro/internal/analysis/ccfixbad", 0},
+		{"constructcopy/good", "repro/internal/analysis/ccfixgood", 0},
+		{"barriermismatch/bad", "repro/internal/analysis/bmfixbad", 0},
+		{"barriermismatch/good", "repro/internal/analysis/bmfixgood", 0},
+		{"nakedspin/bad", "repro/internal/analysis/nsfixbad", 0},
+		{"nakedspin/good", "repro/internal/analysis/nsfixgood", 0},
+		{"errchecklite/bad", "repro/internal/analysis/ecfixbad", 0},
+		{"errchecklite/good", "repro/internal/analysis/ecfixgood", 0},
+		{"suppress", "repro/internal/analysis/supfix", 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.ReplaceAll(tc.fixture, "/", "_"), func(t *testing.T) {
+			t.Parallel()
+			checkFixture(t, tc.fixture, tc.pkgPath, tc.suppressed)
+		})
+	}
+}
+
+// TestKitBypassScopedToWorkloads loads the kit-bypass bad fixture under a
+// non-workload import path: raw sync use is legal outside the workloads, so
+// the analyzer must stay silent.
+func TestKitBypassScopedToWorkloads(t *testing.T) {
+	pkg := loadFixture(t, "kitbypass/bad", "repro/internal/analysis/kbfixelsewhere")
+	diags, _ := RunAnalyzers([]*Package{pkg}, []*Analyzer{KitBypass})
+	for _, d := range diags {
+		t.Errorf("kit-bypass fired outside internal/workloads: %s", d)
+	}
+}
+
+// TestModuleIsClean is the tier-1 driver: the full analyzer suite over the
+// whole module must report nothing. A finding here is either a real
+// concurrency bug (fix it) or a deliberate exception (suppress it with a
+// justified //lint:ignore).
+func TestModuleIsClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 30 {
+		t.Fatalf("module walk found only %d packages; loader lost coverage", len(pkgs))
+	}
+	diags, _ := RunAnalyzers(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestBadFixtureFailsWholeSuite mirrors the CLI contract: pointing the
+// analyzer suite at a fixture with violations must produce diagnostics (the
+// CLI turns that into a non-zero exit).
+func TestBadFixtureFailsWholeSuite(t *testing.T) {
+	pkg := loadFixture(t, "nakedspin/bad", "repro/internal/analysis/nsfixbad2")
+	diags, _ := RunAnalyzers([]*Package{pkg}, Analyzers())
+	if len(diags) == 0 {
+		t.Fatal("bad fixture produced no diagnostics; the CLI gate would pass broken code")
+	}
+}

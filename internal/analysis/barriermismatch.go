@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BarrierMismatch flags NewBarrier(n) calls whose participant count provably
+// differs from the goroutine fan-out created in the same function. A barrier
+// sized below the fan-out lets phases overlap (a data race); sized above it,
+// every Wait deadlocks. The check is intraprocedural and only fires when
+// both counts resolve to compile-time constants, so it cannot produce false
+// positives on counts that flow in through core.Config.
+var BarrierMismatch = &Analyzer{
+	Name: "barrier-mismatch",
+	Doc:  "flags NewBarrier(n) where n provably differs from the same function's goroutine fan-out",
+	Run:  runBarrierMismatch,
+}
+
+// fanOut is one observed source of parallelism inside a function.
+type fanOut struct {
+	pos   token.Pos
+	count int64
+	// exact is true for core.Parallel(n, ...), where n is the total
+	// participant count. Hand-rolled `for { go ... }` loops spawn count
+	// goroutines but the spawner itself often participates too, so both
+	// count and count+1 are accepted for those.
+	exact bool
+	what  string
+}
+
+func runBarrierMismatch(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBarriersInFunc(pass, fn)
+		}
+	}
+}
+
+func checkBarriersInFunc(pass *Pass, fn *ast.FuncDecl) {
+	consts := singleConstAssignments(pass, fn)
+
+	type barrier struct {
+		pos token.Pos
+		n   int64
+	}
+	var barriers []barrier
+	var fans []fanOut
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "NewBarrier" && len(n.Args) == 1 {
+				if v, ok := resolveInt(pass, consts, n.Args[0], 0); ok {
+					barriers = append(barriers, barrier{n.Args[0].Pos(), v})
+				}
+			}
+			if callee := calleeFunc(pass, n); callee != nil &&
+				callee.Name() == "Parallel" && callee.Pkg() != nil &&
+				strings.HasSuffix(callee.Pkg().Path(), "internal/core") && len(n.Args) >= 1 {
+				if v, ok := resolveInt(pass, consts, n.Args[0], 0); ok {
+					fans = append(fans, fanOut{n.Pos(), v, true, "core.Parallel fan-out"})
+				}
+			}
+		case *ast.ForStmt:
+			if count, ok := countedGoLoop(pass, consts, n); ok {
+				fans = append(fans, fanOut{n.Pos(), count, false, "goroutine loop"})
+			}
+		}
+		return true
+	})
+
+	for _, b := range barriers {
+		for _, f := range fans {
+			if b.n == f.count || (!f.exact && b.n == f.count+1) {
+				continue
+			}
+			pass.ReportFixf(b.pos, "make the barrier count match the participants that will call Wait",
+				"barrier created for %d participants but %s at %s runs %d goroutines",
+				b.n, f.what, pass.Fset.Position(f.pos), f.count)
+		}
+	}
+}
+
+// countedGoLoop recognizes `for i := lo; i < hi; i++ { ... go ... }` (or
+// i <= hi) and returns the number of goroutines it spawns.
+func countedGoLoop(pass *Pass, consts map[*ast.Ident]ast.Expr, loop *ast.ForStmt) (int64, bool) {
+	spawns := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			spawns = true
+		}
+		return !spawns
+	})
+	if !spawns {
+		return 0, false
+	}
+	init, ok := loop.Init.(*ast.AssignStmt)
+	if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return 0, false
+	}
+	lo, ok := resolveInt(pass, consts, init.Rhs[0], 0)
+	if !ok {
+		return 0, false
+	}
+	cond, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return 0, false
+	}
+	hi, ok := resolveInt(pass, consts, cond.Y, 0)
+	if !ok {
+		return 0, false
+	}
+	if inc, ok := loop.Post.(*ast.IncDecStmt); !ok || inc.Tok != token.INC {
+		return 0, false
+	}
+	count := hi - lo
+	if cond.Op == token.LEQ {
+		count++
+	}
+	if count < 0 {
+		count = 0
+	}
+	return count, true
+}
+
+// singleConstAssignments maps each local identifier that is assigned exactly
+// once in fn to its defining expression, the raw material for resolveInt's
+// one-step constant propagation.
+func singleConstAssignments(pass *Pass, fn *ast.FuncDecl) map[*ast.Ident]ast.Expr {
+	counts := make(map[string]int) // object id -> times assigned
+	exprs := make(map[*ast.Ident]ast.Expr)
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		if id.Name == "_" {
+			return
+		}
+		counts[id.Name]++
+		exprs[id] = rhs
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id, n.Rhs[i])
+					}
+				}
+			} else {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id, nil)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				record(id, nil)
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					record(name, n.Values[i])
+				} else {
+					record(name, nil)
+				}
+			}
+		}
+		return true
+	})
+	// Keep only identifiers assigned exactly once with a usable RHS.
+	result := make(map[*ast.Ident]ast.Expr)
+	for id, rhs := range exprs {
+		if counts[id.Name] == 1 && rhs != nil {
+			result[id] = rhs
+		}
+	}
+	return result
+}
+
+// resolveInt evaluates expr to an int64 when it is a compile-time constant,
+// or a local variable assigned exactly once from one.
+func resolveInt(pass *Pass, consts map[*ast.Ident]ast.Expr, expr ast.Expr, depth int) (int64, bool) {
+	if depth > 8 {
+		return 0, false
+	}
+	if tv, ok := pass.Info.Types[expr]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, ok := constant.Int64Val(tv.Value); ok {
+			return v, true
+		}
+		return 0, false
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return 0, false
+	}
+	for def, rhs := range consts {
+		if pass.Info.Defs[def] == obj || pass.Info.Uses[def] == obj {
+			return resolveInt(pass, consts, rhs, depth+1)
+		}
+	}
+	return 0, false
+}
+
+// calleeFunc resolves the static callee of a call, if any.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

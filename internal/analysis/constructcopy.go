@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ConstructCopy flags by-value copies of types that embed atomic state
+// (sync/atomic's typed atomics or sync's locks). A copied atomic is a new,
+// unrelated memory cell: goroutines that received the copy update a value
+// nobody else reads, which is precisely the kind of silent corruption the
+// Splash-3 authors found shipped in Splash-2 for twenty years. Constructs
+// carrying such state must be shared by pointer.
+var ConstructCopy = &Analyzer{
+	Name: "construct-copy",
+	Doc:  "flags by-value copies (assignment, call, range, receiver) of types holding atomics or locks",
+	Run:  runConstructCopy,
+}
+
+// atomicStructs are the sync/atomic types whose value identity matters.
+var atomicStructs = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// lockStructs are the sync types that must not be copied after first use.
+var lockStructs = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Cond": true,
+	"Once": true, "Map": true, "Pool": true,
+}
+
+// atomicStateIn returns a description of the first piece of atomic state
+// found inside t by value (not behind a pointer), or "" if there is none.
+func atomicStateIn(t types.Type) string {
+	return atomicStateRec(t, make(map[types.Type]bool))
+}
+
+func atomicStateRec(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			switch {
+			case obj.Pkg().Path() == "sync/atomic" && atomicStructs[obj.Name()]:
+				return "sync/atomic." + obj.Name()
+			case obj.Pkg().Path() == "sync" && lockStructs[obj.Name()]:
+				return "sync." + obj.Name()
+			}
+		}
+		return atomicStateRec(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if s := atomicStateRec(f.Type(), seen); s != "" {
+				return fmt.Sprintf("%s (field %s)", s, f.Name())
+			}
+		}
+	case *types.Array:
+		return atomicStateRec(u.Elem(), seen)
+	}
+	return ""
+}
+
+func runConstructCopy(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkCopiedRead(pass, rhs, "assignment")
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopiedRead(pass, v, "variable initialization")
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					checkCopiedRead(pass, arg, "argument")
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					checkCopiedRead(pass, res, "return")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if id, ok := n.Value.(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							if state := atomicStateIn(obj.Type()); state != "" {
+								pass.ReportFixf(n.Value.Pos(), "range over indices or a slice of pointers",
+									"range copies element of type %s, which contains %s",
+									types.TypeString(obj.Type(), types.RelativeTo(pass.Pkg)), state)
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				checkFuncSignature(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkCopiedRead flags expr when it reads an existing value whose type
+// carries atomic state — the read itself materializes a copy.
+func checkCopiedRead(pass *Pass, expr ast.Expr, context string) {
+	if !readsExistingValue(pass, expr) {
+		return
+	}
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	state := atomicStateIn(tv.Type)
+	if state == "" {
+		return
+	}
+	pass.ReportFixf(expr.Pos(), "pass a pointer instead",
+		"%s copies value of type %s, which contains %s",
+		context, types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), state)
+}
+
+// readsExistingValue reports whether expr denotes a value that already
+// lives somewhere (so evaluating it in a value context copies shared state),
+// as opposed to a fresh composite literal or call result.
+func readsExistingValue(pass *Pass, expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		_, isVar := pass.Info.Uses[e].(*types.Var)
+		return isVar
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[e]; ok {
+			return sel.Kind() == types.FieldVal
+		}
+		_, isVar := pass.Info.Uses[e.Sel].(*types.Var) // package-qualified var
+		return isVar
+	case *ast.IndexExpr:
+		tv, ok := pass.Info.Types[e.X]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Pointer, *types.Map:
+			return true
+		}
+		return false
+	case *ast.StarExpr:
+		return true // explicit dereference copy
+	case *ast.ParenExpr:
+		return readsExistingValue(pass, e.X)
+	}
+	return false
+}
+
+// checkFuncSignature flags value receivers and value parameters whose types
+// carry atomic state: every call would copy the construct.
+func checkFuncSignature(pass *Pass, fn *ast.FuncDecl) {
+	check := func(field *ast.Field, what string) {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			return
+		}
+		if state := atomicStateIn(tv.Type); state != "" {
+			pass.ReportFixf(field.Type.Pos(), "declare it as *"+types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)),
+				"%s of %s is passed by value but contains %s",
+				what, fn.Name.Name, state)
+		}
+	}
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			check(f, "receiver")
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			check(f, "parameter")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckLite flags dropped error returns from the measurement and
+// reporting layers. A swallowed error from harness.Run or results.Emit means
+// a benchmark silently produced no (or partial) data — the table still
+// renders and the bogus comparison looks legitimate.
+var ErrcheckLite = &Analyzer{
+	Name: "errcheck-lite",
+	Doc:  "flags dropped error returns from harness/report/results APIs",
+	Run:  runErrcheckLite,
+}
+
+// monitoredSuffixes are the packages whose error returns must not be
+// dropped.
+var monitoredSuffixes = []string{
+	"internal/harness",
+	"internal/report",
+	"internal/results",
+}
+
+func monitoredPkg(path string) bool {
+	for _, s := range monitoredSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runErrcheckLite(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.DeferStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil || callee.Pkg() == nil || !monitoredPkg(callee.Pkg().Path()) {
+				return true
+			}
+			if !returnsError(callee) {
+				return true
+			}
+			pass.ReportFixf(call.Pos(), "handle the error or explicitly discard it with _ =",
+				"result of %s.%s includes an error that is dropped",
+				callee.Pkg().Name(), callee.Name())
+			return true
+		})
+	}
+}
+
+// returnsError reports whether fn's results include the builtin error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}

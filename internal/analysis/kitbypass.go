@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// KitBypass flags direct use of sync or sync/atomic inside workload
+// packages. Workloads must obtain every synchronization construct from the
+// configured sync4.Kit: that is the whole experimental design — the same
+// algorithm runs against the classic kit (Splash-3 semantics) and the
+// lockfree kit (Splash-4 semantics). A raw mutex or bare atomic executes
+// identically under both kits and silently corrupts the comparison.
+var KitBypass = &Analyzer{
+	Name: "kit-bypass",
+	Doc:  "flags raw sync/atomic primitives in workload packages that must use sync4.Kit",
+	Run:  runKitBypass,
+}
+
+// kitFixes maps a bypassed primitive to the construct that should replace
+// it.
+var kitFixes = map[string]string{
+	"Mutex":     "use cfg.Kit.NewLock()",
+	"RWMutex":   "use cfg.Kit.NewLock() (the suite has no reader/writer workloads)",
+	"WaitGroup": "use core.Parallel for fan-out or a Kit barrier for phases",
+	"Cond":      "use cfg.Kit.NewFlag() or a Kit barrier",
+	"Once":      "hoist the initialization into Prepare, which is single-threaded",
+	"Map":       "partition state per thread and reduce through Kit constructs",
+	"Pool":      "preallocate in Prepare; workloads must not allocate in the timed region",
+}
+
+func runKitBypass(pass *Pass) {
+	if !isWorkloadPkg(pass.PkgPath) {
+		return
+	}
+	seen := make(map[ast.Node]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Only package-qualified references (sync.Mutex, atomic.AddInt64)
+			// are flagged: any bypass must name such a qualified identifier
+			// somewhere — in a declaration, a call, or a signature — and
+			// flagging the root reference keeps one diagnostic per cause
+			// instead of one per method call.
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isPkg := pass.Info.Uses[pkgIdent].(*types.PkgName); !isPkg {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			var fix string
+			switch obj.Pkg().Path() {
+			case "sync":
+				fix = kitFixes[obj.Name()]
+				if fix == "" {
+					fix = "route this through the sync4.Kit passed in core.Config"
+				}
+			case "sync/atomic":
+				fix = "use cfg.Kit.NewCounter()/NewAccumulator()/NewFlag() instead of bare atomics"
+			default:
+				return true
+			}
+			if !seen[n] {
+				seen[n] = true
+				pass.ReportFixf(sel.Pos(), fix,
+					"workload uses %s.%s directly; workloads must synchronize only through sync4.Kit",
+					obj.Pkg().Path(), obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isWorkloadPkg reports whether path is a workload implementation package.
+// The shared test helper package is exempt: it drives testing.T plumbing,
+// not the timed region.
+func isWorkloadPkg(path string) bool {
+	i := strings.Index(path, "/internal/workloads/")
+	if i < 0 {
+		return false
+	}
+	rest := path[i+len("/internal/workloads/"):]
+	return rest != "workloadtest"
+}

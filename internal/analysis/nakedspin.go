@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NakedSpin flags busy-wait loops over plain memory: a for-condition that
+// reads ordinary variables while the loop body performs no call, channel
+// operation, or write to any variable the condition reads. Under the Go
+// memory model such a loop is a data race that may never terminate (the
+// compiler may hoist the load); the paper's lock-free constructs spin on
+// atomics, which is what the Kit's Flag and Queue provide.
+var NakedSpin = &Analyzer{
+	Name: "naked-spin",
+	Doc:  "flags busy-wait loops whose condition reads non-atomic memory the body never updates",
+	Run:  runNakedSpin,
+}
+
+func runNakedSpin(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond == nil {
+				return true
+			}
+			checkSpinLoop(pass, loop)
+			return true
+		})
+	}
+}
+
+func checkSpinLoop(pass *Pass, loop *ast.ForStmt) {
+	// The condition must read at least one variable and contain no call or
+	// channel receive (those can legitimately make progress).
+	condVars := make(map[types.Object]bool)
+	condClean := true
+	ast.Inspect(loop.Cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			condClean = false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				condClean = false
+			}
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[n].(*types.Var); ok {
+				condVars[v] = true
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				condVars[sel.Obj()] = true
+			}
+		}
+		return condClean
+	})
+	if !condClean || len(condVars) == 0 {
+		return
+	}
+
+	// The body (and the post statement) must contain nothing that could
+	// make the condition change: no calls, channel ops, go/defer/select,
+	// and no write to any variable or field the condition reads.
+	progress := false
+	inspectBody := func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr, *ast.GoStmt, *ast.DeferStmt, *ast.SelectStmt,
+			*ast.SendStmt, *ast.ReturnStmt:
+			progress = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				progress = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if writesCondVar(pass, lhs, condVars) {
+					progress = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if writesCondVar(pass, n.X, condVars) {
+				progress = true
+			}
+		case *ast.RangeStmt:
+			progress = true // ranging may receive from a channel
+		}
+		return !progress
+	}
+	ast.Inspect(loop.Body, inspectBody)
+	if loop.Post != nil && !progress {
+		ast.Inspect(loop.Post, inspectBody)
+	}
+	if progress {
+		return
+	}
+
+	pass.ReportFixf(loop.Pos(), "wait on a Kit construct (Flag.Wait, Barrier.Wait) or an atomic load",
+		"busy-wait: loop condition reads non-atomic memory that the loop body never updates (racy and may never terminate)")
+}
+
+// writesCondVar reports whether the assignment target lhs denotes one of the
+// variables or fields the loop condition reads.
+func writesCondVar(pass *Pass, lhs ast.Expr, condVars map[types.Object]bool) bool {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := pass.Info.Uses[e]; obj != nil && condVars[obj] {
+			return true
+		}
+		if obj := pass.Info.Defs[e]; obj != nil && condVars[obj] {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[e]; ok && condVars[sel.Obj()] {
+			return true
+		}
+	case *ast.StarExpr, *ast.IndexExpr:
+		// Writing through a pointer or into an element could alias
+		// anything the condition reads; treat it as progress.
+		return true
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment. The full syntax is
+//
+//	//lint:ignore sync4vet-<name>[,sync4vet-<name>...] reason
+//
+// mirroring staticcheck's directive shape so editors already highlight it.
+// The reason is mandatory: a suppression without a justification does not
+// suppress anything.
+const ignorePrefix = "lint:ignore"
+
+// analyzerPrefix namespaces this suite's checks inside lint:ignore
+// directives.
+const analyzerPrefix = "sync4vet-"
+
+// suppressionSet records, per file and line, which analyzers are silenced.
+type suppressionSet map[string]map[int][]string // filename -> line -> analyzer names
+
+// covers reports whether d is silenced by a directive on its own line or on
+// the line directly above.
+func (s suppressionSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == d.Analyzer || name == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// suppressions scans every comment in files for well-formed lint:ignore
+// directives.
+func suppressions(fset *token.FileSet, files []*ast.File) suppressionSet {
+	set := make(suppressionSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					set[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return set
+}
+
+// parseIgnore extracts the analyzer names from one comment, requiring the
+// sync4vet- namespace and a non-empty reason.
+func parseIgnore(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // need names + at least one word of reason
+		return nil, false
+	}
+	var names []string
+	for _, part := range strings.Split(fields[0], ",") {
+		name, ok := strings.CutPrefix(part, analyzerPrefix)
+		if !ok || name == "" {
+			continue
+		}
+		names = append(names, name)
+	}
+	return names, len(names) > 0
+}

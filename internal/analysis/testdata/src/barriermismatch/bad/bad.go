@@ -1,0 +1,30 @@
+// Package bmfixbad is a barrier-mismatch fixture: every barrier below is
+// sized differently from the fan-out it guards.
+package bmfixbad
+
+import (
+	"repro/internal/core"
+	"repro/internal/sync4"
+)
+
+func mismatchParallel(kit sync4.Kit) {
+	b := kit.NewBarrier(4) // want barrier-mismatch "barrier created for 4 participants"
+	core.Parallel(8, func(tid int) {
+		b.Wait()
+	})
+}
+
+func mismatchGoLoop(kit sync4.Kit) {
+	b := kit.NewBarrier(3) // want barrier-mismatch "barrier created for 3 participants"
+	for i := 0; i < 8; i++ {
+		go b.Wait()
+	}
+}
+
+func mismatchViaLocals(kit sync4.Kit) {
+	participants := 6
+	b := kit.NewBarrier(participants) // want barrier-mismatch "barrier created for 6 participants"
+	core.Parallel(4, func(tid int) {
+		b.Wait()
+	})
+}

@@ -1,0 +1,31 @@
+// Package bmfixgood is the barrier-mismatch negative fixture: matching
+// counts, spawner-participates loops, and counts that are not compile-time
+// constants (the analyzer must stay silent on those).
+package bmfixgood
+
+import (
+	"repro/internal/core"
+	"repro/internal/sync4"
+)
+
+func matching(kit sync4.Kit) {
+	b := kit.NewBarrier(4)
+	core.Parallel(4, func(tid int) {
+		b.Wait()
+	})
+}
+
+func spawnerParticipates(kit sync4.Kit) {
+	b := kit.NewBarrier(5)
+	for i := 0; i < 4; i++ { // four goroutines + the caller = five
+		go b.Wait()
+	}
+	b.Wait()
+}
+
+func runtimeCount(kit sync4.Kit, cfg core.Config) {
+	b := kit.NewBarrier(cfg.Threads) // not constant: never flagged
+	core.Parallel(cfg.Threads, func(tid int) {
+		b.Wait()
+	})
+}

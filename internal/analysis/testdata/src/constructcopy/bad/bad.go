@@ -1,0 +1,32 @@
+// Package ccfixbad is a construct-copy fixture: every declaration or
+// statement below materializes a copy of a type carrying atomic state.
+package ccfixbad
+
+import "sync/atomic"
+
+type counter struct {
+	v atomic.Int64
+}
+
+type group struct {
+	members [4]counter
+}
+
+func sink(c counter) {} // want construct-copy "parameter of sink is passed by value"
+
+func (c counter) get() int64 { // want construct-copy "receiver of get is passed by value"
+	return 0
+}
+
+func copies(c *counter, all []counter, g group) counter { // want construct-copy "parameter of copies is passed by value"
+	local := *c    // want construct-copy "assignment copies value"
+	sink(local)    // want construct-copy "argument copies value"
+	elem := all[0] // want construct-copy "assignment copies value"
+	use(&elem)
+	for _, m := range all { // want construct-copy "range copies element"
+		use(&m)
+	}
+	return local // want construct-copy "return copies value"
+}
+
+func use(*counter) {}

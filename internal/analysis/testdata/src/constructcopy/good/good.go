@@ -1,0 +1,26 @@
+// Package ccfixgood is the construct-copy negative fixture: atomic state is
+// always created in place or shared by pointer, never copied.
+package ccfixgood
+
+import "sync/atomic"
+
+type counter struct {
+	v atomic.Int64
+}
+
+func sink(*counter) {}
+
+func fine() *counter {
+	c := &counter{} // fresh allocation, no copy
+	var d counter   // zero value declared in place
+	sink(c)
+	sink(&d)
+	all := make([]*counter, 4)
+	for i := range all { // index-only range
+		all[i] = &counter{}
+	}
+	for _, p := range all { // copying a pointer is fine
+		p.v.Add(1)
+	}
+	return c
+}

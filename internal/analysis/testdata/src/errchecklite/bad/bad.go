@@ -1,0 +1,26 @@
+// Package ecfixbad is an errcheck-lite fixture: error returns from the
+// measurement and reporting layers are silently dropped.
+package ecfixbad
+
+import (
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/results"
+	"repro/internal/sync4/classic"
+	"repro/internal/workloads/fft"
+
+	"repro/internal/core"
+)
+
+func dropTableErrors() {
+	tab := results.New("e0", "fixture", "col")
+	tab.AddRow("x")
+	tab.Render(os.Stdout)       // want errcheck-lite "error that is dropped"
+	defer tab.Render(os.Stdout) // want errcheck-lite "error that is dropped"
+}
+
+func dropRunError() {
+	cfg := core.Config{Threads: 1, Kit: classic.New(), Scale: core.ScaleTest, Seed: 1}
+	harness.Run(fft.New(), cfg, harness.Options{}) // want errcheck-lite "error that is dropped"
+}

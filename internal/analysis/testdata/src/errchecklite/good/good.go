@@ -1,0 +1,22 @@
+// Package ecfixgood is the errcheck-lite negative fixture: errors from the
+// monitored layers are handled or explicitly discarded, and dropped errors
+// from unmonitored packages are out of scope.
+package ecfixgood
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/results"
+)
+
+func handled() error {
+	tab := results.New("e0", "fixture", "col")
+	tab.AddRow("x")
+	if err := tab.Render(os.Stdout); err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	_ = tab.Render(os.Stdout) // explicit discard is allowed
+	os.Remove("nope")         // unmonitored package: not this analyzer's job
+	return nil
+}

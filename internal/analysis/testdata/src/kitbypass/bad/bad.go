@@ -1,0 +1,20 @@
+// Package kbfixbad is a kit-bypass fixture: a "workload" that synchronizes
+// with raw sync/atomic primitives instead of the sync4.Kit.
+package kbfixbad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type state struct {
+	mu  sync.Mutex     // want kit-bypass "workload uses sync.Mutex directly"
+	wg  sync.WaitGroup // want kit-bypass "workload uses sync.WaitGroup directly"
+	ops int64
+}
+
+func run(s *state, threads int) {
+	atomic.AddInt64(&s.ops, 1) // want kit-bypass "workload uses sync/atomic.AddInt64 directly"
+	var once sync.Once         // want kit-bypass "workload uses sync.Once directly"
+	once.Do(func() {})
+}

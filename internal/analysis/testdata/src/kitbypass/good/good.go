@@ -1,0 +1,27 @@
+// Package kbfixgood is the kit-bypass negative fixture: a workload shape
+// that gets every construct from the Kit, which is the only allowed source.
+package kbfixgood
+
+import (
+	"repro/internal/core"
+	"repro/internal/sync4"
+)
+
+type state struct {
+	barrier sync4.Barrier
+	count   sync4.Counter
+}
+
+func prepare(cfg core.Config) *state {
+	return &state{
+		barrier: cfg.Kit.NewBarrier(cfg.Threads),
+		count:   cfg.Kit.NewCounter(),
+	}
+}
+
+func run(s *state, threads int) {
+	core.Parallel(threads, func(tid int) {
+		s.count.Inc()
+		s.barrier.Wait()
+	})
+}

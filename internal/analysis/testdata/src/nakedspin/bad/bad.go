@@ -1,0 +1,26 @@
+// Package nsfixbad is a naked-spin fixture: loops that wait for plain
+// memory to change without any synchronization in the body.
+package nsfixbad
+
+type shared struct {
+	done bool
+	n    int
+}
+
+func spinOnField(s *shared) {
+	for !s.done { // want naked-spin "busy-wait"
+	}
+}
+
+func spinThroughPointer(done *bool) {
+	for !*done { // want naked-spin "busy-wait"
+	}
+}
+
+func spinWithUnrelatedWork(s *shared) {
+	x := 0
+	for s.n < 10 { // want naked-spin "busy-wait"
+		x++
+	}
+	_ = x
+}

@@ -1,0 +1,36 @@
+// Package nsfixgood is the naked-spin negative fixture: ordinary counted
+// loops, waits that go through calls (Kit constructs, atomics), and loops
+// that receive from channels all stay silent.
+package nsfixgood
+
+import "repro/internal/sync4"
+
+type shared struct {
+	done bool
+	n    int
+}
+
+func countedLoop(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+func bodyUpdatesCondition(s *shared) {
+	for s.n < 10 {
+		s.n++
+	}
+}
+
+func waitOnKitFlag(f sync4.Flag) {
+	for !f.IsSet() { // condition calls into the kit: allowed
+	}
+}
+
+func waitOnChannel(done *bool, ch chan struct{}) {
+	for !*done {
+		<-ch // channel receive can make progress
+	}
+}

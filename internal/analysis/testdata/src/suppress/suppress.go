@@ -1,0 +1,24 @@
+// Package supfix exercises the //lint:ignore machinery: a justified
+// directive silences the diagnostic, a reason-less one does not.
+package supfix
+
+type shared struct {
+	done bool
+}
+
+func justified(s *shared) {
+	//lint:ignore sync4vet-naked-spin fixture exercises the suppression path
+	for !s.done {
+	}
+}
+
+func sameLine(s *shared) {
+	for !s.done { //lint:ignore sync4vet-naked-spin same-line directives work too
+	}
+}
+
+func missingReason(s *shared) {
+	//lint:ignore sync4vet-naked-spin
+	for !s.done { // want naked-spin "busy-wait"
+	}
+}

@@ -1,0 +1,34 @@
+package all_test
+
+import (
+	"testing"
+
+	"repro/internal/sync4/kittest"
+	"repro/internal/workloads/all"
+	"repro/internal/workloads/workloadtest"
+)
+
+// TestRaceSmoke is the tier-2 race gate: a small-N end-to-end run of every
+// workload under both kits, plus the kit conformance contract, all shaped so
+// `go test -race ./...` can interleave them aggressively. Under the race
+// detector this is the closest Go equivalent of the data-race audit that
+// motivated Splash-3 (Splash-2 shipped races for twenty years); without
+// -race it is a cheap extra smoke pass. Runtime note in README.md: tier-2 is
+// `go test -race ./...`.
+func TestRaceSmoke(t *testing.T) {
+	const threads = 4 // small N: enough goroutines to race, cheap under -race
+	for _, kit := range workloadtest.Kits() {
+		kit := kit
+		t.Run(kit.Name()+"/conformance", func(t *testing.T) {
+			t.Parallel()
+			kittest.Conformance(t, kit)
+		})
+		for _, b := range all.Suite() {
+			b := b
+			t.Run(kit.Name()+"/"+b.Name(), func(t *testing.T) {
+				t.Parallel()
+				workloadtest.RunOnce(t, b, kit, threads)
+			})
+		}
+	}
+}
