@@ -1,19 +1,22 @@
 # Build/verify entry points for the splash4 reproduction.
 #
-#   make check   tier-1 gate: build, go vet, splash4-vet concurrency
-#                invariants, full test suite
-#   make race    tier-2 gate: the whole suite under the Go race detector
-#   make vet     just the concurrency-invariant analyzers (splash4-vet)
-#   make bench   the testing.B experiment targets
+#   make check        tier-1 gate: build, go vet, splash4-vet concurrency
+#                     invariants, full test suite, trace smoke test
+#   make race         tier-2 gate: the whole suite under the Go race detector
+#   make vet          just the concurrency-invariant analyzers (splash4-vet)
+#   make bench        the testing.B experiment targets
+#   make trace-smoke  capture fft traces under both kits and validate them
 
 GO ?= go
+TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)
 
-.PHONY: check vet race test build bench
+.PHONY: check vet race test build bench trace-smoke
 
 check: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/splash4-vet ./...
 	$(GO) test ./...
+	$(MAKE) trace-smoke
 
 build:
 	$(GO) build ./...
@@ -30,3 +33,11 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# trace-smoke runs the tracer end to end on fft at test scale under both
+# kits. splash4-trace itself exits non-zero if the Chrome JSON fails
+# validation or the trace census disagrees with sync4.Instrument.
+trace-smoke:
+	$(GO) run ./cmd/splash4-trace -workload fft -kit classic -threads 4 -scale test -out $(TRACE_TMP)/fft-classic.trace.json >/dev/null
+	$(GO) run ./cmd/splash4-trace -workload fft -kit lockfree -threads 4 -scale test -out $(TRACE_TMP)/fft-lockfree.trace.json >/dev/null
+	@echo "trace-smoke: ok"

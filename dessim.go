@@ -44,3 +44,12 @@ func Simulate(tr SimTrace, m Machine, kitName string) (SimResult, error) {
 func TraceFromSnapshot(s sync4.Snapshot, threads int, compute time.Duration, hotCells int) SimTrace {
 	return dessim.FromSnapshot(s, threads, compute, hotCells)
 }
+
+// TraceFromCapture converts a captured event trace (Options.Trace) into a
+// simulator trace: gaps between events become compute, barrier waits become
+// simulator barriers, lock acquisitions carry their measured hold time.
+// Unlike TraceFromSnapshot it preserves the run's real event ordering.
+// Captures that dropped events are rejected.
+func TraceFromCapture(c *TraceCapture) (SimTrace, error) {
+	return dessim.FromCapture(c)
+}

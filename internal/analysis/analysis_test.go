@@ -118,6 +118,7 @@ func TestFixtures(t *testing.T) {
 	}{
 		{"kitbypass/bad", "repro/internal/workloads/kbfixbad", 0},
 		{"kitbypass/good", "repro/internal/workloads/kbfixgood", 0},
+		{"kitbypass/traced", "repro/internal/workloads/tracedfix", 2},
 		{"constructcopy/bad", "repro/internal/analysis/ccfixbad", 0},
 		{"constructcopy/good", "repro/internal/analysis/ccfixgood", 0},
 		{"barriermismatch/bad", "repro/internal/analysis/bmfixbad", 0},

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -231,6 +232,12 @@ func (l *Loader) loadDirUncached(dir, path string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		// Honor build constraints (//go:build lines and _GOOS/_GOARCH file
+		// suffixes) the way the compiler does; otherwise platform-specific
+		// file pairs type-check as duplicate declarations.
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)

@@ -1,0 +1,25 @@
+// Package tracedfix is a kit-bypass fixture for the tracer-embedding
+// pattern: a workload carrying its own low-overhead event recorder. The raw
+// atomics are the recorder's lane cursor and drop counter — measurement
+// plumbing, not workload synchronization — so each use carries a justified
+// suppression and the analyzer must stay silent.
+package tracedfix
+
+import "sync/atomic"
+
+type laneRecorder struct {
+	//lint:ignore sync4vet-kit-bypass trace-lane cursor is measurement plumbing, not workload synchronization
+	cur atomic.Int64
+	//lint:ignore sync4vet-kit-bypass drop accounting for full lanes, not workload synchronization
+	dropped atomic.Int64
+	evs     []int64
+}
+
+func (l *laneRecorder) record(v int64) {
+	idx := l.cur.Add(1) - 1
+	if int(idx) >= len(l.evs) {
+		l.dropped.Add(1)
+		return
+	}
+	l.evs[idx] = v
+}

@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sync4"
 )
@@ -94,13 +95,39 @@ type Instance interface {
 	Verify() error
 }
 
+// workerHook, when set, runs at the start of every Parallel worker and its
+// returned cleanup when the worker finishes. See SetWorkerHook.
+var workerHook atomic.Pointer[func(tid int) func()]
+
+// SetWorkerHook installs h to run on every Parallel worker: h(tid) is
+// called as the worker starts and the function it returns when the worker
+// ends. The synchronization tracer uses this seam to pin workers to OS
+// threads (trace.PinWorker) so trace lanes map 1:1 onto logical threads.
+// Passing nil clears the hook. SetWorkerHook must not be called while a
+// Parallel region is running; the harness brackets whole runs with it.
+func SetWorkerHook(h func(tid int) func()) {
+	if h == nil {
+		workerHook.Store(nil)
+		return
+	}
+	workerHook.Store(&h)
+}
+
 // Parallel runs body on threads workers, passing each its thread id in
 // [0, threads), and returns when all have finished. It is the Go analogue of
 // the suite's CREATE/WAIT_FOR_END macros. Worker zero runs on the calling
 // goroutine so that a Threads=1 run has no scheduling overhead at all.
 func Parallel(threads int, body func(tid int)) {
+	run := body
+	if hp := workerHook.Load(); hp != nil {
+		h := *hp
+		run = func(tid int) {
+			defer h(tid)()
+			body(tid)
+		}
+	}
 	if threads == 1 {
-		body(0)
+		run(0)
 		return
 	}
 	var wg sync.WaitGroup
@@ -108,10 +135,10 @@ func Parallel(threads int, body func(tid int)) {
 	for tid := 1; tid < threads; tid++ {
 		go func(tid int) {
 			defer wg.Done()
-			body(tid)
+			run(tid)
 		}(tid)
 	}
-	body(0)
+	run(0)
 	wg.Wait()
 }
 

@@ -119,3 +119,39 @@ func TestScaleString(t *testing.T) {
 		}
 	}
 }
+
+func TestSetWorkerHook(t *testing.T) {
+	defer core.SetWorkerHook(nil)
+
+	var started, cleaned atomic.Int64
+	var seen [8]atomic.Bool
+	core.SetWorkerHook(func(tid int) func() {
+		started.Add(1)
+		return func() { cleaned.Add(1) }
+	})
+	core.Parallel(4, func(tid int) { seen[tid].Store(true) })
+	if started.Load() != 4 || cleaned.Load() != 4 {
+		t.Fatalf("hook ran %d times, cleanup %d, want 4 each", started.Load(), cleaned.Load())
+	}
+	for tid := 0; tid < 4; tid++ {
+		if !seen[tid].Load() {
+			t.Fatalf("worker %d did not run under the hook", tid)
+		}
+	}
+
+	// The threads==1 shortcut must honor the hook too.
+	started.Store(0)
+	cleaned.Store(0)
+	core.Parallel(1, func(tid int) {})
+	if started.Load() != 1 || cleaned.Load() != 1 {
+		t.Fatalf("single-thread hook ran %d/%d times, want 1/1", started.Load(), cleaned.Load())
+	}
+
+	// Clearing the hook stops the calls.
+	core.SetWorkerHook(nil)
+	started.Store(0)
+	core.Parallel(2, func(tid int) {})
+	if started.Load() != 0 {
+		t.Fatalf("cleared hook still ran %d times", started.Load())
+	}
+}

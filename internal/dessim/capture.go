@@ -1,0 +1,97 @@
+package dessim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// FromCapture converts a recorded synchronization trace into a replayable
+// dessim Trace: each non-empty lane becomes one thread, the gaps between a
+// lane's events become Compute steps, and the events themselves map onto
+// the simulator's kinds —
+//
+//	barrier-wait          -> Barrier
+//	lock-acquire          -> Lock   (dessim's Lock is acquire+release;
+//	lock-release          -> dropped — already folded into Lock)
+//	rmw / queue / stack   -> RMW    (all shared-cell updates)
+//	flag-set / flag-wait  -> FlagSet / FlagWait
+//
+// Object ids are densified per simulator id space (barriers, locks, cells,
+// flags), preserving distinctness so contention stays spread over exactly
+// as many objects as the real run touched.
+//
+// The conversion is only structurally sound for complete captures: a
+// dropped barrier event would change a barrier's participant count and
+// deadlock the replay, so captures with drops are rejected — rerun with a
+// larger recorder capacity.
+func FromCapture(c *trace.Capture) (Trace, error) {
+	if c == nil {
+		return nil, fmt.Errorf("dessim: nil capture")
+	}
+	if d := c.TotalDropped(); d > 0 {
+		return nil, fmt.Errorf("dessim: capture dropped %d events; raise the recorder's per-lane capacity", d)
+	}
+
+	// Align all lanes on the earliest recorded start so leading idle time
+	// does not inflate the first thread's compute.
+	t0 := int64(math.MaxInt64)
+	for _, lane := range c.Lanes {
+		if len(lane) > 0 && lane[0].Start < t0 {
+			t0 = lane[0].Start
+		}
+	}
+
+	dense := map[Kind]map[uint32]int{}
+	id := func(space Kind, obj uint32) int {
+		m := dense[space]
+		if m == nil {
+			m = map[uint32]int{}
+			dense[space] = m
+		}
+		d, ok := m[obj]
+		if !ok {
+			d = len(m)
+			m[obj] = d
+		}
+		return d
+	}
+
+	var tr Trace
+	for _, lane := range c.Lanes {
+		if len(lane) == 0 {
+			continue
+		}
+		evs := make([]Event, 0, 2*len(lane))
+		cursor := t0
+		for _, ev := range lane {
+			if gap := ev.Start - cursor; gap > 0 {
+				evs = append(evs, Event{Kind: Compute, Dur: time.Duration(gap)})
+			}
+			if ev.End > cursor {
+				cursor = ev.End
+			}
+			switch ev.Op {
+			case trace.OpBarrierWait:
+				evs = append(evs, Event{Kind: Barrier, Obj: id(Barrier, ev.Obj)})
+			case trace.OpLockAcquire:
+				evs = append(evs, Event{Kind: Lock, Obj: id(Lock, ev.Obj)})
+			case trace.OpLockRelease:
+				// Folded into the acquire's Lock event.
+			case trace.OpRMW, trace.OpQueuePut, trace.OpQueueGet,
+				trace.OpStackPush, trace.OpStackPop:
+				evs = append(evs, Event{Kind: RMW, Obj: id(RMW, ev.Obj)})
+			case trace.OpFlagSet:
+				evs = append(evs, Event{Kind: FlagSet, Obj: id(FlagSet, ev.Obj)})
+			case trace.OpFlagWait:
+				evs = append(evs, Event{Kind: FlagWait, Obj: id(FlagSet, ev.Obj)})
+			default:
+				return nil, fmt.Errorf("dessim: capture holds unknown op %d", ev.Op)
+			}
+		}
+		tr = append(tr, evs)
+	}
+	return tr, nil
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/sync4"
+	"repro/internal/trace"
 )
 
 // Options controls how a benchmark is measured.
@@ -35,6 +36,18 @@ type Options struct {
 	// TimedSync additionally records wall time spent in blocking
 	// synchronization calls (implies Instrument).
 	TimedSync bool
+	// Trace, when non-nil, wraps the kit with sync4.Trace so every
+	// synchronization operation is recorded into this recorder. For the
+	// duration of the run the core worker hook pins workers to OS threads
+	// (trace.PinWorker) so trace lanes map 1:1 onto logical threads. The
+	// recorder is reset before each measured repetition; the capture of
+	// the last repetition lands in Result.Trace.
+	Trace *trace.Recorder
+	// SampleRuntime brackets each measured repetition's timed region with
+	// runtime/metrics reads; the last repetition's delta (scheduler
+	// latency, GC pauses and cycles, heap allocation) lands in
+	// Result.Runtime.
+	SampleRuntime bool
 }
 
 func (o Options) reps() int {
@@ -57,7 +70,26 @@ type Result struct {
 	Sync sync4.Snapshot
 	// HasSync reports whether Sync was collected.
 	HasSync bool
+	// Regions holds each measured repetition's timed-region bracket on the
+	// monotonic clock (the same instants Times was computed from), so
+	// external samplers and trace captures can be aligned with the runs.
+	Regions []Region
+	// Trace is the synchronization trace of the last measured repetition;
+	// nil unless Options.Trace was set.
+	Trace *trace.Capture
+	// Runtime is the runtime/metrics delta over the last measured
+	// repetition's timed region; nil unless Options.SampleRuntime was set.
+	Runtime *trace.RuntimeSample
 }
+
+// Region is one timed repetition's [Start, End] bracket. Both instants
+// carry Go's monotonic clock reading, so Dur is immune to wall-clock steps.
+type Region struct {
+	Start, End time.Time
+}
+
+// Dur returns the region's length.
+func (r Region) Dur() time.Duration { return r.End.Sub(r.Start) }
 
 // Run measures b under cfg. Every repetition prepares a fresh instance, so
 // instances never see reuse; inputs are identical across repetitions because
@@ -80,9 +112,20 @@ func Run(b core.Benchmark, cfg core.Config, opt Options) (Result, error) {
 		counters = new(sync4.Counters)
 		runCfg.Kit = sync4.Instrument(cfg.Kit, counters, opt.TimedSync)
 	}
+	if opt.Trace != nil {
+		// Trace outside Instrument: both observe exactly the workload's
+		// calls, keeping the trace census and Result.Sync comparable.
+		runCfg.Kit = sync4.Trace(runCfg.Kit, opt.Trace)
+		core.SetWorkerHook(trace.PinWorker)
+		defer core.SetWorkerHook(nil)
+	}
+	var sampler *trace.Sampler
+	if opt.SampleRuntime {
+		sampler = trace.NewSampler()
+	}
 
 	for rep := 0; rep < opt.Warmup; rep++ {
-		if _, err := runOnce(b, runCfg, opt, false); err != nil {
+		if _, _, err := runOnce(b, runCfg, opt, false, nil); err != nil {
 			return res, fmt.Errorf("%s/%s warmup rep %d: %w", b.Name(), cfg.Kit.Name(), rep, err)
 		}
 	}
@@ -90,42 +133,62 @@ func Run(b core.Benchmark, cfg core.Config, opt Options) (Result, error) {
 		if counters != nil {
 			counters.Reset()
 		}
-		elapsed, err := runOnce(b, runCfg, opt, opt.Verify)
+		if opt.Trace != nil {
+			// Quiescent between repetitions: discard warmup/previous-rep
+			// events so the final capture covers exactly the last rep.
+			opt.Trace.Reset()
+		}
+		region, rs, err := runOnce(b, runCfg, opt, opt.Verify, sampler)
 		if err != nil {
 			return res, fmt.Errorf("%s/%s rep %d: %w", b.Name(), cfg.Kit.Name(), rep, err)
 		}
-		res.Times.Add(elapsed)
+		res.Times.Add(region.Dur())
+		res.Regions = append(res.Regions, region)
+		res.Runtime = rs
 	}
 	if counters != nil {
 		res.Sync = counters.Snapshot()
 		res.HasSync = true
 	}
+	if opt.Trace != nil {
+		res.Trace = opt.Trace.Snapshot()
+	}
 	return res, nil
 }
 
-// runOnce prepares one instance, times Run, and optionally verifies.
-func runOnce(b core.Benchmark, cfg core.Config, opt Options, verify bool) (time.Duration, error) {
+// runOnce prepares one instance, times Run, and optionally verifies. The
+// returned Region brackets exactly the Instance.Run call; when sampler is
+// non-nil the same bracket is measured with runtime/metrics.
+func runOnce(b core.Benchmark, cfg core.Config, opt Options, verify bool, sampler *trace.Sampler) (Region, *trace.RuntimeSample, error) {
 	inst, err := b.Prepare(cfg)
 	if err != nil {
-		return 0, fmt.Errorf("prepare: %w", err)
+		return Region{}, nil, fmt.Errorf("prepare: %w", err)
 	}
 	if opt.QuiesceGC {
 		runtime.GC()
 		prev := debug.SetGCPercent(-1)
 		defer debug.SetGCPercent(prev)
 	}
+	if sampler != nil {
+		sampler.Start()
+	}
 	start := time.Now()
 	err = inst.Run()
-	elapsed := time.Since(start)
+	region := Region{Start: start, End: time.Now()}
+	var rs *trace.RuntimeSample
+	if sampler != nil {
+		s := sampler.Stop()
+		rs = &s
+	}
 	if err != nil {
-		return elapsed, fmt.Errorf("run: %w", err)
+		return region, rs, fmt.Errorf("run: %w", err)
 	}
 	if verify {
 		if err := inst.Verify(); err != nil {
-			return elapsed, fmt.Errorf("verify: %w", err)
+			return region, rs, fmt.Errorf("verify: %w", err)
 		}
 	}
-	return elapsed, nil
+	return region, rs, nil
 }
 
 // Pair measures b under both kits with otherwise identical configuration

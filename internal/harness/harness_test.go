@@ -10,6 +10,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/sync4/classic"
 	"repro/internal/sync4/lockfree"
+	"repro/internal/trace"
 )
 
 // fakeBench is a controllable benchmark for harness tests.
@@ -180,5 +181,45 @@ func TestPairRunsBothKits(t *testing.T) {
 	}
 	if rc.Kit != "classic" || rl.Kit != "lockfree" {
 		t.Fatalf("pair kits = %q, %q", rc.Kit, rl.Kit)
+	}
+}
+
+func TestRunCollectsRegionsTraceAndRuntime(t *testing.T) {
+	b := &fakeBench{name: "traced", useKit: true, sleep: time.Millisecond}
+	rec := trace.NewRecorder(8, 1<<12)
+	res, err := harness.Run(b, core.Config{Threads: 4, Kit: lockfree.New()},
+		harness.Options{Reps: 2, Warmup: 1, Instrument: true, Trace: rec, SampleRuntime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 2 {
+		t.Fatalf("captured %d regions, want one per measured rep (2)", len(res.Regions))
+	}
+	for i, reg := range res.Regions {
+		if reg.Dur() < time.Millisecond {
+			t.Errorf("region %d lasted %v, below the 1ms sleep", i, reg.Dur())
+		}
+		if !reg.End.After(reg.Start) {
+			t.Errorf("region %d ends before it starts", i)
+		}
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace capture collected")
+	}
+	if res.Trace.TotalDropped() != 0 {
+		t.Fatalf("trace dropped %d events", res.Trace.TotalDropped())
+	}
+	// The capture covers the last repetition only (reset between reps) and
+	// must agree with the instrument census: 4 counter Incs -> 4 RMW events.
+	counts := res.Trace.OpCounts()
+	if counts[trace.OpRMW] != res.Sync.CounterOps || counts[trace.OpRMW] != 4 {
+		t.Fatalf("trace RMW = %d, census CounterOps = %d, want 4 each",
+			counts[trace.OpRMW], res.Sync.CounterOps)
+	}
+	if res.Runtime == nil {
+		t.Fatal("no runtime sample collected")
+	}
+	if res.Kit != "lockfree" {
+		t.Fatalf("result kit %q leaked a wrapper name", res.Kit)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/sync4"
 	"repro/internal/sync4/classic"
 	"repro/internal/sync4/lockfree"
+	"repro/internal/trace"
 	"repro/internal/workloads/all"
 )
 
@@ -176,8 +177,11 @@ func E7Ablation(cfg Config) error {
 
 // E8SyncShare characterizes where the time goes: the share of aggregate
 // thread time each benchmark spends blocked inside synchronization
-// constructs, per kit. This is the figure that explains *why* the lock-free
-// rewrite helps where it does.
+// constructs, per kit, plus the distribution of individual blocked episodes
+// (from the event tracer's capture folded into log-spaced histograms). The
+// share explains *why* the lock-free rewrite helps where it does; the
+// quantiles separate many-short-waits from few-long-waits, which the sum
+// cannot.
 func E8SyncShare(cfg Config) error {
 	suite, err := cfg.suite()
 	if err != nil {
@@ -186,12 +190,14 @@ func E8SyncShare(cfg Config) error {
 	t := cfg.threads()
 	tab := results.New("E8",
 		fmt.Sprintf("synchronization share of thread time, %d threads, scale=%s", t, cfg.Scale),
-		"benchmark", "kit", "wall", "blocked(sum)", "sync-share")
+		"benchmark", "kit", "wall", "blocked(sum)", "sync-share", "blk-p50", "blk-p95", "blk-max")
 
 	for _, b := range suite {
 		for _, kit := range []sync4.Kit{classic.New(), lockfree.New()} {
+			opt := cfg.options(true, true)
+			opt.Trace = trace.NewRecorder(2*t, 1<<16)
 			res, err := harness.Run(b, core.Config{Threads: t, Kit: kit, Scale: cfg.Scale, Seed: cfg.Seed},
-				cfg.options(true, true))
+				opt)
 			if err != nil {
 				return err
 			}
@@ -204,18 +210,28 @@ func E8SyncShare(cfg Config) error {
 					share = 1
 				}
 			}
+			p50, p95, max := "-", "-", "-"
+			if h := trace.Blocked(res.Trace).Total; h.N() > 0 {
+				p50 = us(time.Duration(h.Quantile(0.50))).String()
+				p95 = us(time.Duration(h.Quantile(0.95))).String()
+				max = us(time.Duration(h.Max())).String()
+			}
 			tab.AddRow(b.Name(), kit.Name(), us(res.Times.Mean()), us(blocked),
-				fmt.Sprintf("%.1f%%", share*100))
+				fmt.Sprintf("%.1f%%", share*100), p50, p95, max)
 		}
 	}
 	return tab.Emit(cfg.Out, cfg.CSVDir, "")
 }
 
 // E9GCCensus characterizes the Go-specific fidelity cost this reproduction
-// documents in DESIGN.md: allocations and garbage-collector activity inside
-// each benchmark's timed region. Workloads are designed to preallocate, so
-// healthy rows show near-zero allocation and no collections; regressions
-// here mean the runtime, not the algorithm, is being measured.
+// documents in DESIGN.md: allocation, garbage-collector and scheduler
+// activity inside each benchmark's timed region, measured with the
+// runtime/metrics sampler bracketing exactly the harness's timed region.
+// Workloads are designed to preallocate, so healthy rows show near-zero
+// allocation and no collections; the scheduler-latency quantiles expose
+// interference from the Go scheduler that MemStats-style censuses miss.
+// GC quiescing is deliberately off here — this experiment measures the
+// collector, the others suppress it.
 func E9GCCensus(cfg Config) error {
 	suite, err := cfg.suite()
 	if err != nil {
@@ -223,27 +239,22 @@ func E9GCCensus(cfg Config) error {
 	}
 	t := cfg.threads()
 	tab := results.New("E9",
-		fmt.Sprintf("GC and allocation census (timed region), %d threads, scale=%s", t, cfg.Scale),
-		"benchmark", "kit", "allocs", "alloc-bytes", "gc-cycles", "gc-pause")
+		fmt.Sprintf("runtime census (timed region), %d threads, scale=%s", t, cfg.Scale),
+		"benchmark", "kit", "wall", "alloc-bytes", "gc-cycles", "gc-pauses", "pause-p50", "sched-p50", "sched-p95")
 
 	for _, b := range suite {
 		for _, kit := range []sync4.Kit{classic.New(), lockfree.New()} {
-			inst, err := b.Prepare(core.Config{Threads: t, Kit: kit, Scale: cfg.Scale, Seed: cfg.Seed})
+			res, err := harness.Run(b, core.Config{Threads: t, Kit: kit, Scale: cfg.Scale, Seed: cfg.Seed},
+				harness.Options{Reps: 1, Warmup: 1, SampleRuntime: true})
 			if err != nil {
 				return err
 			}
-			runtime.GC()
-			var before, after runtime.MemStats
-			runtime.ReadMemStats(&before)
-			if err := inst.Run(); err != nil {
-				return err
-			}
-			runtime.ReadMemStats(&after)
-			tab.AddRow(b.Name(), kit.Name(),
-				after.Mallocs-before.Mallocs,
-				after.TotalAlloc-before.TotalAlloc,
-				after.NumGC-before.NumGC,
-				time.Duration(after.PauseTotalNs-before.PauseTotalNs))
+			rs := res.Runtime
+			tab.AddRow(b.Name(), kit.Name(), us(res.Times.Mean()),
+				rs.AllocBytes, rs.GCCycles, rs.GCPauseN,
+				rs.GCPauseP50.Round(time.Microsecond),
+				rs.SchedP50.Round(time.Microsecond),
+				rs.SchedP95.Round(time.Microsecond))
 		}
 	}
 	return tab.Emit(cfg.Out, cfg.CSVDir, "")

@@ -137,7 +137,7 @@ func TestE8ReportsSyncShare(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"E8", "sync-share", "fft", "radix", "%"} {
+	for _, want := range []string{"E8", "sync-share", "blk-p50", "blk-p95", "fft", "radix", "%"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("E8 output missing %q:\n%s", want, out)
 		}
@@ -150,7 +150,7 @@ func TestE9ReportsGCCensus(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"E9", "allocs", "gc-cycles", "fft", "radix"} {
+	for _, want := range []string{"E9", "alloc-bytes", "gc-cycles", "sched-p50", "fft", "radix"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("E9 output missing %q:\n%s", want, out)
 		}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram accumulates non-negative int64 observations — typically
+// nanosecond durations of blocking synchronization operations — into
+// log-spaced (power-of-two) buckets. It is fixed-size, allocation-free
+// after construction, and cheap enough to fold millions of trace events:
+// bucketing one value is a single bit-length instruction.
+//
+// Bucket b (b >= 1) covers values whose binary length is b, i.e. the range
+// [2^(b-1), 2^b - 1]; bucket 0 holds exact zeros. Quantiles are estimated
+// by linear interpolation inside the selected bucket and clamped to the
+// exact observed [Min, Max], so single-valued histograms report quantiles
+// exactly.
+type Histogram struct {
+	counts [65]int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64, max: math.MinInt64}
+}
+
+// Add folds one observation in. Negative values are clamped to zero: the
+// intended payloads are durations, and a clock anomaly must not corrupt the
+// bucket index.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bits.Len64(uint64(v))]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// AddDuration is Add on a duration's nanosecond count.
+func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Nanoseconds()) }
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Sum returns the exact sum of all observations (after negative clamping).
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min returns the smallest observation, or 0 for an empty histogram.
+func (h *Histogram) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 for an empty histogram.
+func (h *Histogram) Max() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1). The rank is located
+// with nearest-rank over the bucket counts, the value interpolated linearly
+// inside the bucket and clamped to the observed extremes. Empty histograms
+// report 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if rank > cum+c {
+			cum += c
+			continue
+		}
+		lo, hi := bucketBounds(b)
+		// Position of the rank inside this bucket, in (0, 1]. Interpolate
+		// in float space and clamp before converting: the top buckets span
+		// ranges whose endpoint arithmetic overflows int64.
+		pos := float64(rank-cum) / float64(c)
+		fv := float64(lo) + pos*float64(hi-lo)
+		if fv <= float64(h.min) {
+			return h.min
+		}
+		if fv >= float64(h.max) {
+			return h.max
+		}
+		return int64(fv)
+	}
+	return h.max
+}
+
+// bucketBounds returns the inclusive value range of bucket b.
+func bucketBounds(b int) (lo, hi int64) {
+	if b == 0 {
+		return 0, 0
+	}
+	if b >= 64 {
+		// Bucket 64 holds values with the top bit set; its upper bound
+		// saturates at MaxInt64 since inputs are non-negative int64.
+		return math.MaxInt64 / 2, math.MaxInt64
+	}
+	lo = int64(1) << (b - 1)
+	hi = lo<<1 - 1
+	return lo, hi
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Bucket is one non-empty histogram bucket, for rendering.
+type Bucket struct {
+	Lo, Hi int64 // inclusive value range
+	Count  int64
+}
+
+// Buckets returns the non-empty buckets in increasing value order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(b)
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}
+
+// String summarizes the distribution as durations, the histogram's dominant
+// use in this suite.
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d p50=%v p95=%v max=%v",
+		h.n,
+		time.Duration(h.Quantile(0.50)).Round(time.Nanosecond),
+		time.Duration(h.Quantile(0.95)).Round(time.Nanosecond),
+		time.Duration(h.Max()))
+}

@@ -1,0 +1,219 @@
+package stats_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := stats.NewHistogram()
+	if h.N() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zeroed: n=%d sum=%d min=%d max=%d",
+			h.N(), h.Sum(), h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+	if h.Mean() != 0 {
+		t.Fatalf("empty mean = %g, want 0", h.Mean())
+	}
+}
+
+func TestHistogramSingleValueExactQuantiles(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 1000, 123456789} {
+		h := stats.NewHistogram()
+		h.Add(v)
+		for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("single value %d: Quantile(%g) = %d", v, q, got)
+			}
+		}
+	}
+}
+
+func TestHistogramKnownDistribution(t *testing.T) {
+	h := stats.NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Add(v)
+	}
+	if h.N() != 1000 || h.Sum() != 1000*1001/2 {
+		t.Fatalf("n=%d sum=%d", h.N(), h.Sum())
+	}
+	// Log-bucketed quantiles are estimates; allow a factor-of-two band,
+	// which is the bucket resolution.
+	p50 := h.Quantile(0.5)
+	if p50 < 250 || p50 > 1000 {
+		t.Errorf("p50 = %d, want within [250, 1000]", p50)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("p100 = %d, want 1000", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %d, want 1", got)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := stats.NewHistogram()
+	h.Add(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Sum() != 0 {
+		t.Fatalf("negative input not clamped: min=%d max=%d sum=%d", h.Min(), h.Max(), h.Sum())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := stats.NewHistogram(), stats.NewHistogram()
+	for i := int64(0); i < 100; i++ {
+		a.Add(i)
+		b.Add(i * 1000)
+	}
+	a.Merge(b)
+	if a.N() != 200 {
+		t.Fatalf("merged n = %d, want 200", a.N())
+	}
+	if a.Min() != 0 || a.Max() != 99000 {
+		t.Fatalf("merged extremes: min=%d max=%d", a.Min(), a.Max())
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestHistogramBucketsCoverValues(t *testing.T) {
+	h := stats.NewHistogram()
+	vals := []int64{0, 1, 2, 3, 4, 100, 1 << 40}
+	for _, v := range vals {
+		h.Add(v)
+	}
+	var covered int64
+	for _, b := range h.Buckets() {
+		if b.Lo > b.Hi {
+			t.Fatalf("bucket [%d, %d] inverted", b.Lo, b.Hi)
+		}
+		covered += b.Count
+	}
+	if covered != int64(len(vals)) {
+		t.Fatalf("buckets cover %d values, want %d", covered, len(vals))
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := stats.NewHistogram()
+	h.AddDuration(50 * time.Microsecond)
+	s := h.String()
+	if s == "" || s == "n=0" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// clampAll maps arbitrary quick-generated inputs onto the histogram's
+// domain, mirroring its negative clamping.
+func clampAll(xs []int64) []int64 {
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		out[i] = x
+	}
+	return out
+}
+
+// Property: N and Sum are exact, and Min/Max match the true extremes.
+func TestHistogramQuickExactMoments(t *testing.T) {
+	f := func(xs []int64) bool {
+		h := stats.NewHistogram()
+		var sum int64
+		for _, x := range xs {
+			h.Add(x)
+		}
+		vals := clampAll(xs)
+		lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+		for _, v := range vals {
+			sum += v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if len(vals) == 0 {
+			return h.N() == 0
+		}
+		return h.N() == int64(len(vals)) && h.Sum() == sum &&
+			h.Min() == lo && h.Max() == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Quantile is monotonically non-decreasing in q and always inside
+// the observed [Min, Max].
+func TestHistogramQuickQuantileMonotone(t *testing.T) {
+	f := func(xs []int64, seed int64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		h := stats.NewHistogram()
+		for _, x := range xs {
+			h.Add(x)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		qs := make([]float64, 12)
+		for i := range qs {
+			qs[i] = rng.Float64()
+		}
+		sort.Float64s(qs)
+		prev := int64(math.MinInt64)
+		for _, q := range qs {
+			v := h.Quantile(q)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles approximate the true nearest-rank quantile within the
+// factor-of-two bucket resolution.
+func TestHistogramQuickQuantileBucketAccuracy(t *testing.T) {
+	f := func(xs []int64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		h := stats.NewHistogram()
+		for _, x := range xs {
+			h.Add(x)
+		}
+		vals := clampAll(xs)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.25, 0.5, 0.9} {
+			rank := int(math.Ceil(q * float64(len(vals))))
+			if rank < 1 {
+				rank = 1
+			}
+			truth := vals[rank-1]
+			got := h.Quantile(q)
+			// The estimate must land within the true value's bucket
+			// neighborhood: [truth/2, 2*truth+1] handles the bucket edges.
+			if got < truth/2 || (truth < math.MaxInt64/2-1 && got > 2*truth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

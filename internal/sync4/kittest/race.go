@@ -1,0 +1,8 @@
+//go:build race
+
+package kittest
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-counting tests consult it: race instrumentation allocates
+// shadow state, so zero-alloc assertions only hold in non-race builds.
+const RaceEnabled = true

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// Runtime sampler: brackets a timed region with runtime/metrics reads and
+// reports the delta. The interesting metrics are cumulative histograms
+// (scheduler latency, GC pause) and monotonic counters (heap allocations,
+// GC cycles); subtracting the bracketing samples isolates exactly what the
+// Go runtime did *inside* the region, which is how E9 separates GC and
+// scheduler interference from synchronization cost.
+
+const (
+	metricSchedLat   = "/sched/latencies:seconds"
+	metricGCPauses   = "/gc/pauses:seconds"
+	metricAllocBytes = "/gc/heap/allocs:bytes"
+	metricGCCycles   = "/gc/cycles/total:gc-cycles"
+)
+
+// RuntimeSample is the runtime's activity during one bracketed region.
+type RuntimeSample struct {
+	// SchedN counts goroutine scheduling waits; the quantiles summarize how
+	// long runnable goroutines sat before running.
+	SchedN                       uint64
+	SchedP50, SchedP95, SchedMax time.Duration
+	// GCPauseN counts stop-the-world pauses inside the region.
+	GCPauseN               uint64
+	GCPauseP50, GCPauseMax time.Duration
+	// GCCycles counts completed GC cycles inside the region.
+	GCCycles uint64
+	// AllocBytes counts heap bytes allocated inside the region.
+	AllocBytes uint64
+}
+
+// String summarizes the sample on one line.
+func (s RuntimeSample) String() string {
+	return fmt.Sprintf("sched{n=%d p50=%v p95=%v} gc{cycles=%d pauses=%d p50=%v} alloc=%dB",
+		s.SchedN, s.SchedP50, s.SchedP95, s.GCCycles, s.GCPauseN, s.GCPauseP50, s.AllocBytes)
+}
+
+// Sampler brackets a region with two runtime/metrics reads. Zero-value is
+// not usable; construct with NewSampler. Start/Stop pairs may be reused.
+type Sampler struct {
+	before, after []metrics.Sample
+}
+
+// NewSampler returns a sampler reading the metric set above.
+func NewSampler() *Sampler {
+	names := []string{metricSchedLat, metricGCPauses, metricAllocBytes, metricGCCycles}
+	s := &Sampler{
+		before: make([]metrics.Sample, len(names)),
+		after:  make([]metrics.Sample, len(names)),
+	}
+	for i, n := range names {
+		s.before[i].Name = n
+		s.after[i].Name = n
+	}
+	return s
+}
+
+// Start records the region's opening sample.
+func (s *Sampler) Start() { metrics.Read(s.before) }
+
+// Stop records the closing sample and returns the region delta.
+func (s *Sampler) Stop() RuntimeSample {
+	metrics.Read(s.after)
+	var out RuntimeSample
+	for i := range s.after {
+		b, a := s.before[i], s.after[i]
+		if a.Value.Kind() == metrics.KindBad {
+			continue // metric absent in this runtime; leave zero
+		}
+		switch a.Name {
+		case metricSchedLat:
+			d := histDelta(b.Value.Float64Histogram(), a.Value.Float64Histogram())
+			out.SchedN = d.n
+			out.SchedP50 = d.quantile(0.50)
+			out.SchedP95 = d.quantile(0.95)
+			out.SchedMax = d.quantile(1)
+		case metricGCPauses:
+			d := histDelta(b.Value.Float64Histogram(), a.Value.Float64Histogram())
+			out.GCPauseN = d.n
+			out.GCPauseP50 = d.quantile(0.50)
+			out.GCPauseMax = d.quantile(1)
+		case metricAllocBytes:
+			out.AllocBytes = a.Value.Uint64() - b.Value.Uint64()
+		case metricGCCycles:
+			out.GCCycles = a.Value.Uint64() - b.Value.Uint64()
+		}
+	}
+	return out
+}
+
+// deltaHist is the difference of two cumulative runtime histograms: counts
+// per bucket plus the shared second-resolution bucket boundaries.
+type deltaHist struct {
+	counts  []uint64
+	buckets []float64
+	n       uint64
+}
+
+func histDelta(before, after *metrics.Float64Histogram) deltaHist {
+	if after == nil {
+		return deltaHist{}
+	}
+	d := deltaHist{
+		counts:  make([]uint64, len(after.Counts)),
+		buckets: after.Buckets,
+	}
+	for i, c := range after.Counts {
+		if before != nil && i < len(before.Counts) {
+			c -= before.Counts[i]
+		}
+		d.counts[i] = c
+		d.n += c
+	}
+	return d
+}
+
+// quantile returns the q-th quantile as a duration, using each bucket's
+// upper edge (conservative) and falling back to the lower edge where the
+// edge is infinite.
+func (d deltaHist) quantile(q float64) time.Duration {
+	if d.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(d.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range d.counts {
+		cum += c
+		if cum < rank {
+			continue
+		}
+		// Bucket i spans [buckets[i], buckets[i+1]).
+		edge := math.Inf(1)
+		if i+1 < len(d.buckets) {
+			edge = d.buckets[i+1]
+		}
+		if math.IsInf(edge, 0) && i < len(d.buckets) {
+			edge = d.buckets[i]
+		}
+		if math.IsInf(edge, 0) || math.IsNaN(edge) || edge < 0 {
+			edge = 0
+		}
+		return time.Duration(edge * float64(time.Second))
+	}
+	return 0
+}

@@ -1,0 +1,11 @@
+//go:build linux
+
+package trace
+
+import "syscall"
+
+// ostid identifies the calling OS thread. On Linux this is one gettid
+// syscall (~10² ns) — the per-event cost of lane attribution, paid only
+// while tracing is enabled. The id is stable for a pinned goroutine
+// (PinWorker) and never zero, which the lane table uses as its empty mark.
+func ostid() int { return syscall.Gettid() }

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package trace
+
+// ostid identifies the calling OS thread. Platforms without a cheap thread
+// id report a single shared lane: traces remain complete and census-exact,
+// but lose per-thread attribution (documented in docs/OBSERVABILITY.md).
+func ostid() int { return 1 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/sync4"
 	"repro/internal/sync4/classic"
 	"repro/internal/sync4/lockfree"
+	"repro/internal/trace"
 	"repro/internal/workloads/all"
 )
 
@@ -104,6 +105,27 @@ func Lockfree() Kit { return lockfree.New() }
 func Instrument(kit Kit, c *SyncCounters, withTime bool) Kit {
 	return sync4.Instrument(kit, c, withTime)
 }
+
+// TraceRecorder records per-thread synchronization events into fixed
+// per-OS-thread buffers; see trace.Recorder.
+type TraceRecorder = trace.Recorder
+
+// TraceCapture is a quiescent copy of a recorder's events; see
+// trace.Capture. Captures export to Chrome trace-event JSON
+// (trace.WriteChrome) and replay through dessim.FromCapture.
+type TraceCapture = trace.Capture
+
+// NewTraceRecorder returns a recorder with maxLanes per-thread buffers of
+// capacity events each; pass it to Options.Trace or Trace.
+func NewTraceRecorder(maxLanes, capacity int) *TraceRecorder {
+	return trace.NewRecorder(maxLanes, capacity)
+}
+
+// Trace wraps kit so every synchronization operation is recorded as a typed
+// event in r (zero-allocation on the hot path). A nil recorder returns kit
+// unchanged. Most callers should set Options.Trace instead, which also pins
+// workers to OS threads so trace lanes map 1:1 onto logical threads.
+func Trace(kit Kit, r *TraceRecorder) Kit { return sync4.Trace(kit, r) }
 
 // Compose builds a kit that takes each construct family from the override
 // kit when given, and from base otherwise (ablation studies).
