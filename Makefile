@@ -6,17 +6,19 @@
 #   make vet          just the concurrency-invariant analyzers (splash4-vet)
 #   make bench        the testing.B experiment targets
 #   make trace-smoke  capture fft traces under both kits and validate them
+#   make serve-smoke  drive the splash4d daemon end to end over HTTP
 
 GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)
 
-.PHONY: check vet race test build bench trace-smoke
+.PHONY: check vet race test build bench trace-smoke serve-smoke
 
 check: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/splash4-vet ./...
 	$(GO) test ./...
 	$(MAKE) trace-smoke
+	$(MAKE) serve-smoke
 
 build:
 	$(GO) build ./...
@@ -41,3 +43,11 @@ trace-smoke:
 	$(GO) run ./cmd/splash4-trace -workload fft -kit classic -threads 4 -scale test -out $(TRACE_TMP)/fft-classic.trace.json >/dev/null
 	$(GO) run ./cmd/splash4-trace -workload fft -kit lockfree -threads 4 -scale test -out $(TRACE_TMP)/fft-lockfree.trace.json >/dev/null
 	@echo "trace-smoke: ok"
+
+# serve-smoke boots an ephemeral splash4d on a loopback port and drives the
+# full API — submit under both kits, poll, /compare, /metrics, graceful
+# drain — exiting non-zero on any failure. The run's measured speedup lands
+# in BENCH_serve.json to seed the service perf trajectory.
+serve-smoke:
+	$(GO) run ./cmd/splash4d -smoke -store $(TRACE_TMP)/serve-smoke.jsonl -out BENCH_serve.json
+	@echo "serve-smoke: ok"

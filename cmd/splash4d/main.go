@@ -1,0 +1,303 @@
+// Command splash4d is the Splash-4 benchmark execution daemon: a
+// long-running HTTP service that runs suite workloads on demand through the
+// measurement harness, journals every result to an append-only JSONL store,
+// and answers classic-vs-lockfree comparison queries with bootstrap
+// confidence intervals. Its own job pipeline runs on the suite's lock-free
+// constructs — the admission queue is the sync4/lockfree MPMC ring.
+//
+//	splash4d -addr :8724 -store splash4d.jsonl
+//
+// The API is documented in docs/SERVICE.md. On SIGTERM or SIGINT the daemon
+// drains: it stops admitting (503), finishes in-flight jobs up to
+// -drain-timeout, flushes the store, and exits.
+//
+// With -smoke the binary instead starts an ephemeral instance on a loopback
+// port, drives a small fft measurement under both kits through the real
+// HTTP API (submit, poll, compare, metrics), drains it, and writes the
+// result summary to -out. `make serve-smoke` runs this as the service's
+// end-to-end gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/resultstore"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8724", "listen address")
+		storePath    = flag.String("store", "splash4d.jsonl", "append-only JSONL result store")
+		queueCap     = flag.Int("queue", 64, "admission ring capacity (rounds up to a power of two, min 2)")
+		workers      = flag.Int("workers", 0, "worker pool size (0 means GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs")
+		smoke        = flag.Bool("smoke", false, "run the self-contained smoke sequence and exit")
+		out          = flag.String("out", "BENCH_serve.json", "smoke result path (with -smoke)")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*storePath, *out, *queueCap, *workers, *drainTimeout); err != nil {
+			log.Fatalf("splash4d smoke: %v", err)
+		}
+		return
+	}
+	if err := serve(*addr, *storePath, *queueCap, *workers, *drainTimeout); err != nil {
+		log.Fatalf("splash4d: %v", err)
+	}
+}
+
+// newServer opens the store and builds the pipeline; the caller owns both.
+func newServer(storePath string, queueCap, workers int) (*server.Server, *resultstore.Store, error) {
+	store, err := resultstore.Open(storePath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening result store: %w", err)
+	}
+	srv, err := server.New(server.Config{
+		Store:         store,
+		QueueCapacity: queueCap,
+		Workers:       workers,
+	})
+	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	if n := store.Skipped(); n > 0 {
+		log.Printf("store %s: skipped %d malformed journal lines on replay", storePath, n)
+	}
+	return srv, store, nil
+}
+
+func serve(addr, storePath string, queueCap, workers int, drainTimeout time.Duration) error {
+	srv, store, err := newServer(storePath, queueCap, workers)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		err := hs.ListenAndServe()
+		if err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	log.Printf("splash4d listening on %s (store %s, %d replayed results)", addr, storePath, store.Len())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case sig := <-sigc:
+		log.Printf("%s: draining (timeout %v)", sig, drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	if err := hs.Shutdown(context.Background()); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	log.Printf("drained cleanly; %d results journaled", store.Len())
+	return nil
+}
+
+// runSmoke exercises the service end to end over a real loopback socket:
+// both kits of fft at test scale, status polling, /compare, /metrics, and a
+// graceful drain. It writes a JSON summary suitable for tracking the
+// service's measured speedup over time.
+func runSmoke(storePath, outPath string, queueCap, workers int, drainTimeout time.Duration) error {
+	srv, store, err := newServer(storePath, queueCap, workers)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	const (
+		workload = "fft"
+		threads  = 2
+		scale    = "test"
+		reps     = 3
+	)
+	runs := make(map[string]map[string]any)
+	for _, kit := range []string{"classic", "lockfree"} {
+		spec := fmt.Sprintf(`{"workload":%q,"kit":%q,"threads":%d,"scale":%q,"reps":%d,"seed":1}`,
+			workload, kit, threads, scale, reps)
+		id, err := submitRun(base, spec)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("%s: %w", kit, err)
+		}
+		view, err := pollDone(base, id, 2*time.Minute)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("%s run %s: %w", kit, id, err)
+		}
+		result, ok := view["result"].(map[string]any)
+		if !ok {
+			srv.Close()
+			return fmt.Errorf("%s run %s finished without a result payload", kit, id)
+		}
+		runs[kit] = result
+		log.Printf("smoke: %s/%s done (mean %.3fms)", workload, kit, result["mean_ns"].(float64)/1e6)
+	}
+
+	compare, err := getJSON(base + fmt.Sprintf("/compare?workload=%s&threads=%d&scale=%s&seed=1",
+		workload, threads, scale))
+	if err != nil {
+		srv.Close()
+		return fmt.Errorf("compare: %w", err)
+	}
+	if err := checkMetrics(base); err != nil {
+		srv.Close()
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := hs.Shutdown(context.Background()); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+
+	summary := map[string]any{
+		"bench":     "serve-smoke",
+		"workload":  workload,
+		"threads":   threads,
+		"scale":     scale,
+		"reps":      reps,
+		"runs":      runs,
+		"compare":   compare,
+		"generated": time.Now().UTC().Format(time.RFC3339),
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("smoke: speedup %.3f, wrote %s", compare["speedup"].(float64), outPath)
+	return nil
+}
+
+// submitRun POSTs one spec and returns the accepted job's ID.
+func submitRun(base, spec string) (string, error) {
+	resp, err := http.Post(base+"/runs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return "", err
+	}
+	body, err := decodeBody(resp)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("POST /runs = %d: %v", resp.StatusCode, body["error"])
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		return "", fmt.Errorf("POST /runs returned no job id")
+	}
+	return id, nil
+}
+
+// pollDone polls GET /runs/{id} until the job reaches a terminal state.
+func pollDone(base, id string, timeout time.Duration) (map[string]any, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		view, err := getJSON(base + "/runs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		switch view["status"] {
+		case "done":
+			return view, nil
+		case "error":
+			return nil, fmt.Errorf("job failed: %v", view["error"])
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("timed out after %v in state %v", timeout, view["status"])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func getJSON(url string) (map[string]any, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	body, err := decodeBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s = %d: %v", url, resp.StatusCode, body["error"])
+	}
+	return body, nil
+}
+
+func decodeBody(resp *http.Response) (map[string]any, error) {
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, fmt.Errorf("decoding response: %w", err)
+	}
+	return v, nil
+}
+
+// checkMetrics asserts the Prometheus endpoint is alive and exporting the
+// pipeline series the smoke run must have populated.
+func checkMetrics(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics = %d", resp.StatusCode)
+	}
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"splash4d_jobs_completed_total",
+		"splash4d_run_duration_seconds_bucket",
+	} {
+		if !strings.Contains(string(text), want) {
+			return fmt.Errorf("/metrics missing %s", want)
+		}
+	}
+	return nil
+}

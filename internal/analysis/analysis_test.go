@@ -128,6 +128,12 @@ func TestFixtures(t *testing.T) {
 		{"errchecklite/bad", "repro/internal/analysis/ecfixbad", 0},
 		{"errchecklite/good", "repro/internal/analysis/ecfixgood", 0},
 		{"suppress", "repro/internal/analysis/supfix", 2},
+		// The splash4d admission-queue shape, pinned under a workload path
+		// so kit-bypass is armed: the clean pipeline must stay silent, and
+		// the metrics gauge's raw atomic needs exactly one justified
+		// suppression.
+		{"serverqueue/clean", "repro/internal/workloads/serverqueuefix", 0},
+		{"serverqueue/suppressed", "repro/internal/workloads/serverqueuegauge", 1},
 	}
 	for _, tc := range cases {
 		tc := tc

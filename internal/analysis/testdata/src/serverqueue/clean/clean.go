@@ -1,0 +1,66 @@
+// Package serverqueuefix is the golden fixture for splash4d's admission
+// path: the distilled job pipeline — lock-free ring admission, non-blocking
+// wake tokens, a drain-until-miss worker loop — loaded under a workload
+// import path so kit-bypass is armed. The shape must stay silent under
+// every analyzer: all synchronization flows through sync4 constructs and
+// channels, and the drain loop's progress comes from TryGet, not from
+// spinning on plain memory.
+package serverqueuefix
+
+import (
+	"repro/internal/sync4"
+	"repro/internal/sync4/lockfree"
+)
+
+type pipeline struct {
+	queue    sync4.Queue
+	wake     chan struct{}
+	stop     chan struct{}
+	accepted sync4.Counter
+	rejected sync4.Counter
+}
+
+func newPipeline(capacity int) *pipeline {
+	kit := lockfree.New()
+	return &pipeline{
+		queue:    kit.NewQueue(capacity),
+		wake:     make(chan struct{}, capacity),
+		stop:     make(chan struct{}),
+		accepted: kit.NewCounter(),
+		rejected: kit.NewCounter(),
+	}
+}
+
+// submit admits one job sequence number; a full ring is a rejection, and
+// the wake token is offered without blocking.
+func (p *pipeline) submit(seq int64) bool {
+	if !p.queue.TryPut(seq) {
+		p.rejected.Inc()
+		return false
+	}
+	p.accepted.Inc()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// worker sleeps on the wake channel and drains the ring until TryGet
+// misses.
+func (p *pipeline) worker(run func(int64)) {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.wake:
+			for {
+				seq, ok := p.queue.TryGet()
+				if !ok {
+					break
+				}
+				run(seq)
+			}
+		}
+	}
+}

@@ -4,9 +4,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -91,10 +93,48 @@ type Region struct {
 // Dur returns the region's length.
 func (r Region) Dur() time.Duration { return r.End.Sub(r.Start) }
 
+// pinRefs refcounts trace-pinning across concurrent traced runs: the worker
+// hook is global, so the first traced run arms it and the last one disarms
+// it. The hook itself (trace.PinWorker) is stateless and identical for every
+// run, which is what makes sharing one installation sound.
+var pinRefs struct {
+	sync.Mutex
+	n int
+}
+
+func armPinning() {
+	pinRefs.Lock()
+	defer pinRefs.Unlock()
+	pinRefs.n++
+	if pinRefs.n == 1 {
+		core.SetWorkerHook(trace.PinWorker)
+	}
+}
+
+func disarmPinning() {
+	pinRefs.Lock()
+	defer pinRefs.Unlock()
+	pinRefs.n--
+	if pinRefs.n == 0 {
+		core.SetWorkerHook(nil)
+	}
+}
+
 // Run measures b under cfg. Every repetition prepares a fresh instance, so
 // instances never see reuse; inputs are identical across repetitions because
 // Prepare derives them from cfg.Seed.
 func Run(b core.Benchmark, cfg core.Config, opt Options) (Result, error) {
+	return RunContext(context.Background(), b, cfg, opt)
+}
+
+// RunContext is Run with cancellation: the context is consulted before every
+// warmup and measured repetition, so a caller (a job queue, a server
+// draining) can stop a multi-repetition measurement between repetitions. A
+// repetition already inside the timed region runs to completion — the suite
+// workloads have no preemption points, and tearing one mid-run would leave
+// its worker goroutines behind. On cancellation the error wraps ctx.Err()
+// and the Result carries the repetitions completed so far.
+func RunContext(ctx context.Context, b core.Benchmark, cfg core.Config, opt Options) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -116,8 +156,8 @@ func Run(b core.Benchmark, cfg core.Config, opt Options) (Result, error) {
 		// Trace outside Instrument: both observe exactly the workload's
 		// calls, keeping the trace census and Result.Sync comparable.
 		runCfg.Kit = sync4.Trace(runCfg.Kit, opt.Trace)
-		core.SetWorkerHook(trace.PinWorker)
-		defer core.SetWorkerHook(nil)
+		armPinning()
+		defer disarmPinning()
 	}
 	var sampler *trace.Sampler
 	if opt.SampleRuntime {
@@ -125,11 +165,17 @@ func Run(b core.Benchmark, cfg core.Config, opt Options) (Result, error) {
 	}
 
 	for rep := 0; rep < opt.Warmup; rep++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("%s/%s warmup rep %d: %w", b.Name(), cfg.Kit.Name(), rep, err)
+		}
 		if _, _, err := runOnce(b, runCfg, opt, false, nil); err != nil {
 			return res, fmt.Errorf("%s/%s warmup rep %d: %w", b.Name(), cfg.Kit.Name(), rep, err)
 		}
 	}
 	for rep := 0; rep < opt.reps(); rep++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("%s/%s rep %d: %w", b.Name(), cfg.Kit.Name(), rep, err)
+		}
 		if counters != nil {
 			counters.Reset()
 		}
@@ -195,14 +241,20 @@ func runOnce(b core.Benchmark, cfg core.Config, opt Options, verify bool, sample
 // and returns (classic result, lockfree result). It is the unit step of the
 // paper's Splash-3 vs Splash-4 comparison.
 func Pair(b core.Benchmark, cfg core.Config, classicKit, lockfreeKit sync4.Kit, opt Options) (Result, Result, error) {
+	return PairContext(context.Background(), b, cfg, classicKit, lockfreeKit, opt)
+}
+
+// PairContext is Pair with cancellation, with RunContext's semantics for
+// each half.
+func PairContext(ctx context.Context, b core.Benchmark, cfg core.Config, classicKit, lockfreeKit sync4.Kit, opt Options) (Result, Result, error) {
 	cfgC := cfg
 	cfgC.Kit = classicKit
-	rc, err := Run(b, cfgC, opt)
+	rc, err := RunContext(ctx, b, cfgC, opt)
 	if err != nil {
 		return rc, Result{}, err
 	}
 	cfgL := cfg
 	cfgL.Kit = lockfreeKit
-	rl, err := Run(b, cfgL, opt)
+	rl, err := RunContext(ctx, b, cfgL, opt)
 	return rc, rl, err
 }

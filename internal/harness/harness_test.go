@@ -1,6 +1,7 @@
 package harness_test
 
 import (
+	"context"
 	"errors"
 	"runtime/debug"
 	"testing"
@@ -24,6 +25,7 @@ type fakeBench struct {
 	runs       *int
 	verifies   *int
 	useKit     bool
+	onRun      func() // called inside every Instance.Run, if set
 }
 
 func (f *fakeBench) Name() string        { return f.name }
@@ -53,6 +55,9 @@ type fakeInstance struct {
 func (i *fakeInstance) Run() error {
 	if i.b.runs != nil {
 		*i.b.runs++
+	}
+	if i.b.onRun != nil {
+		i.b.onRun()
 	}
 	if i.b.sleep > 0 {
 		time.Sleep(i.b.sleep)
@@ -181,6 +186,54 @@ func TestPairRunsBothKits(t *testing.T) {
 	}
 	if rc.Kit != "classic" || rl.Kit != "lockfree" {
 		t.Fatalf("pair kits = %q, %q", rc.Kit, rl.Kit)
+	}
+}
+
+func TestRunContextCancelBeforeStart(t *testing.T) {
+	var prepares, runs int
+	b := &fakeBench{name: "queued", prepares: &prepares, runs: &runs}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the job is canceled while still queued
+	_, err := harness.RunContext(ctx, b, core.Config{Threads: 1, Kit: classic.New()},
+		harness.Options{Reps: 3, Warmup: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if prepares != 0 || runs != 0 {
+		t.Fatalf("prepares=%d runs=%d after pre-run cancellation, want 0 each", prepares, runs)
+	}
+}
+
+func TestRunContextCancelBetweenReps(t *testing.T) {
+	var runs int
+	ctx, cancel := context.WithCancel(context.Background())
+	// The first repetition cancels the context from inside the timed
+	// region: that rep must complete, and no further rep may start.
+	b := &fakeBench{name: "inflight", runs: &runs, onRun: cancel}
+	res, err := harness.RunContext(ctx, b, core.Config{Threads: 1, Kit: classic.New()},
+		harness.Options{Reps: 5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if runs != 1 {
+		t.Fatalf("ran %d reps after mid-run cancellation, want exactly 1", runs)
+	}
+	if res.Times.N() != 1 {
+		t.Fatalf("result carries %d samples, want the 1 completed rep", res.Times.N())
+	}
+}
+
+func TestRunContextCancelDuringWarmup(t *testing.T) {
+	var runs int
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &fakeBench{name: "warm", runs: &runs, onRun: cancel}
+	_, err := harness.RunContext(ctx, b, core.Config{Threads: 1, Kit: classic.New()},
+		harness.Options{Reps: 2, Warmup: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if runs != 1 {
+		t.Fatalf("ran %d times, want 1 (first warmup only)", runs)
 	}
 }
 

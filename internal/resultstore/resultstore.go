@@ -1,0 +1,268 @@
+// Package resultstore persists benchmark results across daemon restarts as
+// an append-only JSONL journal with an in-memory index. One line is one
+// completed run; appends are flushed before they are acknowledged, so a run
+// the server reported as stored survives a crash. The format is plain JSON
+// per line on purpose: jq, a spreadsheet import, or a future compaction pass
+// can all consume the journal without this package.
+package resultstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Record is one persisted run result.
+type Record struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	Kit      string `json:"kit"`
+	Threads  int    `json:"threads"`
+	Scale    string `json:"scale"`
+	Seed     int64  `json:"seed"`
+	Reps     int    `json:"reps"`
+
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+
+	// Status is "ok" for completed runs, "error" for failed ones.
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	// TimesNS holds every measured repetition's wall time in nanoseconds;
+	// MeanNS is their mean. Persisting the raw repetitions (not just the
+	// mean) is what lets /compare bootstrap a confidence interval later.
+	TimesNS []int64 `json:"times_ns"`
+	MeanNS  int64   `json:"mean_ns"`
+
+	// TraceEvents is the synchronization-event count of the last
+	// repetition's trace capture; 0 when the run was not traced.
+	TraceEvents int64 `json:"trace_events,omitempty"`
+	// SyncOps is the total synchronization-operation census of the last
+	// repetition; 0 when the run was not instrumented.
+	SyncOps int64 `json:"sync_ops,omitempty"`
+}
+
+// Key identifies the measurement population a record belongs to: every
+// record with the same Key measured the same (workload, kit, configuration)
+// and their repetitions can be pooled into one sample.
+type Key struct {
+	Workload string
+	Kit      string
+	Threads  int
+	Scale    string
+}
+
+// Key returns the record's population key.
+func (r Record) Key() Key {
+	return Key{Workload: r.Workload, Kit: r.Kit, Threads: r.Threads, Scale: r.Scale}
+}
+
+// Store is the journal plus its in-memory index. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	recs    []Record
+	byKey   map[Key][]int // indices into recs
+	skipped int           // malformed journal lines ignored at Open
+}
+
+// Open reads (or creates) the journal at path and rebuilds the index. A
+// malformed line — typically a torn final write from a crash — is skipped
+// and counted, never fatal: the journal's good prefix is always usable.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := &Store{f: f, byKey: make(map[Key][]int)}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s.w = bufio.NewWriter(f)
+	// A torn final write leaves the journal without a trailing newline;
+	// terminate it so the next append starts on a fresh line instead of
+	// gluing onto the fragment.
+	if end > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, end-1); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+		if last[0] != '\n' {
+			if err := s.w.WriteByte('\n'); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("resultstore: %w", err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// replay loads every journal line into the index.
+func (s *Store) replay() error {
+	sc := bufio.NewScanner(s.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.ID == "" {
+			s.skipped++
+			continue
+		}
+		s.index(r)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("resultstore: reading journal: %w", err)
+	}
+	return nil
+}
+
+// index appends r to the in-memory state. Caller holds mu (or is Open's
+// single-threaded replay).
+func (s *Store) index(r Record) {
+	s.recs = append(s.recs, r)
+	s.byKey[r.Key()] = append(s.byKey[r.Key()], len(s.recs)-1)
+}
+
+// Append journals and indexes one record. The line is flushed to the OS
+// before Append returns, so an acknowledged record survives a process
+// crash.
+func (s *Store) Append(r Record) error {
+	if r.ID == "" {
+		return fmt.Errorf("resultstore: record needs an ID")
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return fmt.Errorf("resultstore: store is closed")
+	}
+	if _, err := s.w.Write(line); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.index(r)
+	return nil
+}
+
+// Len returns the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Skipped returns how many malformed journal lines Open ignored.
+func (s *Store) Skipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
+}
+
+// All returns a copy of every record in journal order.
+func (s *Store) All() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.recs))
+	copy(out, s.recs)
+	return out
+}
+
+// ByID returns the most recent record with the given id.
+func (s *Store) ByID(id string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.recs) - 1; i >= 0; i-- {
+		if s.recs[i].ID == id {
+			return s.recs[i], true
+		}
+	}
+	return Record{}, false
+}
+
+// ByKey returns every record of one measurement population, in journal
+// order.
+func (s *Store) ByKey(k Key) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idxs := s.byKey[k]
+	out := make([]Record, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.recs[idx]
+	}
+	return out
+}
+
+// TimesNS pools the repetition times of every successful record of one
+// population — the sample /compare feeds to the bootstrap.
+func (s *Store) TimesNS(k Key) []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int64
+	for _, idx := range s.byKey[k] {
+		r := s.recs[idx]
+		if r.Status != "ok" {
+			continue
+		}
+		out = append(out, r.TimesNS...)
+	}
+	return out
+}
+
+// Flush forces buffered journal bytes to the OS.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	return nil
+}
+
+// Close flushes, syncs and closes the journal. Further Appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	flushErr := s.w.Flush()
+	s.w = nil
+	syncErr := s.f.Sync()
+	closeErr := s.f.Close()
+	for _, err := range []error{flushErr, syncErr, closeErr} {
+		if err != nil {
+			return fmt.Errorf("resultstore: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(id, workload, kit string, times ...int64) Record {
+	var sum int64
+	for _, t := range times {
+		sum += t
+	}
+	var mean int64
+	if len(times) > 0 {
+		mean = sum / int64(len(times))
+	}
+	return Record{
+		ID: id, Workload: workload, Kit: kit, Threads: 2, Scale: "test",
+		Seed: 1, Reps: len(times), Status: "ok", TimesNS: times, MeanNS: mean,
+		Submitted: time.Unix(100, 0).UTC(), Started: time.Unix(101, 0).UTC(),
+		Finished: time.Unix(102, 0).UTC(),
+	}
+}
+
+func TestAppendAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("r1", "fft", "classic", 200, 210)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("r2", "fft", "lockfree", 100, 110)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the journal replays into an identical index.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("reopened store holds %d records, want 2", s2.Len())
+	}
+	r, ok := s2.ByID("r2")
+	if !ok || r.Kit != "lockfree" || r.MeanNS != 105 {
+		t.Fatalf("ByID(r2) = %+v, %v", r, ok)
+	}
+	k := Key{Workload: "fft", Kit: "classic", Threads: 2, Scale: "test"}
+	if got := s2.TimesNS(k); len(got) != 2 || got[0] != 200 || got[1] != 210 {
+		t.Fatalf("TimesNS(classic) = %v", got)
+	}
+
+	// And the reopened store accepts further appends.
+	if err := s2.Append(rec("r3", "fft", "classic", 220)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.TimesNS(k); len(got) != 3 {
+		t.Fatalf("pooled sample has %d entries after append, want 3", len(got))
+	}
+}
+
+func TestTornLineIsSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("r1", "radix", "classic", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn final write from a crash.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"r2","workload":"radix","ki`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 || s2.Skipped() != 1 {
+		t.Fatalf("len=%d skipped=%d, want 1 and 1", s2.Len(), s2.Skipped())
+	}
+	// The store stays appendable after recovery, and the recovered journal
+	// parses cleanly on the next open.
+	if err := s2.Append(rec("r3", "radix", "classic", 510)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 2 {
+		t.Fatalf("after recovery append, reopened store holds %d records, want 2", s3.Len())
+	}
+}
+
+func TestFailedRunsExcludedFromSample(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ok := rec("ok", "lu", "classic", 300)
+	bad := rec("bad", "lu", "classic", 1)
+	bad.Status = "error"
+	bad.Error = "verify: mismatch"
+	if err := s.Append(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(bad); err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Workload: "lu", Kit: "classic", Threads: 2, Scale: "test"}
+	if got := s.TimesNS(k); len(got) != 1 || got[0] != 300 {
+		t.Fatalf("TimesNS includes failed runs: %v", got)
+	}
+	if got := s.ByKey(k); len(got) != 2 {
+		t.Fatalf("ByKey hides failed runs: %d records, want 2", len(got))
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := rune('a' + w)
+				if err := s.Append(rec(string(id), "fmm", "lockfree", int64(1000+i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Len() != writers*per {
+		t.Fatalf("store holds %d records, want %d", s.Len(), writers*per)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != writers*per || s2.Skipped() != 0 {
+		t.Fatalf("reopen found %d records (%d skipped), want %d clean",
+			s2.Len(), s2.Skipped(), writers*per)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("r1", "fft", "classic", 1)); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestAppendRequiresID(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := rec("", "fft", "classic", 1)
+	if err := s.Append(r); err == nil {
+		t.Fatal("accepted record without ID")
+	}
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds POST /runs request bodies; a spec is tiny.
+const maxBodyBytes = 1 << 16
+
+// writeJSON renders one response body. Encoding a value this package built
+// cannot fail in a way the client can act on, so encoder errors (a closed
+// connection, typically) are dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit is POST /runs: admit one measurement job.
+//
+//	202 {job}            accepted, freshly queued
+//	200 {job}            identical spec already queued/running (singleflight)
+//	400 {error}          malformed body or unusable spec
+//	429 {error}          admission ring full — retry later
+//	503 {error}          server is draining
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding run spec: %v", err)
+		return
+	}
+	if err := s.validateSpec(&sp); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid run spec: %v", err)
+		return
+	}
+	job, created, err := s.submit(sp)
+	switch {
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, errBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if !created {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.jobView(job, !created))
+}
+
+// handleStatus is GET /runs/{id}: the job's current state and, once done,
+// its result.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobView(job, false))
+}
+
+// jobView renders one job for the JSON API.
+func (s *Server) jobView(j *Job, deduped bool) map[string]any {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := map[string]any{
+		"id":        j.ID,
+		"status":    j.State().String(),
+		"workload":  j.Spec.Workload,
+		"kit":       j.Spec.Kit,
+		"threads":   j.Spec.Threads,
+		"scale":     j.Spec.Scale,
+		"seed":      j.Spec.Seed,
+		"reps":      j.Spec.Reps,
+		"warmup":    j.Spec.Warmup,
+		"submitted": j.Submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if deduped {
+		v["deduped"] = true
+	}
+	if !j.started.IsZero() {
+		v["started"] = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v["finished"] = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.errMsg != "" {
+		v["error"] = j.errMsg
+	}
+	if j.record != nil && j.State() == StateDone {
+		v["result"] = map[string]any{
+			"mean_ns":      j.record.MeanNS,
+			"times_ns":     j.record.TimesNS,
+			"trace_events": j.record.TraceEvents,
+			"sync_ops":     j.record.SyncOps,
+		}
+	}
+	return v
+}
+
+// handleEvents is GET /runs/{id}/events: a Server-Sent-Events stream of the
+// job's progress. Events already emitted are replayed first (a subscriber
+// arriving after completion still sees the full queued→…→done sequence in
+// order), then live events follow until the job reaches a terminal state.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Channel capacity covers the worst case: every remaining event of a
+	// max-reps job arriving while this subscriber is between reads.
+	replay, ch, cancel := job.subscribe(s.cfg.MaxReps + 8)
+	defer cancel()
+	for _, ev := range replay {
+		if err := writeSSE(w, ev); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+	if ch == nil {
+		return // job already terminal; the replay was the whole story
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		case ev := <-ch:
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			fl.Flush()
+			if ev.Type == "done" || ev.Type == "error" {
+				return
+			}
+		}
+	}
+}
+
+// writeSSE renders one event in text/event-stream framing.
+func writeSSE(w http.ResponseWriter, ev Event) error {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, payload)
+	return err
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
+		"uptime_s":    int64(time.Since(s.start).Seconds()),
+		"queue_depth": s.queue.Len(),
+		"inflight":    s.inflight.Load(),
+	})
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"repro/internal/resultstore"
+	"repro/internal/stats"
+)
+
+// handleCompare is GET /compare: the classic-vs-lockfree speedup for one
+// (workload, threads, scale) population, with a percentile-bootstrap
+// confidence interval over every persisted repetition — the statistically
+// sound version of the paper's headline comparison.
+//
+// Query parameters: workload (required), threads (default 1), scale
+// (default test), base (default classic), target (default lockfree), level
+// (default 0.95), resamples (default 2000), seed (default 1).
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	workload := q.Get("workload")
+	if workload == "" {
+		writeError(w, http.StatusBadRequest, "compare needs ?workload=")
+		return
+	}
+	if _, err := s.cfg.Resolver(workload); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	threads, err := intParam(q.Get("threads"), 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad threads: %v", err)
+		return
+	}
+	scale := q.Get("scale")
+	if scale == "" {
+		scale = "test"
+	}
+	baseKit := q.Get("base")
+	if baseKit == "" {
+		baseKit = "classic"
+	}
+	targetKit := q.Get("target")
+	if targetKit == "" {
+		targetKit = "lockfree"
+	}
+	level, err := floatParam(q.Get("level"), 0.95)
+	if err != nil || !(level > 0 && level < 1) {
+		writeError(w, http.StatusBadRequest, "bad level (want a fraction in (0,1))")
+		return
+	}
+	resamples, err := intParam(q.Get("resamples"), 2000)
+	if err != nil || resamples > 1_000_000 {
+		writeError(w, http.StatusBadRequest, "bad resamples")
+		return
+	}
+	seed, err := intParam(q.Get("seed"), 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad seed: %v", err)
+		return
+	}
+
+	baseKey := resultstore.Key{Workload: workload, Kit: baseKit, Threads: threads, Scale: scale}
+	targetKey := resultstore.Key{Workload: workload, Kit: targetKit, Threads: threads, Scale: scale}
+	baseNS := s.store.TimesNS(baseKey)
+	targetNS := s.store.TimesNS(targetKey)
+	if len(baseNS) == 0 || len(targetNS) == 0 {
+		writeError(w, http.StatusNotFound,
+			"no stored results for %s t=%d %s under both kits (base %s: %d reps, target %s: %d reps); submit runs first",
+			workload, threads, scale, baseKit, len(baseNS), targetKit, len(targetNS))
+		return
+	}
+
+	ci, err := stats.BootstrapCI(nsToFloats(baseNS), nsToFloats(targetNS), level, resamples, int64(seed))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "bootstrap: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workload": workload,
+		"threads":  threads,
+		"scale":    scale,
+		"base": map[string]any{
+			"kit": baseKit, "reps": len(baseNS), "mean_ns": meanNS(baseNS),
+		},
+		"target": map[string]any{
+			"kit": targetKit, "reps": len(targetNS), "mean_ns": meanNS(targetNS),
+		},
+		"speedup": ci.Point,
+		"ci": map[string]any{
+			"lo": ci.Lo, "hi": ci.Hi, "level": ci.Level, "resamples": ci.Resamples,
+		},
+		"excludes_one": ci.ExcludesOne(),
+	})
+}
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func floatParam(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func nsToFloats(ns []int64) []float64 {
+	out := make([]float64, len(ns))
+	for i, v := range ns {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func meanNS(ns []int64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range ns {
+		sum += v
+	}
+	return sum / int64(len(ns))
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// handleMetrics is GET /metrics: Prometheus text exposition format,
+// hand-rendered — the module stays dependency-free. Gauges and counters
+// come from the pipeline's lock-free counters; the per-series run-duration
+// histograms reuse stats.Histogram's log-spaced buckets as cumulative
+// Prometheus buckets.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("splash4d_queue_depth", "Jobs admitted but not yet picked up by a worker.", s.queue.Len())
+	gauge("splash4d_queue_capacity", "Capacity of the lock-free admission ring.", s.queueCap)
+	gauge("splash4d_workers", "Size of the execution worker pool.", s.cfg.Workers)
+	gauge("splash4d_jobs_inflight", "Jobs currently executing.", s.inflight.Load())
+	draining := 0
+	if s.draining.Load() {
+		draining = 1
+	}
+	gauge("splash4d_draining", "1 while the server refuses new submissions.", draining)
+	gauge("splash4d_store_records", "Results in the persistent store, including replayed history.", s.store.Len())
+
+	counter("splash4d_jobs_accepted_total", "Jobs admitted to the queue.", s.accepted.Load())
+	counter("splash4d_jobs_completed_total", "Jobs that finished successfully.", s.completed.Load())
+	counter("splash4d_jobs_failed_total", "Jobs that ended in an error (including canceled).", s.failed.Load())
+	counter("splash4d_jobs_rejected_total", "Submissions refused with 429 because the ring was full.", s.rejected.Load())
+	counter("splash4d_jobs_deduped_total", "Submissions answered by an already-active identical job.", s.deduped.Load())
+
+	s.writeHistograms(&b)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeHistograms renders every (workload, kit) run-duration series. The
+// stats.Histogram's power-of-two buckets become the cumulative `le` bounds,
+// converted from nanoseconds to Prometheus' canonical seconds.
+func (s *Server) writeHistograms(b *strings.Builder) {
+	s.histMu.Lock()
+	keys := make([]histKey, 0, len(s.hists))
+	for k := range s.hists {
+		keys = append(keys, k)
+	}
+	// Snapshot each histogram under the lock so rendering happens outside.
+	snaps := make(map[histKey]*stats.Histogram, len(keys))
+	for _, k := range keys {
+		h := stats.NewHistogram()
+		h.Merge(s.hists[k])
+		snaps[k] = h
+	}
+	s.histMu.Unlock()
+
+	if len(keys) == 0 {
+		return
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].workload != keys[j].workload {
+			return keys[i].workload < keys[j].workload
+		}
+		return keys[i].kit < keys[j].kit
+	})
+	const name = "splash4d_run_duration_seconds"
+	fmt.Fprintf(b, "# HELP %s Wall time of measured benchmark repetitions.\n# TYPE %s histogram\n", name, name)
+	for _, k := range keys {
+		h := snaps[k]
+		labels := fmt.Sprintf(`workload=%q,kit=%q`, k.workload, k.kit)
+		var cum int64
+		for _, bucket := range h.Buckets() {
+			cum += bucket.Count
+			fmt.Fprintf(b, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, float64(bucket.Hi)/1e9, cum)
+		}
+		fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, h.N())
+		fmt.Fprintf(b, "%s_sum{%s} %g\n", name, labels, float64(h.Sum())/1e9)
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, h.N())
+	}
+}

@@ -1,0 +1,449 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/resultstore"
+	"repro/internal/stats"
+	"repro/internal/sync4"
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/trace"
+)
+
+// Spec is one measurement request, as submitted to POST /runs.
+type Spec struct {
+	Workload string `json:"workload"`
+	Kit      string `json:"kit"`
+	Threads  int    `json:"threads"`
+	Scale    string `json:"scale"`
+	Seed     int64  `json:"seed"`
+	Reps     int    `json:"reps"`
+	Warmup   int    `json:"warmup"`
+}
+
+// key is the singleflight identity: two submissions with equal keys measure
+// the same thing, so while one is queued or running the other rides along.
+func (sp Spec) key() string {
+	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d",
+		sp.Workload, sp.Kit, sp.Threads, sp.Scale, sp.Seed, sp.Reps, sp.Warmup)
+}
+
+// kit resolves the spec's kit name.
+func (sp Spec) kit() (sync4.Kit, error) {
+	switch sp.Kit {
+	case "classic":
+		return classic.New(), nil
+	case "lockfree":
+		return lockfree.New(), nil
+	default:
+		return nil, fmt.Errorf("unknown kit %q (want classic or lockfree)", sp.Kit)
+	}
+}
+
+// scale resolves the spec's scale name.
+func (sp Spec) scale() (core.Scale, error) {
+	switch sp.Scale {
+	case "test":
+		return core.ScaleTest, nil
+	case "small":
+		return core.ScaleSmall, nil
+	case "default":
+		return core.ScaleDefault, nil
+	case "large":
+		return core.ScaleLarge, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want test, small, default or large)", sp.Scale)
+	}
+}
+
+// State is a job's lifecycle position.
+type State int32
+
+// Job states, in lifecycle order.
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+)
+
+// String implements fmt.Stringer.
+func (st State) String() string {
+	switch st {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "error"
+	default:
+		return fmt.Sprintf("State(%d)", int32(st))
+	}
+}
+
+// Event is one SSE progress event. Seq orders events within a job; Data is
+// event-specific payload.
+type Event struct {
+	Seq  int            `json:"seq"`
+	Type string         `json:"type"`
+	Data map[string]any `json:"data,omitempty"`
+}
+
+// Job is one accepted measurement. Jobs are shared by pointer only: the
+// struct embeds atomic state.
+type Job struct {
+	ID        string
+	Seq       int64
+	Spec      Spec
+	Submitted time.Time
+
+	state atomic.Int32
+
+	mu       sync.Mutex
+	started  time.Time
+	finished time.Time
+	errMsg   string
+	record   *resultstore.Record
+	events   []Event
+	subs     []chan Event
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State { return State(j.state.Load()) }
+
+// terminal reports whether the job has finished (successfully or not).
+func (j *Job) terminal() bool {
+	st := j.State()
+	return st == StateDone || st == StateFailed
+}
+
+// emit appends a progress event and fans it out to subscribers. Event
+// volume per job is bounded (one per repetition plus a constant), so the
+// subscriber channels — sized for that bound — never fill; the non-blocking
+// send is belt and braces against a misbehaving consumer.
+func (j *Job) emit(typ string, data map[string]any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ev := Event{Seq: len(j.events), Type: typ, Data: data}
+	j.events = append(j.events, ev)
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe returns the events emitted so far and, unless the job is
+// already terminal, a channel delivering subsequent ones. cancel must be
+// called when the consumer leaves.
+func (j *Job) subscribe(chanCap int) (replay []Event, ch chan Event, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append(replay, j.events...)
+	if j.terminal() {
+		return replay, nil, func() {}
+	}
+	ch = make(chan Event, chanCap)
+	j.subs = append(j.subs, ch)
+	return replay, ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		for i, c := range j.subs {
+			if c == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Submission errors the API layer maps to status codes.
+var (
+	errDraining = errors.New("server is draining, not accepting new runs")
+	errBusy     = errors.New("admission queue is full")
+)
+
+// validateSpec normalizes sp in place and rejects unusable requests.
+func (s *Server) validateSpec(sp *Spec) error {
+	if _, err := s.cfg.Resolver(sp.Workload); err != nil {
+		return err
+	}
+	if _, err := sp.kit(); err != nil {
+		return err
+	}
+	if sp.Scale == "" {
+		sp.Scale = "test"
+	}
+	if _, err := sp.scale(); err != nil {
+		return err
+	}
+	if sp.Threads <= 0 {
+		sp.Threads = 1
+	}
+	if sp.Threads > s.cfg.MaxThreads {
+		return fmt.Errorf("threads %d exceeds the server cap of %d", sp.Threads, s.cfg.MaxThreads)
+	}
+	if sp.Reps <= 0 {
+		sp.Reps = 1
+	}
+	if sp.Reps > s.cfg.MaxReps {
+		return fmt.Errorf("reps %d exceeds the server cap of %d", sp.Reps, s.cfg.MaxReps)
+	}
+	if sp.Warmup < 0 {
+		sp.Warmup = 0
+	}
+	if sp.Warmup > s.cfg.MaxReps {
+		return fmt.Errorf("warmup %d exceeds the server cap of %d", sp.Warmup, s.cfg.MaxReps)
+	}
+	return nil
+}
+
+// submit admits one validated spec. It returns the job (fresh or, when an
+// identical spec is already queued or running, the existing one) and
+// whether this call created it. Backpressure and drain are reported as
+// errBusy and errDraining.
+func (s *Server) submit(sp Spec) (job *Job, created bool, err error) {
+	if s.draining.Load() {
+		return nil, false, errDraining
+	}
+	s.mu.Lock()
+	if existing := s.active[sp.key()]; existing != nil {
+		s.mu.Unlock()
+		s.deduped.Inc()
+		return existing, false, nil
+	}
+	s.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("r-%d", s.seq),
+		Seq:       s.seq,
+		Spec:      sp,
+		Submitted: time.Now(),
+	}
+	// The lock-free ring is the admission gate: no room means 429, and
+	// nothing about this job survives the rejection.
+	if !s.queue.TryPut(j.Seq) {
+		s.seq--
+		s.mu.Unlock()
+		s.rejected.Inc()
+		return nil, false, errBusy
+	}
+	s.jobs[j.ID] = j
+	s.bySeq[j.Seq] = j
+	s.active[sp.key()] = j
+	s.jobsWG.Add(1)
+	s.mu.Unlock()
+
+	s.accepted.Inc()
+	j.emit("queued", map[string]any{
+		"id": j.ID, "workload": sp.Workload, "kit": sp.Kit,
+		"queue_depth": s.queue.Len(),
+	})
+	// Offer a wake token; a full channel already holds enough pending
+	// wake-ups to drain the ring past this job (see the wake field's
+	// invariant), so dropping the token is safe.
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return j, true, nil
+}
+
+// jobByID looks a job up by its public ID.
+func (s *Server) jobByID(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// release ends the job's singleflight window: a new identical submission
+// after this point runs fresh.
+func (s *Server) release(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active[j.Spec.key()] == j {
+		delete(s.active, j.Spec.key())
+	}
+}
+
+// worker is one pool goroutine: it sleeps on the wake channel and, per
+// token, drains the ring until TryGet misses. Draining fully is what makes
+// a dropped wake token harmless. Workers outlive every job — Drain only
+// closes stop after the accepted-jobs waitgroup reaches zero.
+func (s *Server) worker() {
+	defer s.workersWG.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.wake:
+			for {
+				seq, ok := s.queue.TryGet()
+				if !ok {
+					break
+				}
+				s.mu.Lock()
+				j := s.bySeq[seq]
+				delete(s.bySeq, seq)
+				s.mu.Unlock()
+				if j != nil {
+					s.runJob(j)
+				}
+			}
+		}
+	}
+}
+
+// runJob executes one accepted job end to end: repetitions through
+// harness.RunContext with tracing and instrumentation on, a progress event
+// per repetition, then a journal line and the latency histograms. Every
+// accepted job reaches a terminal state and a journal line, even when
+// canceled by a forced drain.
+func (s *Server) runJob(j *Job) {
+	defer s.jobsWG.Done()
+	s.inflight.Inc()
+	defer s.inflight.Add(-1)
+
+	sp := j.Spec
+	j.state.Store(int32(StateRunning))
+	j.mu.Lock()
+	j.started = time.Now()
+	j.mu.Unlock()
+	j.emit("started", map[string]any{"threads": sp.Threads, "scale": sp.Scale, "reps": sp.Reps})
+
+	bench, err := s.cfg.Resolver(sp.Workload)
+	if err == nil {
+		err = s.measure(j, bench)
+	}
+	if err != nil {
+		s.finishJob(j, StateFailed, err)
+		return
+	}
+	s.finishJob(j, StateDone, nil)
+}
+
+// measure runs the job's repetitions one at a time so each one yields a
+// live progress event carrying that repetition's wall time and trace-census
+// summary from the synchronization event recorder.
+func (s *Server) measure(j *Job, bench core.Benchmark) error {
+	sp := j.Spec
+	kit, err := sp.kit()
+	if err != nil {
+		return err
+	}
+	sc, err := sp.scale()
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(2*sp.Threads+2, s.cfg.TraceCapacity)
+	sample := &stats.Sample{}
+	var traceEvents, syncOps int64
+	for rep := 0; rep < sp.Reps; rep++ {
+		opt := harness.Options{Reps: 1, Verify: true, Instrument: true, Trace: rec}
+		if rep == 0 {
+			opt.Warmup = sp.Warmup
+		}
+		res, err := harness.RunContext(s.jobCtx, bench, core.Config{
+			Threads: sp.Threads, Kit: kit, Scale: sc, Seed: sp.Seed,
+		}, opt)
+		if err != nil {
+			return err
+		}
+		d := res.Times.Mean()
+		sample.Add(d)
+		traceEvents = int64(res.Trace.Events())
+		syncOps = res.Sync.Total()
+		j.emit("rep", map[string]any{
+			"rep":           rep,
+			"wall_ns":       d.Nanoseconds(),
+			"trace_events":  res.Trace.Events(),
+			"trace_dropped": res.Trace.TotalDropped(),
+			"sync_ops":      syncOps,
+		})
+	}
+	j.mu.Lock()
+	j.record = &resultstore.Record{
+		ID: j.ID, Workload: sp.Workload, Kit: sp.Kit, Threads: sp.Threads,
+		Scale: sp.Scale, Seed: sp.Seed, Reps: sp.Reps,
+		Submitted: j.Submitted, Started: j.started,
+		TimesNS: durationsNS(sample.Durations()), MeanNS: sample.Mean().Nanoseconds(),
+		TraceEvents: traceEvents, SyncOps: syncOps,
+	}
+	j.mu.Unlock()
+	s.observeLatency(sp.Workload, sp.Kit, sample.Durations())
+	return nil
+}
+
+// finishJob journals the outcome, publishes the terminal state and event,
+// and releases the singleflight window.
+func (s *Server) finishJob(j *Job, st State, cause error) {
+	now := time.Now()
+	j.mu.Lock()
+	j.finished = now
+	rec := j.record
+	if rec == nil {
+		rec = &resultstore.Record{
+			ID: j.ID, Workload: j.Spec.Workload, Kit: j.Spec.Kit,
+			Threads: j.Spec.Threads, Scale: j.Spec.Scale, Seed: j.Spec.Seed,
+			Reps: j.Spec.Reps, Submitted: j.Submitted, Started: j.started,
+		}
+		j.record = rec
+	}
+	rec.Finished = now
+	if cause != nil {
+		st = StateFailed
+		j.errMsg = cause.Error()
+		rec.Status = "error"
+		rec.Error = cause.Error()
+	} else {
+		rec.Status = "ok"
+	}
+	j.mu.Unlock()
+
+	if err := s.store.Append(*rec); err != nil && cause == nil {
+		// The measurement succeeded but persisting it did not: the job
+		// fails, because an acknowledged result must be in the journal.
+		st = StateFailed
+		cause = err
+		j.mu.Lock()
+		j.errMsg = err.Error()
+		j.mu.Unlock()
+	}
+
+	j.state.Store(int32(st))
+	s.release(j)
+	if st == StateDone {
+		s.completed.Inc()
+		j.emit("done", map[string]any{
+			"mean_ns": rec.MeanNS, "reps": rec.Reps, "times_ns": rec.TimesNS,
+		})
+	} else {
+		s.failed.Inc()
+		j.emit("error", map[string]any{"error": j.Error()})
+	}
+}
+
+// Error returns the job's failure message, or "".
+func (j *Job) Error() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errMsg
+}
+
+func durationsNS(ds []time.Duration) []int64 {
+	out := make([]int64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Nanoseconds()
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+// Package server implements splash4d, the suite's benchmark-execution
+// daemon: a long-running HTTP service that accepts measurement jobs, runs
+// them through internal/harness on a bounded worker pool, persists every
+// result to an append-only journal (internal/resultstore) and answers
+// statistical classic-vs-lockfree comparisons (stats.BootstrapCI).
+//
+// The service dogfoods the suite it serves: the admission queue is the
+// lockfree kit's bounded MPMC ring (the same Vyukov queue the workloads
+// use), and the job gauges are lockfree fetch-and-add counters. Lifecycle
+// plumbing that has no kit equivalent — the HTTP stack, SSE fan-out,
+// context cancellation — uses the standard library, which splash4-vet
+// permits outside workload packages.
+//
+// Pipeline shape:
+//
+//	POST /runs ─▶ admission (singleflight dedup, lock-free ring, 429 when
+//	full) ─▶ worker pool (GOMAXPROCS workers, one wake token per accepted
+//	job) ─▶ harness.RunContext (traced, instrumented, cancellable) ─▶
+//	resultstore journal + latency histograms + SSE progress events.
+//
+// Shutdown is drain-first: admission starts refusing with 503, every
+// accepted job runs to completion, the journal is flushed, and only then do
+// the workers exit. See docs/SERVICE.md for the API reference.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/resultstore"
+	"repro/internal/stats"
+	"repro/internal/sync4"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/workloads/all"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Store persists results; required.
+	Store *resultstore.Store
+	// QueueCapacity bounds the admission ring. Submissions beyond it get
+	// 429. Defaults to 64. The lock-free ring rounds it up to a power of
+	// two, and the server honors the rounded capacity.
+	QueueCapacity int
+	// Workers is the execution pool size. Defaults to GOMAXPROCS.
+	Workers int
+	// MaxReps caps a single job's measured repetitions. Defaults to 32.
+	MaxReps int
+	// MaxThreads caps a single job's worker threads. Defaults to
+	// 4*GOMAXPROCS.
+	MaxThreads int
+	// TraceCapacity is the per-lane event-buffer capacity of each job's
+	// trace recorder. Defaults to 1<<16.
+	TraceCapacity int
+	// Resolver maps a workload name to its benchmark. Defaults to
+	// all.ByName; tests inject controllable benchmarks here.
+	Resolver func(name string) (core.Benchmark, error)
+}
+
+func (c *Config) fill() error {
+	if c.Store == nil {
+		return fmt.Errorf("server: Config.Store is required")
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxReps <= 0 {
+		c.MaxReps = 32
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = 1 << 16
+	}
+	if c.Resolver == nil {
+		c.Resolver = all.ByName
+	}
+	return nil
+}
+
+// histKey identifies one latency histogram series.
+type histKey struct {
+	workload, kit string
+}
+
+// Server is the daemon. Create it with New; it must not be copied.
+type Server struct {
+	cfg   Config
+	store *resultstore.Store
+
+	// queue is the admission ring: the lockfree kit's bounded MPMC queue
+	// carrying job sequence numbers. Its TryPut failing is the 429 signal.
+	queue    sync4.Queue
+	queueCap int
+	// wake nudges sleeping workers. A token is offered (non-blocking)
+	// after each successful TryPut, and a woken worker drains the ring
+	// until TryGet misses, so a dropped token — only possible while the
+	// channel is already full of pending wake-ups — never strands a job:
+	// whichever worker consumes a pending token runs after the enqueue
+	// completed and will see it.
+	wake chan struct{}
+
+	mu     sync.Mutex
+	seq    int64
+	jobs   map[string]*Job // by public ID
+	bySeq  map[int64]*Job  // by ring payload
+	active map[string]*Job // singleflight: queued/running jobs by spec key
+
+	// Job-flow gauges, on the suite's own lock-free counters.
+	accepted  sync4.Counter
+	completed sync4.Counter
+	failed    sync4.Counter
+	rejected  sync4.Counter
+	deduped   sync4.Counter
+	inflight  sync4.Counter
+
+	histMu sync.Mutex
+	hists  map[histKey]*stats.Histogram
+
+	start     time.Time
+	draining  atomic.Bool
+	jobsWG    sync.WaitGroup // accepted jobs not yet terminal
+	workersWG sync.WaitGroup
+	stop      chan struct{} // closed after drain to end the workers
+	stopOnce  sync.Once
+
+	jobCtx     context.Context // canceled to abort jobs between repetitions
+	cancelJobs context.CancelFunc
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	kit := lockfree.New()
+	q := kit.NewQueue(cfg.QueueCapacity)
+	// The ring rounds capacity up to a power of two with a floor of two
+	// slots (a one-slot Vyukov ring cannot detect full); mirror that so
+	// the advertised bound and the 429 threshold agree with reality.
+	queueCap := 2
+	for queueCap < cfg.QueueCapacity {
+		queueCap <<= 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		store:      cfg.Store,
+		queue:      q,
+		queueCap:   queueCap,
+		wake:       make(chan struct{}, queueCap),
+		jobs:       make(map[string]*Job),
+		bySeq:      make(map[int64]*Job),
+		active:     make(map[string]*Job),
+		accepted:   kit.NewCounter(),
+		completed:  kit.NewCounter(),
+		failed:     kit.NewCounter(),
+		rejected:   kit.NewCounter(),
+		deduped:    kit.NewCounter(),
+		inflight:   kit.NewCounter(),
+		hists:      make(map[histKey]*stats.Histogram),
+		start:      time.Now(),
+		stop:       make(chan struct{}),
+		jobCtx:     ctx,
+		cancelJobs: cancel,
+	}
+	s.workersWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// QueueDepth returns a point-in-time estimate of queued (not yet running)
+// jobs.
+func (s *Server) QueueDepth() int { return s.queue.Len() }
+
+// Drain performs the SIGTERM shutdown sequence: stop admitting (new
+// submissions get 503), let every accepted job finish, flush the journal,
+// then stop the workers. If ctx expires first, in-flight jobs are canceled
+// at their next repetition boundary and queued jobs abort before starting;
+// each still reaches a terminal state and a journal line before Drain
+// returns. Drain is idempotent; concurrent calls all block until the
+// pipeline is quiet.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		s.cancelJobs()
+		// Cancellation reaches every job at its next repetition boundary
+		// (or before it starts), so this second wait is bounded by one
+		// repetition of the slowest in-flight workload.
+		<-done
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.workersWG.Wait()
+	if err := s.store.Flush(); err != nil {
+		return err
+	}
+	if forced != nil {
+		return fmt.Errorf("server: drain forced by deadline, in-flight jobs canceled: %w", forced)
+	}
+	return nil
+}
+
+// Close force-stops the server: cancel everything, then drain. For tests
+// and error paths; production shutdown should call Drain with a deadline.
+func (s *Server) Close() error {
+	s.cancelJobs()
+	return s.Drain(context.Background())
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runs", s.handleSubmit)
+	mux.HandleFunc("GET /runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /compare", s.handleCompare)
+	return mux
+}
+
+// observeLatency folds one job's repetition times into its series
+// histogram.
+func (s *Server) observeLatency(workload, kit string, times []time.Duration) {
+	k := histKey{workload: workload, kit: kit}
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	h := s.hists[k]
+	if h == nil {
+		h = stats.NewHistogram()
+		s.hists[k] = h
+	}
+	for _, d := range times {
+		h.AddDuration(d)
+	}
+}

@@ -142,6 +142,15 @@ func (s Snapshot) RMWOps() int64 { return s.CounterOps + s.AccumOps + s.MinMaxOp
 // calls (locks, barriers, flag waits).
 func (s Snapshot) BlockedNanos() int64 { return s.LockNanos + s.BarrierNanos + s.FlagNanos }
 
+// Total returns the census-wide count of synchronization operations:
+// everything the workload did through the kit, excluding construction and
+// failed polls. It matches the event count of a lossless trace capture of
+// the same run minus lock releases, which are traced but not censused.
+func (s Snapshot) Total() int64 {
+	return s.LockAcquires + s.BarrierWaits + s.RMWOps() + s.FlagSets + s.FlagWaits +
+		s.QueuePuts + s.QueueGets + s.StackPushes + s.StackPops
+}
+
 // Instrument wraps kit so that every synchronization operation increments
 // the matching field in c. When withTime is true, blocking operations also
 // accumulate their wall-clock duration; this adds two time.Now calls per

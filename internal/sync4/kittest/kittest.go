@@ -30,6 +30,7 @@ func Conformance(t *testing.T, kit sync4.Kit) {
 	t.Run("Flag", func(t *testing.T) { testFlag(t, kit) })
 	t.Run("QueueFIFO", func(t *testing.T) { testQueueFIFO(t, kit) })
 	t.Run("QueueCapacity", func(t *testing.T) { testQueueCapacity(t, kit) })
+	t.Run("QueueCapacityOne", func(t *testing.T) { testQueueCapacityOne(t, kit) })
 	t.Run("QueuePutBlocksUntilDrained", func(t *testing.T) { testQueuePutBlocks(t, kit) })
 	t.Run("QueueConcurrent", func(t *testing.T) { testQueueConcurrent(t, kit) })
 	t.Run("StackLIFO", func(t *testing.T) { testStackLIFO(t, kit) })
@@ -295,6 +296,37 @@ func testQueueCapacity(t *testing.T, kit sync4.Kit) {
 	}
 	if !q.TryPut(99) {
 		t.Fatal("queue still full after drain")
+	}
+}
+
+// testQueueCapacityOne guards the degenerate bound. Kits may round the
+// capacity up (the lock-free ring needs at least two slots), but the queue
+// must still report full after finitely many accepts and must hand back
+// every element it accepted — a one-slot Vyukov ring fails the second part
+// by silently overwriting the pending element.
+func testQueueCapacityOne(t *testing.T, kit sync4.Kit) {
+	q := kit.NewQueue(1)
+	var put []int64
+	for i := int64(0); q.TryPut(i); i++ {
+		put = append(put, i)
+		if len(put) > 16 {
+			t.Fatal("capacity-1 queue never reported full")
+		}
+	}
+	if len(put) == 0 {
+		t.Fatal("capacity-1 queue accepted nothing")
+	}
+	for i, want := range put {
+		v, ok := q.TryGet()
+		if !ok {
+			t.Fatalf("accepted %d elements but drain stalled at %d: element lost", len(put), i)
+		}
+		if v != want {
+			t.Fatalf("drain[%d]: got %d want %d", i, v, want)
+		}
+	}
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("drained queue still yields elements")
 	}
 }
 

@@ -232,7 +232,13 @@ type slot struct {
 }
 
 func newQueue(capacity int) *queue {
-	size := 1
+	// A one-slot ring cannot work: after an enqueue at pos the slot's
+	// sequence is pos+1, which is exactly what the next enqueue (pos+1,
+	// same slot) expects of a free slot, so a full ring is never detected
+	// and the pending element is silently overwritten. Two slots is the
+	// smallest ring in which "ready to write" and "ready to read" states
+	// stay distinguishable, so the capacity floor is 2.
+	size := 2
 	for size < capacity {
 		size <<= 1
 	}

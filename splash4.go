@@ -26,6 +26,8 @@
 package splash4
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/sync4"
@@ -142,6 +144,13 @@ func Names() []string { return all.Names() }
 
 // Run measures b under cfg; see harness.Run.
 func Run(b Benchmark, cfg Config, opt Options) (Result, error) { return harness.Run(b, cfg, opt) }
+
+// RunContext is Run with cooperative cancellation: ctx is checked between
+// repetitions (an in-flight repetition always completes), so long
+// measurement campaigns can be aborted cleanly; see harness.RunContext.
+func RunContext(ctx context.Context, b Benchmark, cfg Config, opt Options) (Result, error) {
+	return harness.RunContext(ctx, b, cfg, opt)
+}
 
 // Pair measures b under the classic and lockfree kits with otherwise
 // identical configuration — the suite's headline comparison.
