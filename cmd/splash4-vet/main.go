@@ -11,6 +11,7 @@
 //	splash4-vet -list                 # describe the analyzers
 //	splash4-vet -run kit-bypass,naked-spin ./...
 //	splash4-vet -json ./...           # machine-readable diagnostics
+//	splash4-vet -sarif vet.sarif ./...  # SARIF 2.1.0 for CI annotation
 //
 // Exit status: 0 when no unsuppressed diagnostics were found, 1 when at
 // least one was, 2 on usage or load errors. Diagnostics are suppressed, with
@@ -31,10 +32,11 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list the analyzers and exit")
-		run     = flag.String("run", "", "comma-separated analyzer subset (default: all)")
-		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array")
-		quiet   = flag.Bool("q", false, "suppress the trailing summary line")
+		list     = flag.Bool("list", false, "list the analyzers and exit")
+		run      = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		sarifOut = flag.String("sarif", "", "write diagnostics as SARIF 2.1.0 to this file ('-' for stdout)")
+		quiet    = flag.Bool("q", false, "suppress the trailing summary line")
 	)
 	flag.Parse()
 
@@ -89,6 +91,19 @@ func main() {
 	}
 
 	diags, suppressed := analysis.RunAnalyzers(pkgs, analyzers)
+	if *sarifOut != "" {
+		cwd, _ := os.Getwd()
+		blob, err := analysis.SARIF(diags, analyzers, cwd)
+		if err != nil {
+			fatal(err)
+		}
+		blob = append(blob, '\n')
+		if *sarifOut == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*sarifOut, blob, 0o644); err != nil {
+			fatal(err)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -10,11 +10,17 @@
 // over the module's own source using only the standard library's go/ast and
 // go/types — the module stays dependency-free.
 //
+// PR 1's analyzers are intraprocedural. The interprocedural layer — a
+// module-wide call graph (callgraph.go), a per-function IR of shared-memory
+// operations (ir.go), and the parallel-reachability context (parallel.go) —
+// powers the verifier checks: guarded-by, barrier-order, and cas-shape.
+//
 // Diagnostics can be suppressed, with a mandatory justification, by placing
 //
 //	//lint:ignore sync4vet-<analyzer> reason...
 //
-// on the flagged line or on the line directly above it.
+// on the flagged line or on the line directly above it. A directive that
+// silences nothing is itself flagged by unused-suppression.
 package analysis
 
 import (
@@ -59,7 +65,19 @@ type Pass struct {
 	Info     *types.Info
 	PkgPath  string // import path inside the module, e.g. "repro/internal/fft"
 
+	// Graph is the call graph over every package of this run. Module-wide
+	// analyzers compute their findings once (memoized on the graph) and
+	// each package's pass claims the findings its files own.
+	Graph *CallGraph
+
 	diags *[]Diagnostic
+}
+
+// Owns reports whether pos falls in one of this pass's files — the claim
+// test for module-wide analyses.
+func (p *Pass) Owns(pos token.Pos) bool {
+	owner := p.Graph.OwnerOf(pos)
+	return owner != nil && owner.Path == p.PkgPath
 }
 
 // Reportf records a diagnostic at pos with no suggested fix.
@@ -81,6 +99,15 @@ func (p *Pass) report(pos token.Pos, fix, format string, args ...any) {
 	})
 }
 
+// UnusedSuppression flags lint:ignore directives that silence nothing. It
+// has no Run of its own: RunAnalyzers' suppression bookkeeping produces the
+// findings after every other analyzer has had its chance to be suppressed.
+var UnusedSuppression = &Analyzer{
+	Name: "unused-suppression",
+	Doc:  "flag //lint:ignore sync4vet-* directives that suppress nothing",
+	Run:  func(*Pass) {},
+}
+
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -89,6 +116,10 @@ func Analyzers() []*Analyzer {
 		BarrierMismatch,
 		NakedSpin,
 		ErrcheckLite,
+		GuardedBy,
+		BarrierOrder,
+		CASShape,
+		UnusedSuppression,
 	}
 }
 
@@ -107,8 +138,19 @@ func ByName(name string) (*Analyzer, error) {
 
 // RunAnalyzers executes each analyzer over each package and returns the
 // surviving (unsuppressed) diagnostics sorted by position, plus the count of
-// findings that were silenced by //lint:ignore comments.
+// findings that were silenced by //lint:ignore comments. One call graph is
+// built over the whole package set so interprocedural analyzers see edges
+// that cross package boundaries.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) (diags []Diagnostic, suppressed int) {
+	graph := BuildCallGraph(pkgs)
+	ran := make(map[string]bool, len(analyzers))
+	judgeUnused := false
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		if a == UnusedSuppression {
+			judgeUnused = true
+		}
+	}
 	for _, pkg := range pkgs {
 		var raw []Diagnostic
 		for _, a := range analyzers {
@@ -119,6 +161,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) (diags []Diagnostic, s
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				PkgPath:  pkg.Path,
+				Graph:    graph,
 				diags:    &raw,
 			}
 			a.Run(pass)
@@ -130,6 +173,15 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) (diags []Diagnostic, s
 				continue
 			}
 			diags = append(diags, d)
+		}
+		if judgeUnused {
+			for _, d := range sup.unused(ran) {
+				if sup.covers(d) {
+					suppressed++
+					continue
+				}
+				diags = append(diags, d)
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -128,6 +128,20 @@ func TestFixtures(t *testing.T) {
 		{"errchecklite/bad", "repro/internal/analysis/ecfixbad", 0},
 		{"errchecklite/good", "repro/internal/analysis/ecfixgood", 0},
 		{"suppress", "repro/internal/analysis/supfix", 2},
+		{"guardedby/bad", "repro/internal/workloads/gbfixbad", 0},
+		{"guardedby/good", "repro/internal/workloads/gbfixgood", 0},
+		{"guardedby/suppressed", "repro/internal/workloads/gbfixsup", 1},
+		{"barrierorder/bad", "repro/internal/workloads/bofixbad", 0},
+		{"barrierorder/good", "repro/internal/workloads/bofixgood", 0},
+		{"barrierorder/suppressed", "repro/internal/workloads/bofixsup", 1},
+		{"casshape/bad", "repro/internal/analysis/csfixbad", 0},
+		{"casshape/good", "repro/internal/analysis/csfixgood", 0},
+		{"casshape/suppressed", "repro/internal/analysis/csfixsup", 1},
+		// The unused-suppression fixture silences one naked-spin finding and
+		// one of its own findings (the migration waiver), so two
+		// suppressions survive alongside the single flagged stale directive.
+		{"unusedsup", "repro/internal/analysis/usfix", 2},
+		{"callgraph/generics", "repro/internal/analysis/cgfixgen", 0},
 		// The splash4d admission-queue shape, pinned under a workload path
 		// so kit-bypass is armed: the clean pipeline must stay silent, and
 		// the metrics gauge's raw atomic needs exactly one justified

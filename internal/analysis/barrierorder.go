@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+)
+
+// BarrierOrder lifts barrier-mismatch to whole-workload phase reasoning: it
+// walks the call graph from every core.Parallel worker entry, summarizes how
+// many times each path waits on each barrier identity, and reports the
+// places where those sequences can diverge across the goroutines of one
+// worker group. With the suite's sense-free barriers a diverging phase count
+// is not a crash — the late thread silently pairs with the wrong phase or
+// blocks forever — so the defect has to be caught statically.
+//
+// A condition is "thread-varying" when its value can differ between
+// goroutines of the group: anything derived from the tid parameter, from
+// tid-indexed state, or from read-modify-write construct results
+// (Counter.Inc tickets, Queue.TryGet). Values read uniformly from shared
+// state between barriers are uniform by the phase protocol itself and do
+// not count. Three shapes are reported:
+//
+//  1. an if whose arms wait different numbers of times, under a
+//     thread-varying condition;
+//  2. a barrier wait inside a loop whose trip count is thread-varying
+//     (tid-dependent bounds, or exit gated on a varying condition);
+//  3. an early return under a thread-varying condition that skips barrier
+//     waits still ahead on the straight path.
+var BarrierOrder = &Analyzer{
+	Name: "barrier-order",
+	Doc: "report barrier wait sequences that can diverge across the " +
+		"goroutines of one core.Parallel group",
+	Run: runBarrierOrder,
+}
+
+func runBarrierOrder(pass *Pass) {
+	for _, d := range barrierOrderModule(pass.Graph) {
+		if pass.Owns(d.pos) {
+			pass.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+}
+
+func barrierOrderModule(g *CallGraph) []posMsg {
+	const memoKey = "barrierorder-findings"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.([]posMsg)
+	}
+	pc := parallelContext(g)
+	sums := funcWaitSummaries(g)
+	bo := &barrierOrderRun{g: g, pc: pc, sums: sums}
+
+	var nodes []*parInfo
+	for _, pi := range pc.info {
+		nodes = append(nodes, pi)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].node.Body().Pos() < nodes[j].node.Body().Pos()
+	})
+	for _, pi := range nodes {
+		bo.checkNode(pi)
+	}
+	sort.Slice(bo.out, func(i, j int) bool { return bo.out[i].pos < bo.out[j].pos })
+	g.memo[memoKey] = bo.out
+	return bo.out
+}
+
+type barrierOrderRun struct {
+	g    *CallGraph
+	pc   *parContext
+	sums map[*CGNode]waitSummary
+	out  []posMsg
+}
+
+func (bo *barrierOrderRun) report(pos token.Pos, format string, args ...any) {
+	bo.out = append(bo.out, posMsg{pos: pos, msg: fmt.Sprintf(format, args...)})
+}
+
+func (bo *barrierOrderRun) shortPos(pos token.Pos) string {
+	p := bo.g.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// checkNode applies the three divergence rules to one parallel-reachable
+// function body.
+func (bo *barrierOrderRun) checkNode(pi *parInfo) {
+	body := pi.node.Body()
+	// If the function never waits (directly or transitively) there is no
+	// phase sequence to diverge.
+	funcSum := bo.armWaits(pi, body)
+	if funcSum.total() == 0 {
+		return
+	}
+	waits, loops := bo.waitPositions(pi, body)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate node
+		case *ast.IfStmt:
+			bo.checkIf(pi, n, waits, loops)
+		case *ast.ForStmt:
+			varying := n.Cond != nil && bo.pc.exprClass(pi, n.Cond) >= clsTidPure
+			if !varying && n.Cond == nil {
+				varying = bo.hasVaryingBreak(pi, n.Body)
+			}
+			bo.checkLoop(pi, varying, span{n.Pos(), n.End()}, n.Body)
+		case *ast.RangeStmt:
+			varying := bo.pc.exprClass(pi, n.X) >= clsTidPure
+			bo.checkLoop(pi, varying, span{n.Pos(), n.End()}, n.Body)
+		}
+		return true
+	})
+}
+
+// checkIf handles rules 1 (arm wait counts differ) and 3 (early exit skips
+// later waits) for one if statement with a thread-varying condition.
+func (bo *barrierOrderRun) checkIf(pi *parInfo, n *ast.IfStmt, waits []token.Pos, loops []span) {
+	if bo.pc.exprClass(pi, n.Cond) < clsTidPure {
+		return
+	}
+	sumThen := bo.armWaits(pi, n.Body)
+	sumElse := waitSummary{}
+	if n.Else != nil {
+		sumElse = bo.armWaits(pi, n.Else)
+	}
+	if !sumThen.equal(sumElse) {
+		at := bo.firstWait(pi, n.Body)
+		if !at.IsValid() {
+			at = bo.firstWait(pi, n.Else)
+		}
+		if !at.IsValid() {
+			at = n.Pos()
+		}
+		bo.report(at,
+			"barrier wait under thread-varying condition (%s): goroutines taking different arms wait %d vs %d times and the group's phases diverge",
+			bo.shortPos(n.Cond.Pos()), sumThen.total(), sumElse.total())
+		return
+	}
+	// Arms wait equally; an early function exit in either arm still skips
+	// whatever waits remain ahead.
+	for _, arm := range []ast.Stmt{n.Body, n.Else} {
+		if arm == nil {
+			continue
+		}
+		ast.Inspect(arm, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+				return false // nested loops judged by rule 2
+			case *ast.ReturnStmt:
+				if bo.waitsAfterExit(n.End(), m.Pos(), waits, loops) {
+					bo.report(m.Pos(),
+						"early return under thread-varying condition (%s) skips barrier waits still ahead: remaining goroutines block at the next wait",
+						bo.shortPos(n.Cond.Pos()))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLoop is rule 2: waits inside a loop whose trip count varies per
+// goroutine.
+func (bo *barrierOrderRun) checkLoop(pi *parInfo, varying bool, loop span, body *ast.BlockStmt) {
+	if !varying {
+		return
+	}
+	if at := bo.firstWait(pi, body); at.IsValid() {
+		bo.report(at,
+			"barrier wait inside a loop whose trip count is thread-varying (loop at %s): goroutines wait different numbers of times",
+			bo.shortPos(loop.pos))
+	}
+}
+
+// hasVaryingBreak reports whether a cond-less loop's exit is gated on a
+// thread-varying condition: `for { if x, ok := q.TryPop(); !ok { break } }`.
+func (bo *barrierOrderRun) hasVaryingBreak(pi *parInfo, body *ast.BlockStmt) bool {
+	found := false
+	depth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			depth++
+			// Walk children manually so depth unwinds correctly.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == n {
+					return true
+				}
+				return walk(m)
+			})
+			depth--
+			return false
+		case *ast.IfStmt:
+			if bo.pc.exprClass(pi, n.Cond) >= clsTidPure && containsBreak(n.Body) && depth == 0 {
+				found = true
+			}
+		}
+		return !found
+	}
+	ast.Inspect(body, walk)
+	return found
+}
+
+func containsBreak(body *ast.BlockStmt) bool {
+	has := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.SelectStmt:
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && n.Label == nil {
+				has = true
+			}
+		}
+		return !has
+	})
+	return has
+}
+
+// armWaits is the saturating wait summary of executing a subtree once:
+// direct sync4.Barrier waits plus the transitive summaries of static
+// callees, with anything under a nested loop counted as "many".
+func (bo *barrierOrderRun) armWaits(pi *parInfo, n ast.Node) waitSummary {
+	out := waitSummary{}
+	if n == nil {
+		return out
+	}
+	info := pi.node.Pkg.Info
+	var walk func(m ast.Node, times int) bool
+	walk = func(m ast.Node, times int) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			ast.Inspect(m, func(k ast.Node) bool {
+				if k == m {
+					return true
+				}
+				return walk(k, manyWaits)
+			})
+			return false
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && len(m.Args) == 0 {
+				if tv, ok := info.Types[sel.X]; ok && isSync4Barrier(tv.Type) {
+					root, _ := rootObject(info, pi.node.assigns(), sel.X, 0)
+					out.add(root, times)
+					return true
+				}
+			}
+			if callee := staticCallee(info, m); callee != nil {
+				if sum, ok := bo.sums[bo.g.NodeOf(callee)]; ok {
+					out.merge(sum, times)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(n, func(m ast.Node) bool { return walk(m, 1) })
+	return out
+}
+
+// firstWait returns the position of the first direct or transitive wait in
+// a subtree, or NoPos.
+func (bo *barrierOrderRun) firstWait(pi *parInfo, n ast.Node) token.Pos {
+	if n == nil {
+		return token.NoPos
+	}
+	info := pi.node.Pkg.Info
+	at := token.NoPos
+	ast.Inspect(n, func(m ast.Node) bool {
+		if at.IsValid() {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && len(m.Args) == 0 {
+				if tv, ok := info.Types[sel.X]; ok && isSync4Barrier(tv.Type) {
+					at = m.Pos()
+					return false
+				}
+			}
+			if callee := staticCallee(info, m); callee != nil {
+				if sum, ok := bo.sums[bo.g.NodeOf(callee)]; ok && sum.total() > 0 {
+					at = m.Pos()
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return at
+}
+
+// waitPositions records every wait-relevant position in the body (direct
+// waits and calls into waiting callees) together with the spans of all
+// loops, for the waits-still-ahead test.
+func (bo *barrierOrderRun) waitPositions(pi *parInfo, body *ast.BlockStmt) ([]token.Pos, []span) {
+	info := pi.node.Pkg.Info
+	var waits []token.Pos
+	var loops []span
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			loops = append(loops, span{m.Pos(), m.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{m.Pos(), m.End()})
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && len(m.Args) == 0 {
+				if tv, ok := info.Types[sel.X]; ok && isSync4Barrier(tv.Type) {
+					waits = append(waits, m.Pos())
+					return true
+				}
+			}
+			if callee := staticCallee(info, m); callee != nil {
+				if sum, ok := bo.sums[bo.g.NodeOf(callee)]; ok && sum.total() > 0 {
+					waits = append(waits, m.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return waits, loops
+}
+
+// waitsAfterExit reports whether a function exit at exitPos (inside a
+// construct ending at stmtEnd) skips waits other goroutines still perform:
+// any wait after the construct, or any wait sharing an enclosing loop with
+// the exit (the next iteration's waits).
+func (bo *barrierOrderRun) waitsAfterExit(stmtEnd, exitPos token.Pos, waits []token.Pos, loops []span) bool {
+	for _, w := range waits {
+		if w > stmtEnd {
+			return true
+		}
+		for _, l := range loops {
+			if l.contains(exitPos) && l.contains(w) {
+				return true
+			}
+		}
+	}
+	return false
+}

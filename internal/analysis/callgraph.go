@@ -1,0 +1,408 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide call graph the interprocedural analyzers
+// (guarded-by, barrier-order) walk. Nodes are function bodies — declared
+// functions, methods, and function literals — and edges are the static call
+// sites go/types can resolve. Dynamic calls (interface methods, called
+// function values) have no edge; analyzers treat them as opaque, which keeps
+// the graph sound for "may" facts derived from resolvable edges only.
+
+// CGNode is one function body known to the call graph.
+type CGNode struct {
+	Func *types.Func   // declared function or method; nil for literals
+	Lit  *ast.FuncLit  // function literal; nil for declared functions
+	Decl *ast.FuncDecl // declaration carrying Body; nil for literals
+	Pkg  *Package      // package the body lives in
+
+	// Calls lists every call expression in the body, in source order,
+	// excluding calls inside nested literals (those belong to the
+	// literal's own node).
+	Calls []CallSite
+	// Lits are the function literals defined directly inside this body.
+	Lits []*CGNode
+
+	ir           *FuncIR                   // lazily built, see IR()
+	singleAssign map[types.Object]ast.Expr // lazily built, see assigns()
+}
+
+// CallSite is one call expression with its statically resolved callee.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Callee *types.Func // nil when the callee is dynamic
+	Go     bool        // the call is the operand of a go statement
+	Defer  bool        // the call is the operand of a defer statement
+}
+
+// Body returns the function's body block.
+func (n *CGNode) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return n.Decl.Body
+}
+
+// Sig returns the function's signature type.
+func (n *CGNode) Sig() *types.Signature {
+	if n.Func != nil {
+		return n.Func.Type().(*types.Signature)
+	}
+	if tv, ok := n.Pkg.Info.Types[n.Lit]; ok {
+		if sig, ok := tv.Type.(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// Name returns a human-readable identifier for diagnostics.
+func (n *CGNode) Name() string {
+	if n.Func != nil {
+		return n.Func.Name()
+	}
+	return "func literal"
+}
+
+// assigns returns the node's single-assignment map: each local object
+// assigned exactly once in this body, mapped to its defining expression.
+// Root resolution uses it to see through `l := in.cellLock[c]`-style
+// renamings.
+func (n *CGNode) assigns() map[types.Object]ast.Expr {
+	if n.singleAssign == nil {
+		n.singleAssign = singleAssignMap(n.Pkg.Info, n.Body())
+	}
+	return n.singleAssign
+}
+
+// CallGraph is the module-wide (or run-wide) call graph over a set of
+// loaded packages.
+type CallGraph struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Nodes map[*types.Func]*CGNode
+	Lits  map[*ast.FuncLit]*CGNode
+
+	fileOwner map[string]*Package // filename -> owning package
+	memo      map[string]any      // analyzer-scoped module-wide caches
+}
+
+// BuildCallGraph constructs the graph over every function body in pkgs.
+// Because all packages come from one Loader, a *types.Func used in one
+// package is pointer-identical to its definition in another, so cross-package
+// edges resolve without name matching.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Nodes:     make(map[*types.Func]*CGNode),
+		Lits:      make(map[*ast.FuncLit]*CGNode),
+		fileOwner: make(map[string]*Package),
+		memo:      make(map[string]any),
+		Pkgs:      pkgs,
+	}
+	for _, pkg := range pkgs {
+		if g.Fset == nil {
+			g.Fset = pkg.Fset
+		}
+		for _, file := range pkg.Files {
+			g.fileOwner[pkg.Fset.Position(file.Pos()).Filename] = pkg
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &CGNode{Func: fn, Decl: fd, Pkg: pkg}
+				g.Nodes[fn] = node
+				g.scanBody(node, fd.Body)
+			}
+		}
+	}
+	return g
+}
+
+// scanBody collects call sites and nested literals of one body, attributing
+// calls inside a literal to the literal's own node.
+func (g *CallGraph) scanBody(node *CGNode, body *ast.BlockStmt) {
+	var walk func(n ast.Node, goCall, deferCall *ast.CallExpr) bool
+	walk = func(n ast.Node, goCall, deferCall *ast.CallExpr) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			child := &CGNode{Lit: n, Pkg: node.Pkg}
+			g.Lits[n] = child
+			node.Lits = append(node.Lits, child)
+			g.scanBody(child, n.Body)
+			return false
+		case *ast.GoStmt:
+			ast.Inspect(n.Call, func(m ast.Node) bool { return walk(m, n.Call, nil) })
+			return false
+		case *ast.DeferStmt:
+			ast.Inspect(n.Call, func(m ast.Node) bool { return walk(m, nil, n.Call) })
+			return false
+		case *ast.CallExpr:
+			node.Calls = append(node.Calls, CallSite{
+				Call:   n,
+				Callee: staticCallee(node.Pkg.Info, n),
+				Go:     n == goCall,
+				Defer:  n == deferCall,
+			})
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool { return walk(n, nil, nil) })
+}
+
+// staticCallee resolves the called *types.Func of a call expression, or nil
+// for dynamic calls (interface methods resolve to the interface method
+// object, which has no body in the graph and therefore no edge).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if f, ok := info.Uses[id].(*types.Func); ok {
+				return f
+			}
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if f, ok := info.Uses[id].(*types.Func); ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// NodeOf returns the graph node for fn, or nil when fn's body is outside
+// the analyzed packages.
+func (g *CallGraph) NodeOf(fn *types.Func) *CGNode {
+	if fn == nil {
+		return nil
+	}
+	return g.Nodes[fn]
+}
+
+// OwnerOf maps a file position to the analyzed package containing it.
+func (g *CallGraph) OwnerOf(pos token.Pos) *Package {
+	return g.fileOwner[g.Fset.Position(pos).Filename]
+}
+
+// ParallelSite is one core.Parallel (or the splash4.Parallel facade) call:
+// the spawn point of a worker group.
+type ParallelSite struct {
+	Call   *ast.CallExpr
+	Caller *CGNode
+	Entry  *CGNode // resolved worker body; nil when the argument is dynamic
+}
+
+// isParallelRunner matches the fork-join runner by shape: a function named
+// Parallel taking (int, func(int)). This covers core.Parallel and the
+// public splash4.Parallel facade without hard-coding the module path.
+func isParallelRunner(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Parallel" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 {
+		return false
+	}
+	if b, ok := sig.Params().At(0).Type().(*types.Basic); !ok || b.Kind() != types.Int {
+		return false
+	}
+	_, ok = sig.Params().At(1).Type().Underlying().(*types.Signature)
+	return ok
+}
+
+// ParallelEntries finds every Parallel call in the graph and resolves its
+// worker body: a function literal argument, or a named function/method
+// value. Entries whose worker cannot be resolved statically are returned
+// with a nil Entry so analyzers can count (and document) the blind spot.
+func (g *CallGraph) ParallelEntries() []ParallelSite {
+	memoKey := "parallel-entries"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.([]ParallelSite)
+	}
+	var sites []ParallelSite
+	var nodes []*CGNode
+	for _, n := range g.Nodes {
+		nodes = append(nodes, n)
+	}
+	for _, lit := range g.Lits {
+		nodes = append(nodes, lit)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Body().Pos() < nodes[j].Body().Pos() })
+	for _, n := range nodes {
+		for _, cs := range n.Calls {
+			if !isParallelRunner(cs.Callee) || len(cs.Call.Args) < 2 {
+				continue
+			}
+			site := ParallelSite{Call: cs.Call, Caller: n}
+			switch arg := ast.Unparen(cs.Call.Args[1]).(type) {
+			case *ast.FuncLit:
+				site.Entry = g.Lits[arg]
+			default:
+				if fn := refFunc(n.Pkg.Info, arg); fn != nil {
+					site.Entry = g.Nodes[fn]
+				}
+			}
+			sites = append(sites, site)
+		}
+	}
+	g.memo[memoKey] = sites
+	return sites
+}
+
+// refFunc resolves a function-valued expression (identifier or method
+// value) to its *types.Func, if static.
+func refFunc(info *types.Info, expr ast.Expr) *types.Func {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[e].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// singleAssignMap maps each object assigned exactly once inside body to its
+// defining expression. Objects assigned more than once, or with no usable
+// right-hand side, are absent.
+func singleAssignMap(info *types.Info, body ast.Node) map[types.Object]ast.Expr {
+	counts := make(map[types.Object]int)
+	exprs := make(map[types.Object]ast.Expr)
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || id.Name == "_" {
+			return
+		}
+		counts[obj]++
+		if rhs != nil {
+			exprs[obj] = rhs
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if len(n.Lhs) == len(n.Rhs) {
+					record(id, n.Rhs[i])
+				} else {
+					record(id, nil)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				record(id, nil)
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					record(name, n.Values[i])
+				} else {
+					record(name, nil)
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					record(id, nil)
+				}
+			}
+		}
+		return true
+	})
+	for obj, c := range counts {
+		if c != 1 {
+			delete(exprs, obj)
+		}
+	}
+	return exprs
+}
+
+// rootObject canonicalizes an expression to the object anchoring the memory
+// it denotes: `in.cellLock[c]` roots at the cellLock field, a local
+// single-assigned from such an expression roots wherever its initializer
+// does. elem reports whether the path passed through an index or pointer
+// dereference (element granularity rather than the field itself).
+func rootObject(info *types.Info, assigns map[types.Object]ast.Expr, expr ast.Expr, depth int) (obj types.Object, elem bool) {
+	if depth > 10 {
+		return nil, false
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		o := info.Uses[e]
+		if o == nil {
+			o = info.Defs[e]
+		}
+		if o == nil {
+			return nil, false
+		}
+		if rhs, ok := assigns[o]; ok {
+			if r, el := rootObject(info, assigns, rhs, depth+1); r != nil {
+				return r, el
+			}
+		}
+		return o, false
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj(), false
+		}
+		// Package-qualified reference (pkg.Var).
+		if o := info.Uses[e.Sel]; o != nil {
+			return o, false
+		}
+		return nil, false
+	case *ast.IndexExpr:
+		r, _ := rootObject(info, assigns, e.X, depth+1)
+		return r, true
+	case *ast.StarExpr:
+		r, _ := rootObject(info, assigns, e.X, depth+1)
+		return r, true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return rootObject(info, assigns, e.X, depth+1)
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// isSync4Barrier reports whether t is the sync4.Barrier interface (the only
+// construct whose Wait participates in the phase protocol; Flag.Wait is a
+// one-shot event and Locker has no Wait).
+func isSync4Barrier(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Barrier" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/sync4")
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// TestCallGraphSoundOnModule is the soundness property test over the module
+// itself: every call expression go/types can statically resolve to a
+// function declared in the module must appear as an edge in the graph,
+// attributed to the correct enclosing body; every declared body must have a
+// node; and the interprocedural layers (IR lowering, parallel context, wait
+// summaries) must process every node without panicking.
+func TestCallGraphSoundOnModule(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCallGraph(pkgs)
+
+	// Every declared function body has a node.
+	declared := make(map[*types.Func]bool)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				declared[fn] = true
+				if g.Nodes[fn] == nil {
+					t.Errorf("declared function %s has no call-graph node", fn.FullName())
+				}
+			}
+		}
+	}
+	if len(declared) < 100 {
+		t.Fatalf("only %d declared functions found; module walk lost coverage", len(declared))
+	}
+
+	// Independent sweep: every statically resolvable call expression in the
+	// module must have been recorded as an edge by exactly the graph's own
+	// scanner (including calls under go/defer and inside literals).
+	recorded := make(map[*ast.CallExpr]*types.Func)
+	forEachNode(g, func(n *CGNode) {
+		for _, cs := range n.Calls {
+			recorded[cs.Call] = cs.Callee
+		}
+	})
+	edges := 0
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(pkg.Info, call)
+				if callee == nil || !declared[callee] {
+					return true
+				}
+				edges++
+				got, ok := recorded[call]
+				if !ok {
+					pos := pkg.Fset.Position(call.Pos())
+					t.Errorf("%s: resolvable call to %s missing from the graph", pos, callee.FullName())
+				} else if got != callee {
+					pos := pkg.Fset.Position(call.Pos())
+					t.Errorf("%s: call recorded with callee %v, go/types resolves %v", pos, got, callee)
+				}
+				return true
+			})
+		}
+	}
+	if edges < 50 {
+		t.Fatalf("only %d static in-module call edges found; resolution lost coverage", edges)
+	}
+
+	// IR lowering and the wait-summary fixpoint must handle every body —
+	// generics, build-constrained files, and all — without panicking.
+	forEachNode(g, func(n *CGNode) {
+		ir := n.IR()
+		if ir.Entry == nil || ir.Exit == nil {
+			t.Errorf("%s: IR missing entry/exit", n.Name())
+		}
+		ir.ForEachOpWithLockset(nil, func(op *Op, held lockset) {})
+	})
+	funcWaitSummaries(g)
+
+	// The parallel context must find the workloads' worker groups and
+	// propagate beyond the entry bodies.
+	sites := g.ParallelEntries()
+	resolvedEntries := 0
+	for _, s := range sites {
+		if s.Entry != nil {
+			resolvedEntries++
+		}
+	}
+	if resolvedEntries < 5 {
+		t.Fatalf("only %d resolved Parallel entries; worker detection lost coverage", resolvedEntries)
+	}
+	pc := parallelContext(g)
+	if len(pc.info) <= resolvedEntries {
+		t.Errorf("parallel context covers %d functions for %d entries; interprocedural propagation seems dead",
+			len(pc.info), resolvedEntries)
+	}
+}
+
+func forEachNode(g *CallGraph, fn func(*CGNode)) {
+	for _, n := range g.Nodes {
+		fn(n)
+	}
+	for _, n := range g.Lits {
+		fn(n)
+	}
+}

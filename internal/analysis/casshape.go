@@ -1,0 +1,490 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CASShape checks every CompareAndSwap retry loop for the three canonical
+// lock-free defects, modeled on the suite's own reduction and Treiber-stack
+// idioms in internal/sync4/lockfree:
+//
+//  1. stale expected value — the expected operand is a local captured
+//     before the loop and never reloaded on the retry path, so after one
+//     failure the loop spins forever (or worse, succeeds against a value
+//     it never observed);
+//  2. side effects on the retry path — shared-memory writes that execute
+//     once per failed attempt instead of once per successful publish
+//     (the lost-update shape);
+//  3. ABA-prone pointer reuse — a pointer CAS whose new value is neither
+//     freshly allocated, nor derived from the expected value, nor a
+//     reload, so a recycled address can satisfy the compare while the
+//     structure underneath has changed.
+var CASShape = &Analyzer{
+	Name: "cas-shape",
+	Doc: "check CompareAndSwap retry loops for stale expected values, " +
+		"retry-path side effects, and ABA-prone pointer reuse",
+	Run: runCASShape,
+}
+
+func runCASShape(pass *Pass) {
+	for _, file := range pass.Files {
+		// Fresh allocations are collected file-wide: the Treiber push idiom
+		// allocates its node before the retry loop, and object identity
+		// keeps unrelated functions' locals from colliding.
+		fresh := freshLocals(pass.Info, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			checkCASLoop(pass, loop, fresh)
+			return true
+		})
+	}
+}
+
+// checkCASLoop analyzes one for loop that (possibly) retries a CAS. CAS
+// calls inside nested loops or literals belong to those constructs and are
+// skipped here — the outer Inspect visits them separately.
+func checkCASLoop(pass *Pass, loop *ast.ForStmt, fresh map[types.Object]bool) {
+	var casCalls []*ast.CallExpr
+	eachDirect(loop, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok && isCASCall(pass.Info, call) {
+			casCalls = append(casCalls, call)
+		}
+	})
+	if len(casCalls) == 0 {
+		return
+	}
+	assigned := assignedObjects(pass.Info, loop)
+
+	for _, cas := range casCalls {
+		checkStaleExpected(pass, loop, cas, assigned)
+		checkABAPointer(pass, loop, cas, fresh, assigned)
+	}
+	checkRetrySideEffects(pass, loop, casCalls, fresh)
+}
+
+// isCASCall matches x.CompareAndSwap(old, new) on a sync/atomic value or a
+// sync4 construct.
+func isCASCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "CompareAndSwap" || len(call.Args) != 2 {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	path := typePkgPath(tv.Type)
+	return path == "sync/atomic" || strings.HasSuffix(path, "internal/sync4") ||
+		strings.HasSuffix(path, "internal/sync4/lockfree")
+}
+
+// checkStaleExpected is rule 1: the expected operand must be re-derived on
+// every retry. Constants and inline calls re-evaluate by construction; a
+// plain local is stale when it is declared outside the loop and nothing in
+// the loop assigns it.
+func checkStaleExpected(pass *Pass, loop *ast.ForStmt, cas *ast.CallExpr, assigned map[types.Object]bool) {
+	exp := ast.Unparen(cas.Args[0])
+	id, ok := exp.(*ast.Ident)
+	if !ok {
+		return // literals, field loads, and calls re-evaluate each attempt
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	if _, isConst := obj.(*types.Const); isConst {
+		return
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+		return // declared inside the loop: fresh every iteration
+	}
+	if assigned[obj] {
+		return // reloaded somewhere on the retry path
+	}
+	pass.Reportf(cas.Args[0].Pos(),
+		"expected value %q is not reloaded after a failed CompareAndSwap: the retry loop spins on a stale snapshot", id.Name)
+}
+
+// checkABAPointer is rule 3, applied only to pointer-typed CAS. The new
+// value must be freshly allocated, derived from the expected value, nil, or
+// a reload of the same location; anything else can recycle an address and
+// slip past the compare.
+func checkABAPointer(pass *Pass, loop *ast.ForStmt, cas *ast.CallExpr, fresh, assigned map[types.Object]bool) {
+	if !isPointerCAS(pass.Info, cas) {
+		return
+	}
+	newArg := ast.Unparen(cas.Args[1])
+	if isFreshExpr(pass.Info, newArg, fresh) {
+		return
+	}
+	if exprIsNil(pass.Info, newArg) {
+		return
+	}
+	if containsLoadCall(newArg) {
+		return
+	}
+	// Derived from the expected value (old.next and friends).
+	expRoots := identObjects(pass.Info, cas.Args[0])
+	for obj := range identObjects(pass.Info, newArg) {
+		if expRoots[obj] {
+			return
+		}
+		// A local recomputed inside the loop from shared state is a form
+		// of reload.
+		if assigned[obj] && obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+			return
+		}
+	}
+	pass.Reportf(cas.Args[1].Pos(),
+		"ABA-prone CompareAndSwap on a pointer: the new value is neither freshly allocated nor derived from the expected value, so a recycled address can pass the compare")
+}
+
+// isPointerCAS reports whether the CAS operates on pointer values:
+// atomic.Pointer[T] receivers or unsafe.Pointer operands.
+func isPointerCAS(info *types.Info, cas *ast.CallExpr) bool {
+	sel := ast.Unparen(cas.Fun).(*ast.SelectorExpr)
+	if tv, ok := info.Types[sel.X]; ok {
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok &&
+			named.Obj().Name() == "Pointer" && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "sync/atomic" {
+			return true
+		}
+	}
+	if tv, ok := info.Types[cas.Args[0]]; ok {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRetrySideEffects is rule 2: shared-memory mutations on the retry
+// path run once per failed attempt. The success region — the body of
+// `if cas { ... }`, or everything after `if !cas { continue/return/break }`
+// — is exempt, as are writes into structures freshly allocated this
+// iteration (linking a new node before publishing it is the idiom).
+func checkRetrySideEffects(pass *Pass, loop *ast.ForStmt, casCalls []*ast.CallExpr, fresh map[types.Object]bool) {
+	success := successRegions(loop, casCalls)
+	inSuccess := func(p token.Pos) bool {
+		for _, s := range success {
+			if s.contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(pos token.Pos) {
+		pass.Reportf(pos,
+			"side effect on the CompareAndSwap retry path: this write runs once per failed attempt, not once per publish")
+	}
+	eachDirect(loop, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if pos, shared := sharedWriteTarget(pass.Info, lhs, fresh); shared && !inSuccess(pos) {
+					report(pos)
+				}
+			}
+		case *ast.IncDecStmt:
+			if pos, shared := sharedWriteTarget(pass.Info, n.X, fresh); shared && !inSuccess(pos) {
+				report(pos)
+			}
+		case *ast.CallExpr:
+			if isCASCall(pass.Info, n) {
+				return
+			}
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok || !mutatorNames[sel.Sel.Name] {
+				return
+			}
+			tv, ok := pass.Info.Types[sel.X]
+			if !ok {
+				return
+			}
+			path := typePkgPath(tv.Type)
+			if path != "sync/atomic" && !strings.HasSuffix(path, "internal/sync4") {
+				return
+			}
+			// Mutations of freshly allocated structures are initialization.
+			if roots := identObjects(pass.Info, sel.X); anyIn(roots, fresh) {
+				return
+			}
+			if !inSuccess(n.Pos()) {
+				report(n.Pos())
+			}
+		}
+	})
+}
+
+// mutatorNames are the construct/atomic methods that mutate shared state.
+var mutatorNames = map[string]bool{
+	"Store": true, "Add": true, "Inc": true, "Swap": true, "Set": true,
+	"Put": true, "TryPut": true, "Push": true,
+}
+
+// successRegions computes the source spans that only execute after a CAS
+// succeeded.
+func successRegions(loop *ast.ForStmt, casCalls []*ast.CallExpr) []span {
+	var out []span
+	within := func(e ast.Expr, cas *ast.CallExpr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if n == ast.Node(cas) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	for _, cas := range casCalls {
+		eachDirect(loop, func(n ast.Node) {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Cond == nil || !within(ifs.Cond, cas) {
+				return
+			}
+			if u, ok := ast.Unparen(ifs.Cond).(*ast.UnaryExpr); ok && u.Op == token.NOT {
+				// if !cas { continue/return/break }: the rest of the loop
+				// body after this statement is success-only.
+				if exitsEarly(ifs.Body) {
+					out = append(out, span{ifs.End(), loop.End()})
+				}
+				return
+			}
+			// if cas { success }
+			out = append(out, span{ifs.Body.Pos(), ifs.Body.End()})
+		})
+	}
+	return out
+}
+
+// exitsEarly reports whether a block unconditionally leaves the iteration.
+func exitsEarly(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch s := body.List[len(body.List)-1].(type) {
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	case *ast.ReturnStmt:
+		return true
+	}
+	return false
+}
+
+// sharedWriteTarget classifies one assignment target: a write through a
+// field of shared, non-fresh memory returns (pos, true).
+func sharedWriteTarget(info *types.Info, lhs ast.Expr, fresh map[types.Object]bool) (token.Pos, bool) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return token.NoPos, false
+		}
+		if roots := identObjects(info, e.X); anyIn(roots, fresh) {
+			return token.NoPos, false
+		}
+		return e.Sel.Pos(), true
+	case *ast.IndexExpr:
+		if root, _ := rootObject(info, nil, e.X, 0); root != nil {
+			if v, ok := root.(*types.Var); ok && v.IsField() && !fresh[root] {
+				return e.Pos(), true
+			}
+		}
+	case *ast.StarExpr:
+		if root, _ := rootObject(info, nil, e.X, 0); root != nil {
+			if fresh[root] {
+				return token.NoPos, false
+			}
+			if v, ok := root.(*types.Var); ok && v.IsField() {
+				return e.Pos(), true
+			}
+		}
+	}
+	return token.NoPos, false
+}
+
+// eachDirect visits the loop's condition, post statement, and body,
+// skipping nested loops and function literals (their contents belong to
+// those constructs).
+func eachDirect(loop *ast.ForStmt, fn func(ast.Node)) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n != ast.Node(loop) {
+				return false
+			}
+		}
+		fn(n)
+		return true
+	}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		return walk(n)
+	})
+}
+
+// assignedObjects collects every object assigned anywhere in the loop
+// (including its init/post and nested statements).
+func assignedObjects(info *types.Info, loop *ast.ForStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		case *ast.RangeStmt:
+			record(n.Key)
+			record(n.Value)
+		}
+		return true
+	})
+	return out
+}
+
+// freshLocals collects locals bound to a fresh allocation (&T{...},
+// new(T), or a composite literal) — memory no other goroutine holds until
+// it is published.
+func freshLocals(info *types.Info, root ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !isAllocExpr(as.Rhs[i]) {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isAllocExpr recognizes expressions that produce memory no other goroutine
+// can hold yet.
+func isAllocExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, isLit := ast.Unparen(e.X).(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && (id.Name == "new" || id.Name == "make") {
+			return true
+		}
+	}
+	return false
+}
+
+// isFreshExpr reports whether e evaluates to freshly allocated memory,
+// possibly through a conversion or a fresh local.
+func isFreshExpr(info *types.Info, e ast.Expr, fresh map[types.Object]bool) bool {
+	e = ast.Unparen(e)
+	if isAllocExpr(e) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return fresh[obj]
+		}
+	case *ast.CallExpr:
+		// Conversion wrapping (unsafe.Pointer(n)).
+		if len(e.Args) == 1 {
+			if _, isConv := info.Types[e.Fun]; isConv && info.Types[e.Fun].IsType() {
+				return isFreshExpr(info, e.Args[0], fresh)
+			}
+		}
+	}
+	return false
+}
+
+// exprIsNil reports whether e is the predeclared nil.
+func exprIsNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// containsLoadCall reports whether the expression re-reads shared state via
+// a Load call each evaluation.
+func containsLoadCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Load" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// identObjects collects every identifier object referenced in e.
+func identObjects(info *types.Info, e ast.Expr) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func anyIn(set, in map[types.Object]bool) bool {
+	for k := range set {
+		if in[k] {
+			return true
+		}
+	}
+	return false
+}

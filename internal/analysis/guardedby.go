@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GuardedBy infers, per shared struct field, the lock discipline the code
+// itself establishes — the set of Kit.NewLock lockers held at every write
+// the function acquires itself — and flags writes reachable from a
+// core.Parallel worker body that escape every inferred guard. It is an
+// Eraser-style lockset race detector specialized to the sync4 discipline:
+//
+//   - Guards are inferred only from sites whose critical section is opened
+//     in the same function (a caller-held lock proves nothing about which
+//     lock the field is *supposed* to be under).
+//   - Checking uses both the local lockset and the locks inherited from
+//     every parallel call site (intersected across sites), so helper
+//     functions called with the lock held stay silent.
+//   - Only writes are flagged. The suite's phase discipline publishes data
+//     with barriers and reads it unguarded in later phases; flagging reads
+//     would bury the signal in protocol-correct noise.
+//   - Writes under a single-thread gate (`if tid == 0`, owner-equality
+//     checks) are exempt: one goroutine needs no lock.
+//   - Element writes (x.f[i] = v) are exempt: threads partition arrays by
+//     design, and per-element disjointness is beyond a lockset analysis.
+var GuardedBy = &Analyzer{
+	Name: "guarded-by",
+	Doc: "flag writes to lock-guarded shared fields that escape the " +
+		"inferred guard on paths reachable from core.Parallel workers",
+	Run: runGuardedBy,
+}
+
+// writeSite is one field write observed in parallel-reachable code.
+type writeSite struct {
+	field     types.Object
+	pos       token.Pos
+	localHeld lockset // locks this function acquired itself
+	fullHeld  lockset // localHeld plus locks inherited from call sites
+	exempt    bool    // single-thread gated, or whole function is
+}
+
+func runGuardedBy(pass *Pass) {
+	for _, d := range guardedByModule(pass.Graph) {
+		if pass.Owns(d.pos) {
+			pass.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+}
+
+type posMsg struct {
+	pos token.Pos
+	msg string
+}
+
+// guardedByModule runs the module-wide analysis once per graph and memoizes
+// the raw findings; each package's pass then claims the ones in its files.
+func guardedByModule(g *CallGraph) []posMsg {
+	const memoKey = "guardedby-findings"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.([]posMsg)
+	}
+	pc := parallelContext(g)
+
+	var sites []writeSite
+	for _, pi := range pc.info {
+		sites = append(sites, collectWrites(pi)...)
+	}
+
+	// Guard inference: a field's guard is the intersection of the locally
+	// acquired locksets over every write that holds at least one lock it
+	// acquired itself. Fields never written under a same-function lock have
+	// no inferred guard and are not checked (they are protocol-guarded by
+	// barriers, or construct-mediated, or broken in ways a lockset cannot
+	// see).
+	guards := make(map[types.Object]lockset)
+	for _, s := range sites {
+		if len(s.localHeld) == 0 {
+			continue
+		}
+		if cur, ok := guards[s.field]; ok {
+			guards[s.field] = cur.intersect(s.localHeld)
+		} else {
+			guards[s.field] = s.localHeld.clone()
+		}
+	}
+
+	var out []posMsg
+	for _, s := range sites {
+		guard := guards[s.field]
+		if len(guard) == 0 || s.exempt {
+			continue
+		}
+		if holdsAny(s.fullHeld, guard) {
+			continue
+		}
+		out = append(out, posMsg{
+			pos: s.pos,
+			msg: fmt.Sprintf(
+				"write to shared field %q escapes its inferred guard %s: other parallel writes hold the lock, this path holds none of it",
+				s.field.Name(), guardNames(guard)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	g.memo[memoKey] = out
+	return out
+}
+
+// collectWrites walks one parallel-reachable function twice — once with an
+// empty entry lockset (locks it acquires itself) and once seeded with the
+// locks inherited from its parallel call sites — and pairs the two views
+// per write.
+func collectWrites(pi *parInfo) []writeSite {
+	ir := pi.node.IR()
+	local := make(map[token.Pos]lockset)
+	ir.ForEachOpWithLockset(lockset{}, func(op *Op, held lockset) {
+		if op.Kind == OpWrite && !op.Elem && isSharedField(op.Obj) {
+			local[op.Pos] = held.clone()
+		}
+	})
+	entry := pi.entryLocks
+	if entry == nil {
+		entry = lockset{}
+	}
+	var sites []writeSite
+	ir.ForEachOpWithLockset(entry, func(op *Op, held lockset) {
+		if op.Kind != OpWrite || op.Elem || !isSharedField(op.Obj) {
+			return
+		}
+		sites = append(sites, writeSite{
+			field:     op.Obj,
+			pos:       op.Pos,
+			localHeld: local[op.Pos],
+			fullHeld:  held.clone(),
+			exempt:    pi.exempt || pi.posGated(op.Pos),
+		})
+	})
+	return sites
+}
+
+// isSharedField keeps the analysis on struct fields (the unit the guard
+// discipline is declared over).
+func isSharedField(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.IsField()
+}
+
+func holdsAny(held, guard lockset) bool {
+	for l := range held {
+		if guard[l] {
+			return true
+		}
+	}
+	return false
+}
+
+func guardNames(guard lockset) string {
+	names := make([]string, 0, len(guard))
+	for l := range guard {
+		names = append(names, l.Name())
+	}
+	sort.Strings(names)
+	return strings.Join(names, "+")
+}

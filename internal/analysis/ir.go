@@ -1,0 +1,566 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file lowers one function body into a lightweight IR: basic blocks of
+// shared-memory operations (field reads/writes, lock acquire/release,
+// barrier waits, calls, CAS sites) connected by control-flow edges. It is
+// deliberately not SSA — the analyzers built on it (guarded-by most of all)
+// need exactly two things a flat AST walk cannot give: statement order
+// within a path, and meets at control-flow joins for the must-hold lockset.
+
+// OpKind classifies one IR operation.
+type OpKind uint8
+
+const (
+	// OpRead is a read of a struct field (Obj is the field *types.Var).
+	OpRead OpKind = iota
+	// OpWrite is a write of a struct field. Elem distinguishes writes
+	// through an index or dereference (x.f[i] = v) from writes of the
+	// field itself (x.f = v).
+	OpWrite
+	// OpLock is a call to Lock() on the canonical lock object Obj.
+	OpLock
+	// OpUnlock is the matching Unlock(). A deferred Unlock emits no op:
+	// the lock is held to function exit, which is exactly the semantics
+	// the dataflow wants.
+	OpUnlock
+	// OpWait is a sync4.Barrier Wait() on barrier identity Obj.
+	OpWait
+	// OpCall is any other call; Callee is its static target when known.
+	OpCall
+	// OpCAS is a CompareAndSwap call on a sync/atomic value (also emitted
+	// as an OpCall for the call graph's benefit).
+	OpCAS
+)
+
+// Op is one shared-memory-relevant operation.
+type Op struct {
+	Kind   OpKind
+	Obj    types.Object // field var, or canonical lock/barrier root
+	Elem   bool         // element-granularity access (indexed/dereferenced)
+	Pos    token.Pos
+	Call   *ast.CallExpr
+	Callee *types.Func
+	Go     bool // call spawned with a go statement
+}
+
+// Block is one basic block: ops executed in order, then a transfer to any
+// successor.
+type Block struct {
+	Ops   []Op
+	Succs []*Block
+
+	in      lockset // dataflow state at block entry
+	visited bool
+}
+
+// FuncIR is the lowered body of one function.
+type FuncIR struct {
+	Entry  *Block
+	Exit   *Block // synthetic sink for returns and fallthrough
+	Blocks []*Block
+	Node   *CGNode
+}
+
+// IR lowers the node's body on first use and caches it.
+func (n *CGNode) IR() *FuncIR {
+	if n.ir == nil {
+		n.ir = buildIR(n)
+	}
+	return n.ir
+}
+
+type irBuilder struct {
+	node *CGNode
+	info *types.Info
+	ir   *FuncIR
+	cur  *Block
+
+	breakTargets    []*Block
+	continueTargets []*Block
+}
+
+func buildIR(node *CGNode) *FuncIR {
+	b := &irBuilder{node: node, info: node.Pkg.Info}
+	b.ir = &FuncIR{Node: node}
+	b.ir.Entry = b.newBlock()
+	b.ir.Exit = b.newBlock()
+	b.cur = b.ir.Entry
+	b.stmt(node.Body())
+	b.link(b.cur, b.ir.Exit)
+	return b.ir
+}
+
+func (b *irBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.ir.Blocks = append(b.ir.Blocks, blk)
+	return blk
+}
+
+func (b *irBuilder) link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *irBuilder) emit(op Op) {
+	b.cur.Ops = append(b.cur.Ops, op)
+}
+
+// stmt lowers one statement into the current block, splitting blocks at
+// control flow.
+func (b *irBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.ExprStmt:
+		b.expr(s.X)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			b.expr(rhs)
+		}
+		for _, lhs := range s.Lhs {
+			b.write(lhs, s.Tok != token.ASSIGN && s.Tok != token.DEFINE)
+		}
+	case *ast.IncDecStmt:
+		b.expr(s.X)
+		b.write(s.X, true)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						b.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.expr(s.Cond)
+		condBlk := b.cur
+		join := b.newBlock()
+		thenBlk := b.newBlock()
+		b.link(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmt(s.Body)
+		b.link(b.cur, join)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.link(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.link(b.cur, join)
+		} else {
+			b.link(condBlk, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		b.stmt(s.Init)
+		head := b.newBlock()
+		b.link(b.cur, head)
+		b.cur = head
+		b.expr(s.Cond)
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.link(head, body)
+		if s.Cond != nil {
+			b.link(head, exit)
+		}
+		b.breakTargets = append(b.breakTargets, exit)
+		b.continueTargets = append(b.continueTargets, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.stmt(s.Post)
+		b.link(b.cur, head)
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+		b.cur = exit
+	case *ast.RangeStmt:
+		b.expr(s.X)
+		head := b.newBlock()
+		b.link(b.cur, head)
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.link(head, body)
+		b.link(head, exit)
+		b.breakTargets = append(b.breakTargets, exit)
+		b.continueTargets = append(b.continueTargets, head)
+		b.cur = body
+		if s.Key != nil {
+			b.write(s.Key, false)
+		}
+		if s.Value != nil {
+			b.write(s.Value, false)
+		}
+		b.stmt(s.Body)
+		b.link(b.cur, head)
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+		b.cur = exit
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.switchLike(s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			b.expr(r)
+		}
+		b.link(b.cur, b.ir.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+	case *ast.BranchStmt:
+		switch {
+		case s.Tok == token.BREAK && s.Label == nil && len(b.breakTargets) > 0:
+			b.link(b.cur, b.breakTargets[len(b.breakTargets)-1])
+		case s.Tok == token.CONTINUE && s.Label == nil && len(b.continueTargets) > 0:
+			b.link(b.cur, b.continueTargets[len(b.continueTargets)-1])
+		case s.Tok == token.GOTO || s.Label != nil:
+			// Labeled jumps are rare in this module; treating them as a
+			// function exit keeps the must-hold lockset conservative.
+			b.link(b.cur, b.ir.Exit)
+		}
+		if s.Tok != token.FALLTHROUGH {
+			b.cur = b.newBlock()
+		}
+	case *ast.GoStmt:
+		b.call(s.Call, true, false)
+	case *ast.DeferStmt:
+		b.call(s.Call, false, true)
+	case *ast.SendStmt:
+		b.expr(s.Chan)
+		b.expr(s.Value)
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt)
+	case *ast.EmptyStmt:
+	default:
+		// Conservatively walk any remaining statement for expressions.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				b.expr(e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// switchLike lowers switch, type switch, and select uniformly: each clause
+// is a branch from the head to a join.
+func (b *irBuilder) switchLike(s ast.Stmt) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		b.stmt(s.Init)
+		b.expr(s.Tag)
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		b.stmt(s.Init)
+		b.stmt(s.Assign)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	head := b.cur
+	join := b.newBlock()
+	b.breakTargets = append(b.breakTargets, join)
+	for _, cl := range clauses {
+		blk := b.newBlock()
+		b.link(head, blk)
+		b.cur = blk
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				b.expr(e)
+			}
+			for _, st := range cl.Body {
+				b.stmt(st)
+			}
+		case *ast.CommClause:
+			hasDefault = hasDefault || cl.Comm == nil
+			b.stmt(cl.Comm)
+			for _, st := range cl.Body {
+				b.stmt(st)
+			}
+		}
+		b.link(b.cur, join)
+	}
+	if !hasDefault {
+		b.link(head, join)
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.cur = join
+}
+
+// expr emits ops for one expression tree (reads, calls, lock operations),
+// skipping nested function literals — those are separate graph nodes.
+func (b *irBuilder) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.FuncLit:
+		return
+	case *ast.CallExpr:
+		b.call(e, false, false)
+		return
+	case *ast.SelectorExpr:
+		if sel, ok := b.info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			b.emit(Op{Kind: OpRead, Obj: sel.Obj(), Pos: e.Sel.Pos()})
+		}
+		b.expr(e.X)
+		return
+	case *ast.ParenExpr:
+		b.expr(e.X)
+		return
+	case *ast.UnaryExpr:
+		b.expr(e.X)
+		return
+	case *ast.StarExpr:
+		b.expr(e.X)
+		return
+	case *ast.BinaryExpr:
+		b.expr(e.X)
+		b.expr(e.Y)
+		return
+	case *ast.IndexExpr:
+		b.expr(e.X)
+		b.expr(e.Index)
+		return
+	case *ast.SliceExpr:
+		b.expr(e.X)
+		b.expr(e.Low)
+		b.expr(e.High)
+		b.expr(e.Max)
+		return
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			b.expr(el)
+		}
+		return
+	case *ast.KeyValueExpr:
+		b.expr(e.Value)
+		return
+	case *ast.TypeAssertExpr:
+		b.expr(e.X)
+		return
+	}
+}
+
+// call classifies one call expression into lock/unlock/wait/CAS/plain ops.
+func (b *irBuilder) call(call *ast.CallExpr, goStmt, deferStmt bool) {
+	for _, arg := range call.Args {
+		b.expr(arg)
+	}
+	callee := staticCallee(b.info, call)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		b.expr(sel.X)
+		name := sel.Sel.Name
+		switch {
+		case (name == "Lock" || name == "Unlock") && len(call.Args) == 0 && isMethodCall(b.info, sel):
+			root, _ := rootObject(b.info, b.node.assigns(), sel.X, 0)
+			if root != nil {
+				if deferStmt {
+					// defer x.Unlock(): held to function exit.
+					return
+				}
+				kind := OpLock
+				if name == "Unlock" {
+					kind = OpUnlock
+				}
+				b.emit(Op{Kind: kind, Obj: root, Pos: call.Pos(), Call: call})
+				return
+			}
+		case name == "Wait" && len(call.Args) == 0:
+			if tv, ok := b.info.Types[sel.X]; ok && isSync4Barrier(tv.Type) {
+				root, _ := rootObject(b.info, b.node.assigns(), sel.X, 0)
+				if root == nil {
+					root, _ = rootObject(b.info, nil, sel.X, 0)
+				}
+				b.emit(Op{Kind: OpWait, Obj: root, Pos: call.Pos(), Call: call})
+				return
+			}
+		case name == "CompareAndSwap" && len(call.Args) == 2:
+			b.emit(Op{Kind: OpCAS, Pos: call.Pos(), Call: call, Callee: callee})
+		}
+	} else {
+		b.expr(call.Fun)
+	}
+	b.emit(Op{Kind: OpCall, Pos: call.Pos(), Call: call, Callee: callee, Go: goStmt})
+}
+
+// isMethodCall reports whether sel selects a method (not a field of
+// function type), so Lock/Unlock recognition doesn't trip on fields.
+func isMethodCall(info *types.Info, sel *ast.SelectorExpr) bool {
+	if s, ok := info.Selections[sel]; ok {
+		return s.Kind() == types.MethodVal
+	}
+	// Package-qualified function, not a method.
+	return false
+}
+
+// write emits the ops for one assignment target: reads of its component
+// expressions plus an OpWrite for the field it roots at, when the target
+// denotes shared memory. compound marks read-modify-write assignments
+// (x.f += v), which also read the target.
+func (b *irBuilder) write(lhs ast.Expr, compound bool) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return // local write; not shared memory
+	case *ast.SelectorExpr:
+		b.expr(e.X)
+		if sel, ok := b.info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if b.sharedBase(e.X) {
+				b.emit(Op{Kind: OpWrite, Obj: sel.Obj(), Pos: e.Sel.Pos()})
+			}
+			if compound {
+				b.emit(Op{Kind: OpRead, Obj: sel.Obj(), Pos: e.Sel.Pos()})
+			}
+		}
+	case *ast.IndexExpr:
+		b.expr(e.Index)
+		b.expr(e.X)
+		if root, _ := rootObject(b.info, b.node.assigns(), e.X, 0); root != nil {
+			if v, ok := root.(*types.Var); ok && v.IsField() {
+				b.emit(Op{Kind: OpWrite, Obj: root, Elem: true, Pos: e.Pos()})
+			}
+		}
+	case *ast.StarExpr:
+		b.expr(e.X)
+		if root, elem := rootObject(b.info, b.node.assigns(), e.X, 0); root != nil {
+			if v, ok := root.(*types.Var); ok && v.IsField() {
+				b.emit(Op{Kind: OpWrite, Obj: root, Elem: elem, Pos: e.Pos()})
+			}
+		}
+	}
+}
+
+// sharedBase reports whether the base expression of a field access denotes
+// memory other goroutines could see: anything rooted at a parameter,
+// receiver, field, or pointer chain. Only a plain local value variable
+// (a struct copied into this frame) is private.
+func (b *irBuilder) sharedBase(base ast.Expr) bool {
+	root, elem := rootObject(b.info, b.node.assigns(), base, 0)
+	if root == nil || elem {
+		return true // unknown or reached through a pointer/index: assume shared
+	}
+	v, ok := root.(*types.Var)
+	if !ok {
+		return true
+	}
+	if v.IsField() {
+		return true
+	}
+	if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+		return true
+	}
+	// Parameters of pointer/interface type are shared; a value-typed local
+	// or value parameter is this frame's own copy.
+	switch v.Type().Underlying().(type) {
+	case *types.Struct, *types.Basic, *types.Array:
+		return false
+	}
+	return true
+}
+
+// lockset is the set of canonical lock objects held at a program point.
+type lockset map[types.Object]bool
+
+func (l lockset) clone() lockset {
+	c := make(lockset, len(l))
+	for k := range l {
+		c[k] = true
+	}
+	return c
+}
+
+func (l lockset) intersect(o lockset) lockset {
+	c := make(lockset)
+	for k := range l {
+		if o[k] {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+func (l lockset) equal(o lockset) bool {
+	if len(l) != len(o) {
+		return false
+	}
+	for k := range l {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachOpWithLockset runs a forward must-hold lockset dataflow (meet =
+// intersection at joins) seeded with entry, then invokes fn for every op
+// with the set of locks held just before it executes.
+func (ir *FuncIR) ForEachOpWithLockset(entry lockset, fn func(op *Op, held lockset)) {
+	for _, blk := range ir.Blocks {
+		blk.in = nil
+		blk.visited = false
+	}
+	if entry == nil {
+		entry = lockset{}
+	}
+	ir.Entry.in = entry.clone()
+	ir.Entry.visited = true
+	work := []*Block{ir.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := blk.in.clone()
+		for i := range blk.Ops {
+			op := &blk.Ops[i]
+			switch op.Kind {
+			case OpLock:
+				out[op.Obj] = true
+			case OpUnlock:
+				delete(out, op.Obj)
+			}
+		}
+		for _, succ := range blk.Succs {
+			if !succ.visited {
+				succ.in = out.clone()
+				succ.visited = true
+				work = append(work, succ)
+				continue
+			}
+			merged := succ.in.intersect(out)
+			if !merged.equal(succ.in) {
+				succ.in = merged
+				work = append(work, succ)
+			}
+		}
+	}
+	for _, blk := range ir.Blocks {
+		if !blk.visited {
+			continue
+		}
+		held := blk.in.clone()
+		for i := range blk.Ops {
+			op := &blk.Ops[i]
+			fn(op, held)
+			switch op.Kind {
+			case OpLock:
+				held[op.Obj] = true
+			case OpUnlock:
+				delete(held, op.Obj)
+			}
+		}
+	}
+}

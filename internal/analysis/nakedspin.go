@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -11,6 +12,15 @@ import (
 // memory model such a loop is a data race that may never terminate (the
 // compiler may hoist the load); the paper's lock-free constructs spin on
 // atomics, which is what the Kit's Flag and Queue provide.
+//
+// Two shapes beyond the plain `for cond {}` are recognized:
+//
+//   - the cond-less break-gate, `for { if done { break } }`, which is the
+//     same busy-wait with the condition pushed into the body;
+//   - getter and method-value conditions, `for !p.ready() {}` or
+//     `check := p.ready; for !check() {}`, where the callee is a trivial
+//     single-return accessor over plain memory — the call hides the racy
+//     load but does not synchronize anything.
 var NakedSpin = &Analyzer{
 	Name: "naked-spin",
 	Doc:  "flags busy-wait loops whose condition reads non-atomic memory the body never updates",
@@ -21,26 +31,60 @@ func runNakedSpin(pass *Pass) {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			loop, ok := n.(*ast.ForStmt)
-			if !ok || loop.Cond == nil {
+			if !ok {
 				return true
 			}
-			checkSpinLoop(pass, loop)
+			if loop.Cond != nil {
+				checkSpinLoop(pass, loop, loop.Cond)
+			} else if gate := breakGate(loop); gate != nil {
+				checkSpinLoop(pass, loop, gate)
+			}
 			return true
 		})
 	}
 }
 
-func checkSpinLoop(pass *Pass, loop *ast.ForStmt) {
-	// The condition must read at least one variable and contain no call or
-	// channel receive (those can legitimately make progress).
+// breakGate recognizes the cond-less spin shape: a body whose only exit is
+// a single top-level `if cond { break }`. It returns that condition, or nil
+// when the loop has any other structure.
+func breakGate(loop *ast.ForStmt) ast.Expr {
+	var gate ast.Expr
+	for _, stmt := range loop.Body.List {
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok || ifs.Init != nil || ifs.Else != nil || len(ifs.Body.List) != 1 {
+			continue
+		}
+		br, ok := ifs.Body.List[0].(*ast.BranchStmt)
+		if !ok || br.Tok != token.BREAK || br.Label != nil {
+			continue
+		}
+		if gate != nil {
+			return nil // more than one exit gate: not the simple spin shape
+		}
+		gate = ifs.Cond
+	}
+	return gate
+}
+
+func checkSpinLoop(pass *Pass, loop *ast.ForStmt, cond ast.Expr) {
+	// The condition must read at least one variable and contain no channel
+	// receive or unresolvable call. A call that resolves to a trivial
+	// accessor (single return of plain memory) contributes the memory it
+	// reads instead of disqualifying the loop.
 	condVars := make(map[types.Object]bool)
 	condClean := true
-	ast.Inspect(loop.Cond, func(n ast.Node) bool {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if !condClean {
+			return false
+		}
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			condClean = false
+			if !addAccessorReads(pass, loop.Pos(), n, condVars) {
+				condClean = false
+			}
+			return false // accessor handled; don't rescan its arguments
 		case *ast.UnaryExpr:
-			if n.Op.String() == "<-" {
+			if n.Op == token.ARROW {
 				condClean = false
 			}
 		case *ast.Ident:
@@ -60,7 +104,9 @@ func checkSpinLoop(pass *Pass, loop *ast.ForStmt) {
 
 	// The body (and the post statement) must contain nothing that could
 	// make the condition change: no calls, channel ops, go/defer/select,
-	// and no write to any variable or field the condition reads.
+	// and no write to any variable or field the condition reads. The
+	// break-gate itself (condition plus lone break) cannot make progress,
+	// so inspecting the whole body stays correct for the cond-less shape.
 	progress := false
 	inspectBody := func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -68,7 +114,7 @@ func checkSpinLoop(pass *Pass, loop *ast.ForStmt) {
 			*ast.SendStmt, *ast.ReturnStmt:
 			progress = true
 		case *ast.UnaryExpr:
-			if n.Op.String() == "<-" {
+			if n.Op == token.ARROW {
 				progress = true
 			}
 		case *ast.AssignStmt:
@@ -96,6 +142,95 @@ func checkSpinLoop(pass *Pass, loop *ast.ForStmt) {
 
 	pass.ReportFixf(loop.Pos(), "wait on a Kit construct (Flag.Wait, Barrier.Wait) or an atomic load",
 		"busy-wait: loop condition reads non-atomic memory that the loop body never updates (racy and may never terminate)")
+}
+
+// addAccessorReads resolves a zero-argument call in a spin condition. When
+// the callee is a trivial accessor — a single `return expr` over plain
+// variables and fields, no calls, no channel ops — its reads are added to
+// condVars and true is returned: the loop is still a naked spin, just with
+// the load hidden behind a method. Any other call (unresolvable, with
+// arguments, or with a non-trivial body) returns false, disqualifying the
+// loop: the callee might block or synchronize.
+func addAccessorReads(pass *Pass, loopPos token.Pos, call *ast.CallExpr, condVars map[types.Object]bool) bool {
+	if len(call.Args) != 0 {
+		return false
+	}
+	fn := staticCallee(pass.Info, call)
+	if fn == nil {
+		// Method value bound to a local: `check := p.ready; for !check() {}`.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				if encl := enclosingNode(pass, loopPos); encl != nil {
+					if rhs, ok := encl.assigns()[obj]; ok {
+						fn = refFunc(pass.Info, rhs)
+					}
+				}
+			}
+		}
+	}
+	node := pass.Graph.NodeOf(fn)
+	if node == nil {
+		return false
+	}
+	body := node.Body()
+	if len(body.List) != 1 {
+		return false
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	info := node.Pkg.Info
+	plain := true
+	ast.Inspect(ret.Results[0], func(n ast.Node) bool {
+		if !plain {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			plain = false // an atomic Load or deeper indirection: not naked
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				plain = false
+			}
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok {
+				condVars[v] = true
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				condVars[sel.Obj()] = true
+			}
+		}
+		return plain
+	})
+	return plain
+}
+
+// enclosingNode finds the innermost call-graph node of this package whose
+// body contains pos.
+func enclosingNode(pass *Pass, pos token.Pos) *CGNode {
+	var best *CGNode
+	consider := func(n *CGNode) {
+		body := n.Body()
+		if body == nil || pos < body.Pos() || pos >= body.End() {
+			return
+		}
+		if best == nil || body.Pos() > best.Body().Pos() {
+			best = n
+		}
+	}
+	for _, n := range pass.Graph.Nodes {
+		if n.Pkg.Path == pass.PkgPath {
+			consider(n)
+		}
+	}
+	for _, n := range pass.Graph.Lits {
+		if n.Pkg.Path == pass.PkgPath {
+			consider(n)
+		}
+	}
+	return best
 }
 
 // writesCondVar reports whether the assignment target lhs denotes one of the

@@ -1,0 +1,579 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file computes the shared interprocedural context the guarded-by and
+// barrier-order analyzers consume: which functions run inside a
+// core.Parallel worker group, what locks are provably held on entry to each
+// (inherited from call sites), whether a function is only ever reached from
+// single-thread sections (`if tid == 0`-style gates), and how values derive
+// from the worker's thread id.
+
+// valClass classifies how a value can differ between the goroutines of one
+// Parallel group.
+type valClass uint8
+
+const (
+	// clsUniform: every goroutine computes the same value — constants,
+	// configuration, shared state read between barriers (uniform by the
+	// phase protocol the barrier-order analyzer enforces).
+	clsUniform valClass = iota
+	// clsTidPure: a deterministic function of the thread id and uniform
+	// values (tid itself, BlockRange bounds). Comparing one against a
+	// uniform value gates exactly one thread.
+	clsTidPure
+	// clsData: everything else that varies per goroutine — values read
+	// through tid-dependent indices, results of fetch-and-add or
+	// try-dequeue operations, channel receives.
+	clsData
+)
+
+func maxClass(a, b valClass) valClass {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// span is a half-open source range.
+type span struct{ pos, end token.Pos }
+
+func (s span) contains(p token.Pos) bool { return p >= s.pos && p < s.end }
+
+// parInfo is the interprocedural context of one parallel-reachable function.
+type parInfo struct {
+	node *CGNode
+
+	// entryLocks is the intersection, over every parallel call site, of
+	// the locks held at the site plus the caller's own entry locks. nil
+	// means "not yet constrained" (top).
+	entryLocks lockset
+	// exempt is true while every parallel path to this function runs it
+	// on a single thread (all call sites sit inside tid-gates).
+	exempt bool
+
+	// cls classifies the function's parameters and locals.
+	cls map[types.Object]valClass
+	// gated lists the single-thread spans of the body: then-branches of
+	// `tid == k`-shaped conditions.
+	gated []span
+}
+
+func (pi *parInfo) classOf(obj types.Object) valClass {
+	if obj == nil {
+		return clsUniform
+	}
+	return pi.cls[obj]
+}
+
+func (pi *parInfo) posGated(p token.Pos) bool {
+	for _, s := range pi.gated {
+		if s.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// parContext is the fixpoint result over the whole graph.
+type parContext struct {
+	g    *CallGraph
+	info map[*CGNode]*parInfo
+}
+
+// parallelContext computes (and memoizes on the graph) the parallel
+// reachability context for every function reachable from a Parallel entry.
+func parallelContext(g *CallGraph) *parContext {
+	const memoKey = "parallel-context"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.(*parContext)
+	}
+	pc := &parContext{g: g, info: make(map[*CGNode]*parInfo)}
+	pc.solve()
+	g.memo[memoKey] = pc
+	return pc
+}
+
+// ensure returns (creating if needed) the info record for node.
+func (pc *parContext) ensure(node *CGNode) (*parInfo, bool) {
+	if pi, ok := pc.info[node]; ok {
+		return pi, false
+	}
+	pi := &parInfo{node: node, exempt: true, cls: make(map[types.Object]valClass)}
+	pc.info[node] = pi
+	return pi, true
+}
+
+// solve seeds every Parallel entry and propagates contexts along static
+// call edges until nothing changes. All three propagated facts move
+// monotonically (locksets only shrink, exemption only decays, classes only
+// rise), so the fixpoint terminates.
+func (pc *parContext) solve() {
+	work := make(map[*CGNode]bool)
+	for _, site := range pc.g.ParallelEntries() {
+		if site.Entry == nil {
+			continue
+		}
+		pi, _ := pc.ensure(site.Entry)
+		pi.exempt = false
+		pi.entryLocks = lockset{}
+		if sig := site.Entry.Sig(); sig != nil && sig.Params().Len() >= 1 {
+			if pi.cls[sig.Params().At(0)] < clsTidPure {
+				pi.cls[sig.Params().At(0)] = clsTidPure
+			}
+		}
+		work[site.Entry] = true
+	}
+	for round := 0; len(work) > 0 && round < 64; round++ {
+		next := make(map[*CGNode]bool)
+		for node := range work {
+			if pc.analyze(node, next) {
+				// re-run the node itself when its own entry state moved
+				next[node] = true
+			}
+		}
+		work = next
+	}
+}
+
+// analyze recomputes node's local facts under its current entry assumptions
+// and pushes contexts to its callees, scheduling any callee whose state
+// changed. It returns true when node's own classification changed (so
+// dependents re-run).
+func (pc *parContext) analyze(node *CGNode, schedule map[*CGNode]bool) bool {
+	pi := pc.info[node]
+	changed := pc.classify(pi)
+	pc.findGates(pi)
+
+	ir := node.IR()
+	entry := pi.entryLocks
+	if entry == nil {
+		entry = lockset{}
+	}
+	ir.ForEachOpWithLockset(entry, func(op *Op, held lockset) {
+		if op.Kind != OpCall && op.Kind != OpCAS {
+			return
+		}
+		callee := pc.g.NodeOf(op.Callee)
+		if callee == nil {
+			return
+		}
+		siteLocks := held
+		if op.Go {
+			siteLocks = lockset{} // a spawned goroutine holds nothing
+		}
+		siteExempt := !op.Go && (pi.exempt || pi.posGated(op.Pos))
+		if pc.flowInto(callee, siteLocks, siteExempt, pc.argClasses(pi, op.Call)) {
+			schedule[callee] = true
+		}
+	})
+	// Function literals defined inside a parallel function may run on this
+	// goroutine; propagate reachability and classes (but no lock context —
+	// where they are invoked is unknown).
+	for _, lit := range node.Lits {
+		if pc.flowInto(lit, lockset{}, pi.exempt, nil) {
+			schedule[lit] = true
+		}
+	}
+	return changed
+}
+
+// flowInto merges one call-site context into the callee and reports whether
+// the callee's entry state changed.
+func (pc *parContext) flowInto(callee *CGNode, siteLocks lockset, siteExempt bool, argCls []valClass) bool {
+	pi, fresh := pc.ensure(callee)
+	changed := fresh
+	if pi.entryLocks == nil {
+		pi.entryLocks = siteLocks.clone()
+		changed = true
+	} else {
+		merged := pi.entryLocks.intersect(siteLocks)
+		if !merged.equal(pi.entryLocks) {
+			pi.entryLocks = merged
+			changed = true
+		}
+	}
+	if pi.exempt && !siteExempt {
+		pi.exempt = false
+		changed = true
+	}
+	if sig := callee.Sig(); sig != nil {
+		for i := 0; i < sig.Params().Len() && i < len(argCls); i++ {
+			p := sig.Params().At(i)
+			if argCls[i] > pi.cls[p] {
+				pi.cls[p] = argCls[i]
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// argClasses evaluates the classes of a call's arguments in the caller.
+func (pc *parContext) argClasses(pi *parInfo, call *ast.CallExpr) []valClass {
+	if call == nil {
+		return nil
+	}
+	out := make([]valClass, len(call.Args))
+	for i, a := range call.Args {
+		out[i] = pc.exprClass(pi, a)
+	}
+	return out
+}
+
+// classify iterates the function's assignments until local classes
+// stabilize. Returns whether anything rose this call.
+func (pc *parContext) classify(pi *parInfo) bool {
+	info := pi.node.Pkg.Info
+	changedEver := false
+	raise := func(id *ast.Ident, c valClass) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || c <= pi.cls[obj] {
+			return
+		}
+		pi.cls[obj] = c
+		changedEver = true
+	}
+	for iter := 0; iter < 8; iter++ {
+		before := changedEver
+		changedEver = false
+		ast.Inspect(pi.node.Body(), func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							raise(id, pc.exprClass(pi, n.Rhs[i]))
+						}
+					}
+				} else if len(n.Rhs) == 1 {
+					c := pc.exprClass(pi, n.Rhs[0])
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							raise(id, c)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				c := pc.exprClass(pi, n.X)
+				if tv, ok := info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						c = clsData
+					}
+				}
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						raise(id, c)
+					}
+				}
+			}
+			return true
+		})
+		if !changedEver {
+			changedEver = before
+			break
+		}
+		changedEver = true
+	}
+	return changedEver
+}
+
+// exprClass evaluates how expr varies across the goroutines of a Parallel
+// group, given the classes inferred so far.
+func (pc *parContext) exprClass(pi *parInfo, expr ast.Expr) valClass {
+	info := pi.node.Pkg.Info
+	switch e := ast.Unparen(expr).(type) {
+	case nil:
+		return clsUniform
+	case *ast.BasicLit, *ast.FuncLit:
+		return clsUniform
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if _, isConst := obj.(*types.Const); isConst {
+			return clsUniform
+		}
+		return pi.classOf(obj)
+	case *ast.BinaryExpr:
+		return maxClass(pc.exprClass(pi, e.X), pc.exprClass(pi, e.Y))
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return clsData // channel receive: ordering races
+		}
+		return pc.exprClass(pi, e.X)
+	case *ast.StarExpr:
+		return pc.exprClass(pi, e.X)
+	case *ast.SelectorExpr:
+		// A field read inherits its base's class: shared state read with a
+		// uniform base is uniform by the phase protocol.
+		return pc.exprClass(pi, e.X)
+	case *ast.IndexExpr:
+		idx := pc.exprClass(pi, e.Index)
+		if idx >= clsTidPure {
+			// Element selected by a thread-dependent index: the values
+			// differ per thread in a data-dependent way.
+			return clsData
+		}
+		return pc.exprClass(pi, e.X)
+	case *ast.SliceExpr:
+		c := pc.exprClass(pi, e.X)
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil {
+				c = maxClass(c, pc.exprClass(pi, b))
+			}
+		}
+		return c
+	case *ast.CallExpr:
+		if isRMWCall(info, e) {
+			return clsData
+		}
+		c := clsUniform
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			c = pc.exprClass(pi, sel.X)
+		}
+		for _, a := range e.Args {
+			c = maxClass(c, pc.exprClass(pi, a))
+		}
+		return c
+	case *ast.TypeAssertExpr:
+		return pc.exprClass(pi, e.X)
+	case *ast.CompositeLit:
+		c := clsUniform
+		for _, el := range e.Elts {
+			c = maxClass(c, pc.exprClass(pi, el))
+		}
+		return c
+	}
+	return clsData // unknown shape: be conservative
+}
+
+// rmwNames are the construct methods whose results genuinely differ per
+// calling goroutine: fetch-and-add tickets and try-dequeue results.
+var rmwNames = map[string]bool{
+	"Inc": true, "Add": true, "Swap": true, "CompareAndSwap": true,
+	"TryGet": true, "TryPop": true, "TryPut": true,
+}
+
+// isRMWCall reports whether call is a read-modify-write operation on a
+// sync4 construct or a sync/atomic value.
+func isRMWCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !rmwNames[sel.Sel.Name] {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	path := typePkgPath(tv.Type)
+	return strings.HasSuffix(path, "internal/sync4") || path == "sync/atomic"
+}
+
+// typePkgPath returns the defining package path of a (possibly pointed-to)
+// named type, or "".
+func typePkgPath(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+			continue
+		case *types.Named:
+			if tt.Obj().Pkg() != nil {
+				return tt.Obj().Pkg().Path()
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// findGates records the single-thread spans of pi's body: then-branches of
+// conditions containing a `tidpure == uniform` comparison.
+func (pc *parContext) findGates(pi *parInfo) {
+	pi.gated = pi.gated[:0]
+	ast.Inspect(pi.node.Body(), func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if pc.isTidGate(pi, ifs.Cond) {
+			pi.gated = append(pi.gated, span{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+}
+
+// isTidGate reports whether cond contains an equality comparison between a
+// tid-pure expression and a uniform one — a condition exactly one thread of
+// the group satisfies (`tid == 0`, `in.owner(k) == tid`).
+func (pc *parContext) isTidGate(pi *parInfo, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.EQL || found {
+			return !found
+		}
+		x, y := pc.exprClass(pi, be.X), pc.exprClass(pi, be.Y)
+		if (x == clsTidPure && y == clsUniform) || (x == clsUniform && y == clsTidPure) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// waitSummary is the saturating per-barrier wait count of executing a code
+// region once: 0, 1, or many (2).
+type waitSummary map[types.Object]int
+
+const manyWaits = 2
+
+func (w waitSummary) add(obj types.Object, n int) {
+	if w[obj]+n > manyWaits {
+		w[obj] = manyWaits
+	} else {
+		w[obj] += n
+	}
+}
+
+func (w waitSummary) merge(o waitSummary, times int) {
+	for k, v := range o {
+		w.add(k, v*times)
+	}
+}
+
+func (w waitSummary) equal(o waitSummary) bool {
+	if len(w) != len(o) {
+		return false
+	}
+	for k, v := range w {
+		if o[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (w waitSummary) total() int {
+	t := 0
+	for _, v := range w {
+		t += v
+	}
+	return t
+}
+
+// funcWaits computes (memoized) the transitive barrier-wait summary of every
+// node: how many times one call of the function waits on each barrier
+// identity. Calls through dynamic dispatch contribute nothing; goroutine
+// spawns contribute nothing to the spawning thread's sequence.
+func funcWaitSummaries(g *CallGraph) map[*CGNode]waitSummary {
+	const memoKey = "func-waits"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.(map[*CGNode]waitSummary)
+	}
+	sums := make(map[*CGNode]waitSummary)
+	all := make([]*CGNode, 0, len(g.Nodes)+len(g.Lits))
+	for _, n := range g.Nodes {
+		all = append(all, n)
+	}
+	for _, n := range g.Lits {
+		all = append(all, n)
+	}
+	for _, n := range all {
+		sums[n] = waitSummary{}
+	}
+	// Saturating counts over a finite lattice: a few rounds reach fixpoint
+	// even with recursion.
+	for round := 0; round < 4; round++ {
+		changed := false
+		for _, n := range all {
+			next := directWaits(g, n, sums)
+			if !next.equal(sums[n]) {
+				sums[n] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	g.memo[memoKey] = sums
+	return sums
+}
+
+// directWaits folds n's own wait ops and its static callees' current
+// summaries, counting anything under a loop as "many".
+func directWaits(g *CallGraph, n *CGNode, sums map[*CGNode]waitSummary) waitSummary {
+	out := waitSummary{}
+	ir := n.IR()
+	inLoop := loopBlocks(ir)
+	for _, blk := range ir.Blocks {
+		times := 1
+		if inLoop[blk] {
+			times = manyWaits
+		}
+		for i := range blk.Ops {
+			op := &blk.Ops[i]
+			switch op.Kind {
+			case OpWait:
+				out.add(op.Obj, times)
+			case OpCall:
+				if op.Go {
+					continue
+				}
+				if callee, ok := sums[g.NodeOf(op.Callee)]; ok {
+					out.merge(callee, times)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// loopBlocks returns the set of blocks that sit on a cycle (therefore may
+// execute more than once per call).
+func loopBlocks(ir *FuncIR) map[*Block]bool {
+	// A block is on a cycle iff it can reach itself. With the small CFGs
+	// here, a DFS per block is affordable and simple.
+	reach := func(from, to *Block) bool {
+		seen := map[*Block]bool{}
+		stack := []*Block{from}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range b.Succs {
+				if s == to {
+					return true
+				}
+				if !seen[s] {
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		return false
+	}
+	out := make(map[*Block]bool)
+	for _, b := range ir.Blocks {
+		if reach(b, b) {
+			out[b] = true
+		}
+	}
+	return out
+}

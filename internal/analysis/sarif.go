@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// SARIF rendering of a diagnostic set: the minimal SARIF 2.1.0 subset CI
+// annotators and editors consume — tool.driver.rules for the analyzer
+// catalog, one result per diagnostic with a physical location. Kept as
+// plain structs so encoding/json is the only dependency.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// SARIF serializes diagnostics as a SARIF 2.1.0 log. The rules catalog
+// lists every analyzer that ran (found something or not) so consumers can
+// distinguish "clean" from "not checked". File URIs are made relative to
+// root when possible.
+func SARIF(diags []Diagnostic, analyzers []*Analyzer, root string) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil && !filepath.IsAbs(rel) {
+				uri = rel
+			}
+		}
+		msg := d.Message
+		if d.Fix != "" {
+			msg += " (fix: " + d.Fix + ")"
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "splash4-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sarifShape mirrors the minimal SARIF 2.1.0 subset consumers rely on; the
+// golden test unmarshals the emitted log into it and checks every required
+// property is populated.
+type sarifShape struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID  string `json:"ruleId"`
+			Level   string `json:"level"`
+			Message struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine int `json:"startLine"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+func TestSARIFOutput(t *testing.T) {
+	pkg := loadFixture(t, "casshape/bad", "repro/internal/analysis/cssarif")
+	diags, _ := RunAnalyzers([]*Package{pkg}, Analyzers())
+	if len(diags) == 0 {
+		t.Fatal("bad fixture produced no diagnostics to serialize")
+	}
+	blob, err := SARIF(diags, Analyzers(), pkg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log sarifShape
+	if err := json.Unmarshal(blob, &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	if !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %q, want the 2.1.0 schema URI", log.Schema)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "splash4-vet" {
+		t.Errorf("driver name = %q, want splash4-vet", run.Tool.Driver.Name)
+	}
+	rules := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v missing id or shortDescription", r)
+		}
+		rules[r.ID] = true
+	}
+	if len(rules) != len(Analyzers()) {
+		t.Errorf("rules catalog has %d entries, want one per analyzer (%d)", len(rules), len(Analyzers()))
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("got %d results, want %d (one per diagnostic)", len(run.Results), len(diags))
+	}
+	for i, res := range run.Results {
+		if !rules[res.RuleID] {
+			t.Errorf("result %d ruleId %q not in the rules catalog", i, res.RuleID)
+		}
+		if res.Level != "error" {
+			t.Errorf("result %d level = %q, want error", i, res.Level)
+		}
+		if res.Message.Text == "" {
+			t.Errorf("result %d has an empty message", i)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.Region.StartLine <= 0 {
+			t.Errorf("result %d startLine = %d, want positive", i, loc.Region.StartLine)
+		}
+		if filepath.IsAbs(loc.ArtifactLocation.URI) {
+			t.Errorf("result %d URI %q is absolute, want relative to the analysis root", i, loc.ArtifactLocation.URI)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -19,30 +21,77 @@ const ignorePrefix = "lint:ignore"
 // directives.
 const analyzerPrefix = "sync4vet-"
 
-// suppressionSet records, per file and line, which analyzers are silenced.
-type suppressionSet map[string]map[int][]string // filename -> line -> analyzer names
+// directive is one parsed lint:ignore comment. Usage is tracked per named
+// analyzer so stale waivers surface as unused-suppression diagnostics.
+type directive struct {
+	pos   token.Position
+	names []string
+	used  map[string]bool
+}
+
+// suppressionSet records, per file and line, which directives apply.
+type suppressionSet struct {
+	byFile map[string]map[int][]*directive // filename -> line -> directives
+	all    []*directive
+}
 
 // covers reports whether d is silenced by a directive on its own line or on
-// the line directly above.
-func (s suppressionSet) covers(d Diagnostic) bool {
-	lines := s[d.Pos.Filename]
+// the line directly above, marking the matching directive name as used.
+func (s *suppressionSet) covers(d Diagnostic) bool {
+	lines := s.byFile[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == d.Analyzer || name == "*" {
-				return true
+		for _, dir := range lines[line] {
+			for _, name := range dir.names {
+				if name == d.Analyzer || name == "*" {
+					dir.used[name] = true
+					hit = true
+				}
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// unused returns one diagnostic per directive name that silenced nothing.
+// Only names belonging to analyzers that actually ran are judged — a
+// partial -run invocation must not condemn waivers for checks it skipped.
+func (s *suppressionSet) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range s.all {
+		var stale []string
+		for _, name := range dir.names {
+			if name == UnusedSuppression.Name {
+				continue // suppressing the meta-check is judged by covers
+			}
+			if name != "*" && !ran[name] {
+				continue
+			}
+			if !dir.used[name] {
+				stale = append(stale, analyzerPrefix+name)
+			}
+		}
+		if len(stale) == 0 {
+			continue
+		}
+		sort.Strings(stale)
+		out = append(out, Diagnostic{
+			Pos:      dir.pos,
+			Analyzer: UnusedSuppression.Name,
+			Message: fmt.Sprintf("suppression %s silences nothing on this or the next line; delete the stale waiver",
+				strings.Join(stale, ",")),
+		})
+	}
+	return out
 }
 
 // suppressions scans every comment in files for well-formed lint:ignore
 // directives.
-func suppressions(fset *token.FileSet, files []*ast.File) suppressionSet {
-	set := make(suppressionSet)
+func suppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	set := &suppressionSet{byFile: make(map[string]map[int][]*directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -51,12 +100,14 @@ func suppressions(fset *token.FileSet, files []*ast.File) suppressionSet {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				lines := set[pos.Filename]
+				dir := &directive{pos: pos, names: names, used: make(map[string]bool)}
+				set.all = append(set.all, dir)
+				lines := set.byFile[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
-					set[pos.Filename] = lines
+					lines = make(map[int][]*directive)
+					set.byFile[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line] = append(lines[pos.Line], dir)
 			}
 		}
 	}

@@ -1,0 +1,56 @@
+// Package bofixbad seeds the three barrier-order divergence shapes: a wait
+// only some threads reach, a wait whose repeat count depends on the thread
+// id, and an early return that skips a wait other threads will block on.
+// With sense-free barriers none of these crash — the group just silently
+// shears into different phases.
+package bofixbad
+
+import (
+	"repro/internal/core"
+	"repro/internal/sync4"
+	"repro/internal/sync4/classic"
+)
+
+type phases struct {
+	b     sync4.Barrier
+	tasks sync4.Queue
+	acc   sync4.Accumulator
+}
+
+func run(threads int) {
+	kit := classic.New()
+	p := &phases{
+		b:     kit.NewBarrier(threads),
+		tasks: kit.NewQueue(64),
+		acc:   kit.NewAccumulator(),
+	}
+	core.Parallel(threads, func(tid int) {
+		p.oddEvenPhase(tid)
+		p.rampPhase(tid)
+		p.drainPhase()
+	})
+}
+
+// Only even threads hit the barrier; odd threads run ahead.
+func (p *phases) oddEvenPhase(tid int) {
+	if tid%2 == 0 {
+		p.b.Wait() // want barrier-order "different arms wait 1 vs 0 times"
+	}
+}
+
+// Each thread waits tid times: every thread ends up in its own phase.
+func (p *phases) rampPhase(tid int) {
+	for i := 0; i < tid; i++ {
+		p.b.Wait() // want barrier-order "trip count is thread-varying"
+	}
+}
+
+// A thread that misses a task returns early and skips the closing barrier.
+func (p *phases) drainPhase() {
+	v, ok := p.tasks.TryGet()
+	if !ok {
+		return // want barrier-order "skips barrier waits still ahead"
+	}
+	p.acc.Add(float64(v))
+	p.b.Wait()
+}

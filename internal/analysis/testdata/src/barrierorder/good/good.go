@@ -1,0 +1,59 @@
+// Package bofixgood is the clean mirror of the barrier-order fixture: the
+// idioms every workload uses — waits inside uniform iteration loops,
+// uniform convergence exits decided from shared state between barriers,
+// tid-gated serial sections without waits, and varying drain loops whose
+// waits sit after the loop — must all stay silent.
+package bofixgood
+
+import (
+	"repro/internal/core"
+	"repro/internal/sync4"
+	"repro/internal/sync4/classic"
+)
+
+type phases struct {
+	b     sync4.Barrier
+	tasks sync4.Queue
+	acc   sync4.Accumulator
+}
+
+func run(threads, iters int) {
+	kit := classic.New()
+	p := &phases{
+		b:     kit.NewBarrier(threads),
+		tasks: kit.NewQueue(64),
+		acc:   kit.NewAccumulator(),
+	}
+	core.Parallel(threads, func(tid int) {
+		p.iterate(tid, iters)
+	})
+}
+
+// The canonical convergence loop: a uniform trip count, a tid-gated serial
+// section, a drain loop with no interior waits, and a uniform early exit —
+// every thread takes the same barrier sequence.
+func (p *phases) iterate(tid, iters int) {
+	for it := 0; it < iters; it++ {
+		if tid == 0 {
+			p.acc.Store(0) // serial reset, no wait inside the gate
+		}
+		p.b.Wait()
+		p.drain()
+		p.b.Wait()
+		if p.acc.Load() < 1e-6 {
+			return // uniform: every thread reads the same converged value
+		}
+	}
+}
+
+// Draining until the queue misses is thread-varying by nature, but the
+// barrier sits after the loop, so all threads arrive exactly once.
+func (p *phases) drain() {
+	for {
+		v, ok := p.tasks.TryGet()
+		if !ok {
+			break
+		}
+		p.acc.Add(float64(v))
+	}
+}

@@ -1,0 +1,28 @@
+// Package bofixsup is the divergent-conditional shape with a justified
+// waiver: no diagnostics, exactly one suppression.
+package bofixsup
+
+import (
+	"repro/internal/core"
+	"repro/internal/sync4"
+	"repro/internal/sync4/classic"
+)
+
+type phases struct {
+	b sync4.Barrier
+}
+
+func run(threads int) {
+	kit := classic.New()
+	p := &phases{b: kit.NewBarrier(threads)}
+	core.Parallel(threads, func(tid int) {
+		p.skewed(tid)
+	})
+}
+
+func (p *phases) skewed(tid int) {
+	if tid%2 == 0 {
+		//lint:ignore sync4vet-barrier-order fixture: intentional phase skew kept for the suppression path
+		p.b.Wait()
+	}
+}

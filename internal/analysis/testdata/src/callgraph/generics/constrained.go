@@ -1,0 +1,10 @@
+//go:build cgfix_disabled
+
+// This file is excluded by its build constraint: the loader must skip it,
+// and the deliberately unresolvable reference below must never reach the
+// type checker or the call-graph builder.
+package cgfixgen
+
+func brokenWhenIncluded() {
+	undefinedFunctionThatWouldFailTypeCheck()
+}

@@ -1,0 +1,33 @@
+// Package cgfixgen exercises the call-graph builder on generic code:
+// explicit and inferred instantiations must resolve to the declared
+// function, and nothing may panic while lowering generic bodies to IR.
+package cgfixgen
+
+type number interface {
+	~int | ~float64
+}
+
+func sum[T number](xs []T) T {
+	var t T
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func mapTo[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+func use() (int, float64) {
+	a := sum[int]([]int{1, 2, 3})                  // explicit instantiation
+	b := sum([]float64{1, 2})                      // inferred instantiation
+	fs := mapTo([]int{1, 2}, func(x int) float64 { // generic with literal arg
+		return float64(x)
+	})
+	return a, b + sum(fs)
+}

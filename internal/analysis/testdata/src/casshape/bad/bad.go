@@ -1,0 +1,65 @@
+// Package csfixbad seeds the three CAS retry-loop defects: an expected
+// value captured once and never reloaded, side effects that run once per
+// failed attempt, and a pointer CAS whose new value can be a recycled
+// address. Distilled from the shapes internal/sync4/lockfree gets right.
+package csfixbad
+
+import "sync/atomic"
+
+type gauge struct {
+	bits     atomic.Uint64
+	attempts atomic.Int64
+	retries  int
+}
+
+// The expected value is captured once, outside the loop: after the first
+// lost race the loop spins forever against a snapshot nobody holds.
+func addStale(g *gauge, delta uint64) {
+	old := g.bits.Load()
+	for !g.bits.CompareAndSwap(old, old+delta) { // want cas-shape "stale snapshot"
+	}
+}
+
+// Retry accounting on shared atomics mutates state once per failed attempt.
+func addCounted(g *gauge, delta uint64) {
+	for {
+		old := g.bits.Load()
+		g.attempts.Add(1) // want cas-shape "once per failed attempt"
+		if g.bits.CompareAndSwap(old, old+delta) {
+			return
+		}
+	}
+}
+
+// The same defect on plain memory: a racy write per failed attempt.
+func addTracked(g *gauge, delta uint64) {
+	for {
+		old := g.bits.Load()
+		g.retries++ // want cas-shape "once per failed attempt"
+		if g.bits.CompareAndSwap(old, old+delta) {
+			return
+		}
+	}
+}
+
+type lnode struct {
+	next *lnode
+	val  int64
+}
+
+type lstack struct {
+	top atomic.Pointer[lnode]
+}
+
+// Pushing a caller-supplied node: the node may already be visible to other
+// goroutines (mutating it on the retry path is a race) and its address may
+// be recycled (the compare cannot tell — ABA).
+func pushShared(s *lstack, n *lnode) {
+	for {
+		old := s.top.Load()
+		n.next = old                      // want cas-shape "once per failed attempt"
+		if s.top.CompareAndSwap(old, n) { // want cas-shape "ABA-prone"
+			return
+		}
+	}
+}

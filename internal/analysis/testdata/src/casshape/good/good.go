@@ -1,0 +1,78 @@
+// Package csfixgood collects the correct CAS idioms the suite itself uses —
+// reload-on-retry accumulators, constant-expected spin acquisition, the
+// Treiber push with a fresh node, pop with an expected-derived new head,
+// and the !CAS-continue publication shape. All must stay silent.
+package csfixgood
+
+import "sync/atomic"
+
+type acc struct {
+	bits atomic.Uint64
+	n    atomic.Int64
+}
+
+// The canonical float-bits accumulator: the expected value reloads at the
+// top of every attempt, and the success branch owns the side effects.
+func add(a *acc, delta uint64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, old+delta) {
+			a.n.Add(1) // once per publish, not per attempt
+			return
+		}
+	}
+}
+
+// Constant expected values never go stale.
+type spin struct{ state atomic.Int32 }
+
+func (l *spin) acquire() {
+	for !l.state.CompareAndSwap(0, 1) {
+	}
+}
+
+type node struct {
+	next *node
+	val  int64
+}
+
+type stack struct{ top atomic.Pointer[node] }
+
+// Treiber push: the node is freshly allocated, so linking it on the retry
+// path is initialization of private memory, and the new value cannot be a
+// recycled address.
+func push(s *stack, v int64) {
+	n := &node{val: v}
+	for {
+		old := s.top.Load()
+		n.next = old
+		if s.top.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// Treiber pop: the new head derives from the expected value.
+func pop(s *stack) (int64, bool) {
+	for {
+		old := s.top.Load()
+		if old == nil {
+			return 0, false
+		}
+		if s.top.CompareAndSwap(old, old.next) {
+			return old.val, true
+		}
+	}
+}
+
+// The !CAS-continue shape: everything after the guard is success-only.
+func reset(a *acc) {
+	for {
+		old := a.bits.Load()
+		if !a.bits.CompareAndSwap(old, 0) {
+			continue
+		}
+		a.n.Store(0)
+		return
+	}
+}

@@ -1,0 +1,16 @@
+// Package csfixsup is the stale-expected shape with a justified waiver:
+// no diagnostics, exactly one suppression.
+package csfixsup
+
+import "sync/atomic"
+
+type gauge struct {
+	bits atomic.Uint64
+}
+
+func addStale(g *gauge, delta uint64) {
+	old := g.bits.Load()
+	//lint:ignore sync4vet-cas-shape fixture: single-writer gauge, the stale snapshot is provably current
+	for !g.bits.CompareAndSwap(old, old+delta) {
+	}
+}

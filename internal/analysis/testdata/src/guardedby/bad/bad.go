@@ -1,0 +1,36 @@
+// Package gbfixbad seeds a guarded-by violation: the sim.total field is
+// written under the kit lock at one site, which establishes the field's
+// guard, and written bare at another site on the same parallel path — the
+// classic inconsistently-locked race Eraser-style locksets exist to catch.
+package gbfixbad
+
+import (
+	"repro/internal/core"
+	"repro/internal/sync4"
+	"repro/internal/sync4/classic"
+)
+
+type sim struct {
+	lock  sync4.Locker
+	total float64
+}
+
+func run(threads, steps int) float64 {
+	kit := classic.New()
+	s := &sim{lock: kit.NewLock()}
+	core.Parallel(threads, func(tid int) {
+		s.work(tid, steps)
+	})
+	return s.total
+}
+
+func (s *sim) work(tid, steps int) {
+	local := 0.0
+	for i := 0; i < steps; i++ {
+		local += float64(tid + i)
+	}
+	s.lock.Lock()
+	s.total += local // establishes the guard: total is lock-protected
+	s.lock.Unlock()
+	s.total += local // want guarded-by "escapes its inferred guard"
+}

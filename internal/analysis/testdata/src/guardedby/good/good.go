@@ -1,0 +1,51 @@
+// Package gbfixgood is the clean mirror of the guarded-by fixture: every
+// write to the guarded field either holds the lock it was inferred under
+// (directly or inherited from the caller), runs on a single thread behind a
+// tid gate, or targets a tid-partitioned element. All four idioms appear in
+// the real workloads and must stay silent.
+package gbfixgood
+
+import (
+	"repro/internal/core"
+	"repro/internal/sync4"
+	"repro/internal/sync4/classic"
+)
+
+type sim struct {
+	lock  sync4.Locker
+	total float64
+	parts []float64
+}
+
+func run(threads, n int) float64 {
+	kit := classic.New()
+	s := &sim{lock: kit.NewLock(), parts: make([]float64, threads)}
+	core.Parallel(threads, func(tid int) {
+		s.work(tid, threads, n)
+	})
+	return s.total
+}
+
+func (s *sim) work(tid, threads, n int) {
+	lo, hi := core.BlockRange(tid, threads, n)
+	local := 0.0
+	for i := lo; i < hi; i++ {
+		local += float64(i)
+	}
+	s.parts[tid] = local // element write: threads partition parts by tid
+
+	s.lock.Lock()
+	s.total += local // guarded directly: establishes and honors the guard
+	s.deposit(local) // the helper inherits the held lock
+	s.lock.Unlock()
+
+	if tid == 0 {
+		s.total += s.parts[0] // single-thread section: no lock needed
+	}
+}
+
+// deposit is only called with s.lock held; the inherited lockset keeps the
+// bare-looking write silent.
+func (s *sim) deposit(v float64) {
+	s.total += v
+}

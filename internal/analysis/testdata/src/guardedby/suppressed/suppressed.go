@@ -1,0 +1,33 @@
+// Package gbfixsup is the guarded-by bad shape with a justified waiver:
+// the unguarded write is acknowledged and silenced, so the fixture must
+// produce no diagnostics and exactly one suppression.
+package gbfixsup
+
+import (
+	"repro/internal/core"
+	"repro/internal/sync4"
+	"repro/internal/sync4/classic"
+)
+
+type sim struct {
+	lock  sync4.Locker
+	total float64
+}
+
+func run(threads int) float64 {
+	kit := classic.New()
+	s := &sim{lock: kit.NewLock()}
+	core.Parallel(threads, func(tid int) {
+		s.work(tid)
+	})
+	return s.total
+}
+
+func (s *sim) work(tid int) {
+	local := float64(tid)
+	s.lock.Lock()
+	s.total += local
+	s.lock.Unlock()
+	//lint:ignore sync4vet-guarded-by fixture: deliberate benign race kept for the suppression path
+	s.total += local
+}

@@ -1,0 +1,33 @@
+// Regression shapes surfaced while building the interprocedural IR: the
+// cond-less break-gate and the accessor-hidden spins are the same busy-wait
+// with the racy load moved out of the for-condition.
+package nsfixbad
+
+type worker struct {
+	ready bool
+	flag  bool
+}
+
+func (w *worker) isReady() bool { return w.ready }
+
+// The break-gate shape: `for { if cond { break } }` is `for !cond {}`.
+func spinBreakGate(w *worker) {
+	for { // want naked-spin "busy-wait"
+		if w.flag {
+			break
+		}
+	}
+}
+
+// The load hides behind a trivial accessor; nothing synchronizes.
+func spinOnGetter(w *worker) {
+	for !w.isReady() { // want naked-spin "busy-wait"
+	}
+}
+
+// Same accessor bound as a method value first.
+func spinOnMethodValue(w *worker) {
+	check := w.isReady
+	for !check() { // want naked-spin "busy-wait"
+	}
+}

@@ -1,0 +1,44 @@
+// Clean mirrors of the regression shapes: accessors over atomics
+// synchronize, break-gate loops with real progress are drains not spins,
+// and multi-gate loops are not the simple spin shape.
+package nsfixgood
+
+import "sync/atomic"
+
+type gate struct {
+	flag atomic.Bool
+	n    int
+}
+
+// Accessor over an atomic: the hidden Load synchronizes.
+func (g *gate) ready() bool { return g.flag.Load() }
+
+func waitAtomicGetter(g *gate) {
+	for !g.ready() {
+	}
+}
+
+// The break-gate shape with real progress in the body.
+func drainUntil(g *gate, work func() bool) {
+	for {
+		if g.n > 10 {
+			break
+		}
+		if work() {
+			g.n++
+		}
+	}
+}
+
+// Two exit gates: not the simple spin shape, and the body makes progress.
+func twoGates(g *gate, a, b bool) {
+	for {
+		if a {
+			break
+		}
+		if b {
+			break
+		}
+		a = g.flag.Load()
+	}
+}

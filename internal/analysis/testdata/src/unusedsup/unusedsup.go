@@ -1,0 +1,26 @@
+// Package usfix exercises the unused-suppression meta-check: a waiver that
+// silences a real finding is accepted, a waiver that silences nothing is
+// itself a diagnostic, and a stale waiver can be explicitly carried through
+// a migration by also naming unused-suppression.
+package usfix
+
+type waiter struct {
+	done bool
+	flag bool
+}
+
+// A justified waiver that actually silences a finding stays accepted.
+func spin(w *waiter) {
+	//lint:ignore sync4vet-naked-spin fixture exercises a used waiver
+	for !w.done {
+	}
+}
+
+//lint:ignore sync4vet-naked-spin nothing here spins // want unused-suppression "silences nothing"
+func quiet(w *waiter) bool { return w.flag }
+
+// A stale waiver kept on purpose during a migration waives the meta-check
+// for itself.
+//
+//lint:ignore sync4vet-kit-bypass,sync4vet-unused-suppression migration in flight, see fixture doc
+func alsoQuiet(w *waiter) bool { return w.done }
