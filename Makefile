@@ -7,11 +7,14 @@
 #   make bench        the testing.B experiment targets
 #   make trace-smoke  capture fft traces under both kits and validate them
 #   make serve-smoke  drive the splash4d daemon end to end over HTTP
+#   make chaos        fault-injection gate: workloads under the faulty kit
+#                     with the watchdog armed, plus the wedged fixture
 
 GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)
+CHAOS_SEED ?= 42
 
-.PHONY: check vet race test build bench trace-smoke serve-smoke
+.PHONY: check vet race test build bench trace-smoke serve-smoke chaos
 
 check: build
 	$(GO) vet ./...
@@ -51,3 +54,14 @@ trace-smoke:
 serve-smoke:
 	$(GO) run ./cmd/splash4d -smoke -store $(TRACE_TMP)/serve-smoke.jsonl -out BENCH_serve.json
 	@echo "serve-smoke: ok"
+
+# chaos runs fft and radix under both kits with deterministic fault
+# injection (pinned seed — failures reproduce by rerunning with the same
+# CHAOS_SEED) and the watchdog armed, requiring verified, census-identical
+# results; then runs the wedged fixture and requires the watchdog to
+# produce a structured stall diagnosis (chaos-diag.txt, uploaded as a CI
+# artifact by the chaos-smoke job).
+chaos:
+	$(GO) run ./cmd/splash4-chaos -chaos-seed $(CHAOS_SEED) -workloads fft,radix -threads 4 -scale test
+	$(GO) run ./cmd/splash4-chaos -wedge -rep-timeout 2s -diag chaos-diag.txt
+	@echo "chaos: ok"

@@ -44,33 +44,41 @@ func main() {
 		queueCap     = flag.Int("queue", 64, "admission ring capacity (rounds up to a power of two, min 2)")
 		workers      = flag.Int("workers", 0, "worker pool size (0 means GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job execution budget; a job exceeding it fails instead of wedging its worker")
+		repTimeout   = flag.Duration("rep-timeout", 0, "per-repetition watchdog deadline (0 means the job timeout)")
 		smoke        = flag.Bool("smoke", false, "run the self-contained smoke sequence and exit")
 		out          = flag.String("out", "BENCH_serve.json", "smoke result path (with -smoke)")
 	)
 	flag.Parse()
 
+	cfg := server.Config{
+		QueueCapacity: *queueCap,
+		Workers:       *workers,
+		JobTimeout:    *jobTimeout,
+		RepTimeout:    *repTimeout,
+	}
 	if *smoke {
-		if err := runSmoke(*storePath, *out, *queueCap, *workers, *drainTimeout); err != nil {
+		if err := runSmoke(*storePath, *out, cfg, *drainTimeout); err != nil {
 			log.Fatalf("splash4d smoke: %v", err)
 		}
 		return
 	}
-	if err := serve(*addr, *storePath, *queueCap, *workers, *drainTimeout); err != nil {
+	if err := serve(*addr, *storePath, cfg, *drainTimeout); err != nil {
 		log.Fatalf("splash4d: %v", err)
 	}
 }
 
 // newServer opens the store and builds the pipeline; the caller owns both.
-func newServer(storePath string, queueCap, workers int) (*server.Server, *resultstore.Store, error) {
-	store, err := resultstore.Open(storePath)
+// The journal runs under SyncAlways: the daemon acknowledges a result only
+// after it is on disk (fsync before the index publish), so a crash can
+// never lose an acknowledged measurement.
+func newServer(storePath string, cfg server.Config) (*server.Server, *resultstore.Store, error) {
+	store, err := resultstore.OpenWithOptions(storePath, resultstore.Options{Sync: resultstore.SyncAlways})
 	if err != nil {
 		return nil, nil, fmt.Errorf("opening result store: %w", err)
 	}
-	srv, err := server.New(server.Config{
-		Store:         store,
-		QueueCapacity: queueCap,
-		Workers:       workers,
-	})
+	cfg.Store = store
+	srv, err := server.New(cfg)
 	if err != nil {
 		store.Close()
 		return nil, nil, err
@@ -81,8 +89,8 @@ func newServer(storePath string, queueCap, workers int) (*server.Server, *result
 	return srv, store, nil
 }
 
-func serve(addr, storePath string, queueCap, workers int, drainTimeout time.Duration) error {
-	srv, store, err := newServer(storePath, queueCap, workers)
+func serve(addr, storePath string, cfg server.Config, drainTimeout time.Duration) error {
+	srv, store, err := newServer(storePath, cfg)
 	if err != nil {
 		return err
 	}
@@ -125,8 +133,8 @@ func serve(addr, storePath string, queueCap, workers int, drainTimeout time.Dura
 // both kits of fft at test scale, status polling, /compare, /metrics, and a
 // graceful drain. It writes a JSON summary suitable for tracking the
 // service's measured speedup over time.
-func runSmoke(storePath, outPath string, queueCap, workers int, drainTimeout time.Duration) error {
-	srv, store, err := newServer(storePath, queueCap, workers)
+func runSmoke(storePath, outPath string, cfg server.Config, drainTimeout time.Duration) error {
+	srv, store, err := newServer(storePath, cfg)
 	if err != nil {
 		return err
 	}
@@ -179,6 +187,13 @@ func runSmoke(storePath, outPath string, queueCap, workers int, drainTimeout tim
 	if err := checkMetrics(base); err != nil {
 		srv.Close()
 		return err
+	}
+	// Liveness and readiness must both be green on a healthy instance.
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		if _, err := getJSON(base + probe); err != nil {
+			srv.Close()
+			return fmt.Errorf("probe %s: %w", probe, err)
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)

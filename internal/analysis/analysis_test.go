@@ -148,6 +148,12 @@ func TestFixtures(t *testing.T) {
 		// suppression.
 		{"serverqueue/clean", "repro/internal/workloads/serverqueuefix", 0},
 		{"serverqueue/suppressed", "repro/internal/workloads/serverqueuegauge", 1},
+		// The fault-injection decorator's shapes, pinned under a workload
+		// path: the perturbation/flap/spurious-wake patterns must stay
+		// silent, and the injector's raw per-site schedule counter needs
+		// exactly one justified suppression.
+		{"faulty/clean", "repro/internal/workloads/faultyfix", 0},
+		{"faulty/suppressed", "repro/internal/workloads/faultyfixsup", 1},
 	}
 	for _, tc := range cases {
 		tc := tc

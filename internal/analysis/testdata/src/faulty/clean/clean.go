@@ -1,0 +1,52 @@
+// Package faultyfix is the golden fixture for the fault-injection
+// decorator's hot shapes (internal/sync4/faulty), pinned under a workload
+// import path so every workload-scoped analyzer is armed. The injected
+// delay loop yields to the scheduler (legal under naked-spin), the bounded
+// flap retry drives its exit from the construct's own Try operation, and
+// the spurious-wakeup window ends by delegating to the construct's real
+// blocking wait — the decorator adds schedule noise without adding any
+// synchronization of its own, and the whole shape must stay silent.
+package faultyfix
+
+import (
+	"runtime"
+
+	"repro/internal/sync4"
+)
+
+// dawdle is the injected delay the decorator runs at CAS retry points:
+// busy iterations with periodic yields. The Gosched is what keeps it a
+// legal spin.
+func dawdle(spins int) {
+	for i := 0; i < spins; i++ {
+		if i%16 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// flappyPut mirrors the decorated queue's transient-full contract:
+// callers retry a bounded number of times and progress comes from TryPut
+// itself, never from spinning on plain memory.
+func flappyPut(q sync4.Queue, v int64, tries int) bool {
+	for i := 0; i < tries; i++ {
+		if q.TryPut(v) {
+			return true
+		}
+		dawdle(64)
+	}
+	return false
+}
+
+// spuriousWait mirrors the decorated Flag.Wait: a bounded poll window of
+// injected spurious wakeups, then delegation to the construct's own
+// blocking wait so the one-shot contract is preserved.
+func spuriousWait(f sync4.Flag) {
+	for i := 0; i < 4; i++ {
+		if f.IsSet() {
+			return
+		}
+		runtime.Gosched()
+	}
+	f.Wait()
+}

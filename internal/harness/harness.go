@@ -50,6 +50,13 @@ type Options struct {
 	// latency, GC pauses and cycles, heap allocation) lands in
 	// Result.Runtime.
 	SampleRuntime bool
+	// RepTimeout arms the stall watchdog: a repetition (warmup or
+	// measured) that exceeds this deadline is abandoned and the run fails
+	// with an error wrapping ErrStalled, with a structured StallDiagnosis
+	// in Result.Stall. When Trace is also set, the recorder's atomic
+	// progress counters serve as the heartbeat that classifies the stall
+	// as deadlock or livelock. 0 disables the watchdog.
+	RepTimeout time.Duration
 }
 
 func (o Options) reps() int {
@@ -82,6 +89,9 @@ type Result struct {
 	// Runtime is the runtime/metrics delta over the last measured
 	// repetition's timed region; nil unless Options.SampleRuntime was set.
 	Runtime *trace.RuntimeSample
+	// Stall is the watchdog's diagnosis of the repetition that exceeded
+	// Options.RepTimeout; nil unless the run failed with ErrStalled.
+	Stall *StallDiagnosis
 }
 
 // Region is one timed repetition's [Start, End] bracket. Both instants
@@ -128,12 +138,16 @@ func Run(b core.Benchmark, cfg core.Config, opt Options) (Result, error) {
 }
 
 // RunContext is Run with cancellation: the context is consulted before every
-// warmup and measured repetition, so a caller (a job queue, a server
-// draining) can stop a multi-repetition measurement between repetitions. A
-// repetition already inside the timed region runs to completion — the suite
-// workloads have no preemption points, and tearing one mid-run would leave
-// its worker goroutines behind. On cancellation the error wraps ctx.Err()
-// and the Result carries the repetitions completed so far.
+// warmup and measured repetition, and — when the context is cancellable or
+// Options.RepTimeout is set — *during* each repetition as well: the
+// repetition runs on its own goroutine and cancellation returns control to
+// the caller immediately instead of after the repetition. The suite
+// workloads have no preemption points, so an abandoned repetition's worker
+// goroutines finish on their own and the instance is discarded; the leak is
+// bounded by one repetition and happens only on the failure paths. On
+// cancellation the error wraps ctx.Err() and the Result carries the
+// repetitions completed so far; on a watchdog stall the error wraps
+// ErrStalled and Result.Stall carries the diagnosis.
 func RunContext(ctx context.Context, b core.Benchmark, cfg core.Config, opt Options) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -168,7 +182,14 @@ func RunContext(ctx context.Context, b core.Benchmark, cfg core.Config, opt Opti
 		if err := ctx.Err(); err != nil {
 			return res, fmt.Errorf("%s/%s warmup rep %d: %w", b.Name(), cfg.Kit.Name(), rep, err)
 		}
-		if _, _, err := runOnce(b, runCfg, opt, false, nil); err != nil {
+		if opt.Trace != nil {
+			// Reset before warmups too: the watchdog heartbeat counts
+			// events per repetition, and lanes must not fill with warmup
+			// traffic.
+			opt.Trace.Reset()
+		}
+		if _, _, diag, err := runOnce(ctx, b, runCfg, opt, false, nil); err != nil {
+			res.Stall = locateStall(diag, res, "warmup", rep)
 			return res, fmt.Errorf("%s/%s warmup rep %d: %w", b.Name(), cfg.Kit.Name(), rep, err)
 		}
 	}
@@ -184,8 +205,9 @@ func RunContext(ctx context.Context, b core.Benchmark, cfg core.Config, opt Opti
 			// events so the final capture covers exactly the last rep.
 			opt.Trace.Reset()
 		}
-		region, rs, err := runOnce(b, runCfg, opt, opt.Verify, sampler)
+		region, rs, diag, err := runOnce(ctx, b, runCfg, opt, opt.Verify, sampler)
 		if err != nil {
+			res.Stall = locateStall(diag, res, "measure", rep)
 			return res, fmt.Errorf("%s/%s rep %d: %w", b.Name(), cfg.Kit.Name(), rep, err)
 		}
 		res.Times.Add(region.Dur())
@@ -202,13 +224,25 @@ func RunContext(ctx context.Context, b core.Benchmark, cfg core.Config, opt Opti
 	return res, nil
 }
 
+// locateStall stamps a watchdog diagnosis with the repetition that
+// produced it. Nil-safe: the non-stall error paths pass diag == nil.
+func locateStall(diag *StallDiagnosis, res Result, phase string, rep int) *StallDiagnosis {
+	if diag == nil {
+		return nil
+	}
+	diag.Bench, diag.Kit, diag.Phase, diag.Rep = res.Bench, res.Kit, phase, rep
+	return diag
+}
+
 // runOnce prepares one instance, times Run, and optionally verifies. The
 // returned Region brackets exactly the Instance.Run call; when sampler is
-// non-nil the same bracket is measured with runtime/metrics.
-func runOnce(b core.Benchmark, cfg core.Config, opt Options, verify bool, sampler *trace.Sampler) (Region, *trace.RuntimeSample, error) {
+// non-nil the same bracket is measured with runtime/metrics. With a
+// cancellable context or an armed watchdog the Run is supervised on its
+// own goroutine (runGuarded); otherwise it runs inline, exactly as before.
+func runOnce(ctx context.Context, b core.Benchmark, cfg core.Config, opt Options, verify bool, sampler *trace.Sampler) (Region, *trace.RuntimeSample, *StallDiagnosis, error) {
 	inst, err := b.Prepare(cfg)
 	if err != nil {
-		return Region{}, nil, fmt.Errorf("prepare: %w", err)
+		return Region{}, nil, nil, fmt.Errorf("prepare: %w", err)
 	}
 	if opt.QuiesceGC {
 		runtime.GC()
@@ -218,23 +252,29 @@ func runOnce(b core.Benchmark, cfg core.Config, opt Options, verify bool, sample
 	if sampler != nil {
 		sampler.Start()
 	}
-	start := time.Now()
-	err = inst.Run()
-	region := Region{Start: start, End: time.Now()}
+	var region Region
+	var diag *StallDiagnosis
+	if opt.RepTimeout > 0 || ctx.Done() != nil {
+		region, diag, err = runGuarded(ctx, inst, opt)
+	} else {
+		start := time.Now()
+		err = inst.Run()
+		region = Region{Start: start, End: time.Now()}
+	}
 	var rs *trace.RuntimeSample
 	if sampler != nil {
 		s := sampler.Stop()
 		rs = &s
 	}
 	if err != nil {
-		return region, rs, fmt.Errorf("run: %w", err)
+		return region, rs, diag, fmt.Errorf("run: %w", err)
 	}
 	if verify {
 		if err := inst.Verify(); err != nil {
-			return region, rs, fmt.Errorf("verify: %w", err)
+			return region, rs, nil, fmt.Errorf("verify: %w", err)
 		}
 	}
-	return region, rs, nil
+	return region, rs, nil, nil
 }
 
 // Pair measures b under both kits with otherwise identical configuration

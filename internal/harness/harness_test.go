@@ -204,22 +204,23 @@ func TestRunContextCancelBeforeStart(t *testing.T) {
 	}
 }
 
-func TestRunContextCancelBetweenReps(t *testing.T) {
+func TestRunContextCancelMidRep(t *testing.T) {
 	var runs int
 	ctx, cancel := context.WithCancel(context.Background())
 	// The first repetition cancels the context from inside the timed
-	// region: that rep must complete, and no further rep may start.
-	b := &fakeBench{name: "inflight", runs: &runs, onRun: cancel}
+	// region: the repetition is abandoned (its goroutine finishes on its
+	// own), no sample is recorded, and no further rep may start.
+	b := &fakeBench{name: "inflight", runs: &runs, onRun: cancel, sleep: 20 * time.Millisecond}
 	res, err := harness.RunContext(ctx, b, core.Config{Threads: 1, Kit: classic.New()},
 		harness.Options{Reps: 5})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("error %v does not wrap context.Canceled", err)
 	}
 	if runs != 1 {
-		t.Fatalf("ran %d reps after mid-run cancellation, want exactly 1", runs)
+		t.Fatalf("started %d reps after mid-run cancellation, want exactly 1", runs)
 	}
-	if res.Times.N() != 1 {
-		t.Fatalf("result carries %d samples, want the 1 completed rep", res.Times.N())
+	if res.Times.N() != 0 {
+		t.Fatalf("result carries %d samples; the abandoned rep must not be measured", res.Times.N())
 	}
 }
 

@@ -1,0 +1,201 @@
+// Watchdog: the harness's defense against repetitions that never finish.
+// A deadlocked barrier group or a livelocked CAS loop would otherwise hang
+// the whole measurement pipeline silently — the worst possible failure
+// mode for a benchmark suite (Renaissance's evaluation makes the same
+// point: a suite is only as trustworthy as its worst-case harness
+// behavior). With Options.RepTimeout set, each repetition runs under a
+// deadline; on expiry the harness returns ErrStalled together with a
+// structured StallDiagnosis built exclusively from concurrency-safe
+// sources (atomic trace counters and the runtime's goroutine dump), never
+// from the trace event payloads a wedged workload may still be writing.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// ErrStalled is returned (wrapped) when a repetition exceeds
+// Options.RepTimeout. The accompanying Result carries the diagnosis in
+// Result.Stall.
+var ErrStalled = errors.New("repetition stalled")
+
+// StallKind classifies a stall from the trace heartbeat.
+type StallKind string
+
+// Stall classifications. With no recorder armed the watchdog cannot
+// distinguish the two, hence StallUnknown.
+const (
+	// StallDeadlock: no synchronization events were observed during the
+	// final poll interval — the workers are blocked, not running.
+	StallDeadlock StallKind = "deadlock"
+	// StallLivelock: events were still being recorded when the deadline
+	// expired — the workers are running but not completing.
+	StallLivelock StallKind = "livelock"
+	// StallUnknown: no trace recorder was armed, so there was no
+	// heartbeat to classify against.
+	StallUnknown StallKind = "unknown"
+)
+
+// StallDiagnosis is the structured post-mortem of one stalled repetition.
+type StallDiagnosis struct {
+	// Bench, Kit, Phase and Rep locate the stalled repetition: Phase is
+	// "warmup" or "measure", Rep the 0-based index within the phase.
+	Bench string
+	Kit   string
+	Phase string
+	Rep   int
+	// Timeout is the deadline that expired; Elapsed the wall time actually
+	// spent before the watchdog fired.
+	Timeout time.Duration
+	Elapsed time.Duration
+	// Kind is the heartbeat classification.
+	Kind StallKind
+	// Events is the total synchronization events observed this repetition
+	// (from the recorder's atomic counters, including dropped events);
+	// Delta the events observed during the final poll interval. Both are
+	// zero when no recorder was armed.
+	Events int64
+	Delta  int64
+	// Lanes summarizes each worker lane at the moment the watchdog fired:
+	// operations observed, last barrier phase completed, and the last
+	// operation the lane was seen in. Nil when no recorder was armed.
+	Lanes []trace.LaneState
+	// Goroutines is the runtime's all-goroutine stack dump, truncated to
+	// goroutineDumpLimit bytes.
+	Goroutines string
+}
+
+const goroutineDumpLimit = 512 << 10
+
+// String renders the diagnosis in the documented multi-line format (see
+// docs/ROBUSTNESS.md).
+func (d *StallDiagnosis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stall: %s/%s %s rep %d: %s after %v (deadline %v)\n",
+		d.Bench, d.Kit, d.Phase, d.Rep, d.Kind, d.Elapsed.Round(time.Millisecond), d.Timeout)
+	fmt.Fprintf(&b, "heartbeat: %d events observed, %d during the final poll interval\n", d.Events, d.Delta)
+	for i, l := range d.Lanes {
+		last := "none"
+		if l.HasLast {
+			last = l.LastOp.String()
+		}
+		fmt.Fprintf(&b, "lane %d: ops=%d barrier-phase=%d last-op=%s dropped=%d\n",
+			i, l.Ops, l.Barriers, last, l.Dropped)
+	}
+	if d.Goroutines != "" {
+		fmt.Fprintf(&b, "goroutines:\n%s", d.Goroutines)
+	}
+	return b.String()
+}
+
+// Brief is the one-line summary (no goroutine dump) for logs and job
+// events.
+func (d *StallDiagnosis) Brief() string {
+	return fmt.Sprintf("%s/%s %s rep %d stalled (%s) after %v: %d events, %d in final interval, %d lanes",
+		d.Bench, d.Kit, d.Phase, d.Rep, d.Kind, d.Elapsed.Round(time.Millisecond), d.Events, d.Delta, len(d.Lanes))
+}
+
+// pollInterval derives the heartbeat sampling period from the deadline:
+// an eighth of the deadline, clamped to [1ms, 1s], so short test deadlines
+// still get several polls and long production deadlines don't spin.
+func pollInterval(deadline time.Duration) time.Duration {
+	p := deadline / 8
+	if p < time.Millisecond {
+		p = time.Millisecond
+	}
+	if p > time.Second {
+		p = time.Second
+	}
+	if deadline <= 0 {
+		p = 10 * time.Millisecond
+	}
+	return p
+}
+
+// runGuarded executes inst.Run on its own goroutine and supervises it:
+// normal completion returns its error; context cancellation abandons the
+// repetition immediately (the workload has no preemption points, so its
+// goroutines finish on their own and their instance is discarded — the
+// caller gets control back within one scheduling delay, not after the
+// repetition); deadline expiry builds a StallDiagnosis and returns
+// ErrStalled. The abandoned-goroutine leak on the cancellation and stall
+// paths is deliberate and documented: it is bounded by one repetition's
+// worker count and only happens on the failure paths.
+func runGuarded(ctx context.Context, inst core.Instance, opt Options) (Region, *StallDiagnosis, error) {
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() { done <- inst.Run() }()
+
+	var deadline <-chan time.Time
+	if opt.RepTimeout > 0 {
+		t := time.NewTimer(opt.RepTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	tick := time.NewTicker(pollInterval(opt.RepTimeout))
+	defer tick.Stop()
+
+	var last int64
+	if opt.Trace != nil {
+		last = opt.Trace.Progress()
+	}
+	var delta int64
+	for {
+		select {
+		case err := <-done:
+			return Region{Start: start, End: time.Now()}, nil, err
+		case <-ctx.Done():
+			return Region{Start: start, End: time.Now()}, nil, ctx.Err()
+		case <-tick.C:
+			if opt.Trace != nil {
+				p := opt.Trace.Progress()
+				delta = p - last
+				last = p
+			}
+		case <-deadline:
+			d := diagnoseStall(opt, time.Since(start), last, delta)
+			err := fmt.Errorf("%w: %s after %v (deadline %v)",
+				ErrStalled, d.Kind, d.Elapsed.Round(time.Millisecond), opt.RepTimeout)
+			return Region{Start: start, End: time.Now()}, d, err
+		}
+	}
+}
+
+// diagnoseStall assembles the structured diagnosis at the moment the
+// deadline expires. It reads only atomic trace counters and the runtime's
+// stack dump — both safe while the wedged workload is still running.
+func diagnoseStall(opt Options, elapsed time.Duration, last, delta int64) *StallDiagnosis {
+	d := &StallDiagnosis{
+		Timeout: opt.RepTimeout,
+		Elapsed: elapsed,
+		Kind:    StallUnknown,
+	}
+	if opt.Trace != nil {
+		// Fold in progress since the last tick so a livelock racing the
+		// deadline is not misread as a deadlock.
+		p := opt.Trace.Progress()
+		d.Delta = delta + (p - last)
+		d.Events = p
+		d.Lanes = opt.Trace.LaneStates()
+		if d.Delta > 0 {
+			d.Kind = StallLivelock
+		} else {
+			d.Kind = StallDeadlock
+		}
+	}
+	buf := make([]byte, goroutineDumpLimit)
+	n := runtime.Stack(buf, true)
+	d.Goroutines = string(buf[:n])
+	if n == len(buf) {
+		d.Goroutines += "\n... [goroutine dump truncated]"
+	}
+	return d
+}

@@ -1,0 +1,197 @@
+package harness_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sync4"
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/lockfree"
+	"repro/internal/trace"
+)
+
+// wedgeBench is a deliberately broken benchmark: its workers complete a
+// few synchronization operations and then either block forever (deadlock
+// mode) or keep performing kit operations without ever finishing
+// (livelock mode), until the test releases them. It is the fixture the
+// watchdog exists for.
+type wedgeBench struct {
+	mode    string        // "deadlock" or "livelock"
+	release chan struct{} // closed by the test to let abandoned workers exit
+}
+
+func (w *wedgeBench) Name() string        { return "wedge-" + w.mode }
+func (w *wedgeBench) Description() string { return "deliberately stalled fixture" }
+
+func (w *wedgeBench) Prepare(cfg core.Config) (core.Instance, error) {
+	return &wedgeInstance{b: w, ctr: cfg.Kit.NewCounter(), threads: cfg.Threads}, nil
+}
+
+type wedgeInstance struct {
+	b       *wedgeBench
+	ctr     sync4.Counter
+	threads int
+}
+
+func (i *wedgeInstance) Run() error {
+	core.Parallel(i.threads, func(tid int) {
+		i.ctr.Inc() // every lane observes at least one event before wedging
+		if i.b.mode == "deadlock" {
+			<-i.b.release
+			return
+		}
+		for { // livelock: synchronization traffic forever, completion never
+			select {
+			case <-i.b.release:
+				return
+			default:
+				i.ctr.Inc()
+			}
+		}
+	})
+	return nil
+}
+
+func (i *wedgeInstance) Verify() error { return nil }
+
+// runWedge runs a wedge fixture under the armed watchdog and returns the
+// harness outcome. The fixture is released in test cleanup so abandoned
+// worker goroutines exit before the race detector's leak horizon.
+func runWedge(t *testing.T, mode string, opt harness.Options) (harness.Result, error) {
+	t.Helper()
+	b := &wedgeBench{mode: mode, release: make(chan struct{})}
+	t.Cleanup(func() { close(b.release) })
+	res, err := harness.Run(b, core.Config{Threads: 2, Kit: lockfree.New()}, opt)
+	return res, err
+}
+
+func TestWatchdogDeadlockDiagnosis(t *testing.T) {
+	rec := trace.NewRecorder(8, 1<<12)
+	res, err := runWedge(t, "deadlock", harness.Options{
+		RepTimeout: 150 * time.Millisecond,
+		Trace:      rec,
+	})
+	if !errors.Is(err, harness.ErrStalled) {
+		t.Fatalf("error %v does not wrap ErrStalled", err)
+	}
+	d := res.Stall
+	if d == nil {
+		t.Fatal("no stall diagnosis in the result")
+	}
+	if d.Kind != harness.StallDeadlock {
+		t.Fatalf("classified as %q, want deadlock (no events after the wedge)", d.Kind)
+	}
+	if d.Bench != "wedge-deadlock" || d.Phase != "measure" || d.Rep != 0 {
+		t.Fatalf("diagnosis located at %s/%s rep %d", d.Bench, d.Phase, d.Rep)
+	}
+	if d.Events == 0 || len(d.Lanes) == 0 {
+		t.Fatalf("diagnosis lost the heartbeat state: events=%d lanes=%d", d.Events, len(d.Lanes))
+	}
+	for i, l := range d.Lanes {
+		if l.Ops == 0 || !l.HasLast {
+			t.Fatalf("lane %d summary empty: %+v", i, l)
+		}
+	}
+	if !strings.Contains(d.Goroutines, "goroutine") {
+		t.Fatal("diagnosis has no goroutine dump")
+	}
+	s := d.String()
+	for _, want := range []string{"stall: wedge-deadlock/", "deadlock", "heartbeat:", "lane 0:", "goroutines:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered diagnosis missing %q:\n%s", want, s[:min(len(s), 400)])
+		}
+	}
+}
+
+func TestWatchdogLivelockDiagnosis(t *testing.T) {
+	rec := trace.NewRecorder(8, 1<<12)
+	res, err := runWedge(t, "livelock", harness.Options{
+		RepTimeout: 150 * time.Millisecond,
+		Trace:      rec,
+	})
+	if !errors.Is(err, harness.ErrStalled) {
+		t.Fatalf("error %v does not wrap ErrStalled", err)
+	}
+	if res.Stall == nil {
+		t.Fatal("no stall diagnosis in the result")
+	}
+	if res.Stall.Kind != harness.StallLivelock {
+		t.Fatalf("classified as %q, want livelock (events kept flowing)", res.Stall.Kind)
+	}
+	if res.Stall.Delta == 0 {
+		t.Fatal("livelock diagnosis reports no progress in the final interval")
+	}
+}
+
+// TestWatchdogWithoutTraceIsUnknown: with no recorder armed there is no
+// heartbeat, so the watchdog still fires but cannot classify.
+func TestWatchdogWithoutTraceIsUnknown(t *testing.T) {
+	res, err := runWedge(t, "deadlock", harness.Options{RepTimeout: 100 * time.Millisecond})
+	if !errors.Is(err, harness.ErrStalled) {
+		t.Fatalf("error %v does not wrap ErrStalled", err)
+	}
+	if res.Stall == nil || res.Stall.Kind != harness.StallUnknown {
+		t.Fatalf("diagnosis = %+v, want kind %q", res.Stall, harness.StallUnknown)
+	}
+}
+
+// TestWatchdogNormalRunUnaffected: a healthy benchmark under an armed
+// watchdog completes normally with no diagnosis.
+func TestWatchdogNormalRunUnaffected(t *testing.T) {
+	b := &fakeBench{name: "healthy", sleep: 5 * time.Millisecond}
+	res, err := harness.Run(b, core.Config{Threads: 1, Kit: classic.New()},
+		harness.Options{Reps: 2, RepTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stall != nil {
+		t.Fatalf("healthy run produced a stall diagnosis: %s", res.Stall.Brief())
+	}
+	if res.Times.N() != 2 {
+		t.Fatalf("recorded %d samples, want 2", res.Times.N())
+	}
+}
+
+// TestCancelledRepReturnsWithinDeadline is the drain-path regression: a
+// repetition that never finishes must not hold up cancellation — the
+// harness abandons it and returns well within the caller's deadline.
+func TestCancelledRepReturnsWithinDeadline(t *testing.T) {
+	b := &wedgeBench{mode: "deadlock", release: make(chan struct{})}
+	t.Cleanup(func() { close(b.release) })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := harness.RunContext(ctx, b, core.Config{Threads: 2, Kit: classic.New()},
+		harness.Options{Reps: 1})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled rep took %v to return; the wedged workload held up the drain", elapsed)
+	}
+}
+
+// TestWatchdogStallDuringWarmup: the watchdog also guards warmup reps and
+// labels the diagnosis accordingly.
+func TestWatchdogStallDuringWarmup(t *testing.T) {
+	b := &wedgeBench{mode: "deadlock", release: make(chan struct{})}
+	t.Cleanup(func() { close(b.release) })
+	res, err := harness.Run(b, core.Config{Threads: 2, Kit: lockfree.New()},
+		harness.Options{Reps: 1, Warmup: 1, RepTimeout: 100 * time.Millisecond})
+	if !errors.Is(err, harness.ErrStalled) {
+		t.Fatalf("error %v does not wrap ErrStalled", err)
+	}
+	if res.Stall == nil || res.Stall.Phase != "warmup" {
+		t.Fatalf("diagnosis = %+v, want phase warmup", res.Stall)
+	}
+}

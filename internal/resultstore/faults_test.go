@@ -1,0 +1,202 @@
+package resultstore
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestCrashBetweenWriteAndSync is the crash-point injection test for the
+// publish order: under SyncAlways a record whose fsync fails must NOT be
+// indexed — the invariant is "no indexed-but-lost entries", so the index
+// may only ever lag the durable journal, never lead it.
+func TestCrashBetweenWriteAndSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	faults := &Faults{}
+	s, err := OpenWithOptions(path, Options{Sync: SyncAlways, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("a", "fft", "classic", 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "crash": the line is written but the fsync fails.
+	injected := errors.New("injected power loss")
+	faults.FailSync(injected)
+	if err := s.Append(rec("b", "fft", "classic", 20)); !errors.Is(err, injected) {
+		t.Fatalf("append error = %v, want the injected sync failure", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("index holds %d records after a failed sync, want 1: the unsynced record was acknowledged", s.Len())
+	}
+	if _, ok := s.ByID("b"); ok {
+		t.Fatal("unsynced record is visible in the index")
+	}
+
+	// The fault clears; the store recovers without reopening.
+	faults.FailSync(nil)
+	if err := s.Append(rec("c", "fft", "classic", 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: every indexed-and-acknowledged record must be there. The
+	// never-acknowledged "b" line may exist in the journal (it reached the
+	// OS) — that is allowed; claiming a lost record is not.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, id := range []string{"a", "c"} {
+		if _, ok := s2.ByID(id); !ok {
+			t.Fatalf("acknowledged record %q lost across reopen", id)
+		}
+	}
+}
+
+// TestFailedWriteNotIndexed: a write failure must leave the index
+// untouched and the store usable once the fault clears.
+func TestFailedWriteNotIndexed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	faults := &Faults{}
+	s, err := OpenWithOptions(path, Options{Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	injected := errors.New("injected EIO")
+	faults.FailWrites(injected)
+	if err := s.Append(rec("x", "radix", "lockfree", 5)); !errors.Is(err, injected) {
+		t.Fatalf("append error = %v, want the injected write failure", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("index holds %d records after a failed write, want 0", s.Len())
+	}
+
+	faults.FailWrites(nil)
+	if err := s.Append(rec("y", "radix", "lockfree", 6)); err != nil {
+		t.Fatalf("append still failing after the fault cleared: %v", err)
+	}
+	if _, ok := s.ByID("y"); !ok {
+		t.Fatal("post-recovery record missing from the index")
+	}
+}
+
+// TestTornWriteRecoversOnReopen: a write torn mid-line (crash between the
+// first and last byte of the line) fails the append, and replay-on-open
+// skips the fragment while keeping every acknowledged record and
+// accepting new appends.
+func TestTornWriteRecoversOnReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	faults := &Faults{}
+	s, err := OpenWithOptions(path, Options{Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("a", "fft", "classic", 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.TearNextWrite(17) // crash 17 bytes into the line
+	if err := s.Append(rec("b", "fft", "classic", 20)); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("index holds %d records after a torn write, want 1", s.Len())
+	}
+	s.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Skipped() != 1 {
+		t.Fatalf("replay skipped %d lines, want exactly the torn fragment (1)", s2.Skipped())
+	}
+	if _, ok := s2.ByID("a"); !ok {
+		t.Fatal("acknowledged record lost to a later torn line")
+	}
+	// The journal must accept appends on a fresh line after the fragment.
+	if err := s2.Append(rec("c", "fft", "classic", 30)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if _, ok := s3.ByID("c"); !ok {
+		t.Fatal("post-recovery record lost: the fragment corrupted the following line")
+	}
+	if s3.Len() != 2 {
+		t.Fatalf("index holds %d records, want 2 (a, c)", s3.Len())
+	}
+}
+
+// TestProbe: the degraded-mode recovery probe fails while a write-path
+// fault is armed and succeeds once it clears, without appending anything.
+func TestProbe(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	faults := &Faults{}
+	s, err := OpenWithOptions(path, Options{Sync: SyncAlways, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.Probe(); err != nil {
+		t.Fatalf("healthy probe failed: %v", err)
+	}
+	injected := errors.New("injected ENOSPC")
+	faults.FailWrites(injected)
+	if err := s.Probe(); !errors.Is(err, injected) {
+		t.Fatalf("probe error = %v, want the injected write failure", err)
+	}
+	faults.FailWrites(nil)
+	faults.FailSync(injected)
+	if err := s.Probe(); !errors.Is(err, injected) {
+		t.Fatalf("probe error = %v, want the injected sync failure", err)
+	}
+	faults.FailSync(nil)
+	if err := s.Probe(); err != nil {
+		t.Fatalf("probe still failing after faults cleared: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("probe appended %d records", s.Len())
+	}
+}
+
+// TestInjectedCloseFailure: Close reports the injected error but still
+// releases the descriptor, and the journal reopens cleanly.
+func TestInjectedCloseFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	faults := &Faults{}
+	s, err := OpenWithOptions(path, Options{Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("a", "fft", "classic", 10)); err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("injected close failure")
+	faults.FailClose(injected)
+	if err := s.Close(); !errors.Is(err, injected) {
+		t.Fatalf("close error = %v, want the injected failure", err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after failed close: %v", err)
+	}
+	defer s2.Close()
+	if _, ok := s2.ByID("a"); !ok {
+		t.Fatal("record lost across a failed close")
+	}
+}

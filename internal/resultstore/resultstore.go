@@ -1,9 +1,18 @@
 // Package resultstore persists benchmark results across daemon restarts as
 // an append-only JSONL journal with an in-memory index. One line is one
-// completed run; appends are flushed before they are acknowledged, so a run
-// the server reported as stored survives a crash. The format is plain JSON
-// per line on purpose: jq, a spreadsheet import, or a future compaction pass
-// can all consume the journal without this package.
+// completed run; a record is written and made durable *before* it is
+// indexed and acknowledged, so the index can never claim a record the
+// journal may lose (the invariant the crash-point injection tests pin
+// down). Durability is a policy: SyncOS hands the line to the OS (survives
+// a process crash), SyncAlways additionally fsyncs (survives power loss) —
+// the daemon runs with SyncAlways. The format is plain JSON per line on
+// purpose: jq, a spreadsheet import, or a future compaction pass can all
+// consume the journal without this package.
+//
+// The write path has injectable fault hooks (Faults): failed writes,
+// failed fsyncs, failed closes and torn lines, used by the chaos tests to
+// prove that a failed append is never indexed and that replay-on-open
+// recovers the journal's good prefix.
 package resultstore
 
 import (
@@ -16,6 +25,105 @@ import (
 	"sync"
 	"time"
 )
+
+// SyncPolicy selects journal durability.
+type SyncPolicy int
+
+const (
+	// SyncOS flushes each appended line to the OS before acknowledging:
+	// an acknowledged record survives a process crash but not power loss.
+	SyncOS SyncPolicy = iota
+	// SyncAlways additionally fsyncs before the record is indexed and
+	// acknowledged: an acknowledged record survives power loss. This is
+	// the policy splash4d runs with.
+	SyncAlways
+)
+
+// Options configures OpenWithOptions.
+type Options struct {
+	// Sync is the durability policy for appends.
+	Sync SyncPolicy
+	// Faults, when non-nil, injects failures into the write path.
+	Faults *Faults
+}
+
+// Faults injects failures into a store's write path — the chaos seam the
+// robustness tests drive. All methods are safe for concurrent use; a nil
+// error clears the corresponding fault. The zero value injects nothing.
+type Faults struct {
+	mu       sync.Mutex
+	writeErr error
+	syncErr  error
+	closeErr error
+	tearArm  bool
+	tearN    int
+}
+
+// FailWrites makes every subsequent journal write fail with err (nil
+// clears the fault). No bytes reach the file while armed.
+func (f *Faults) FailWrites(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeErr = err
+}
+
+// FailSync makes every subsequent fsync fail with err (nil clears).
+func (f *Faults) FailSync(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = err
+}
+
+// FailClose makes the next Close fail with err (nil clears).
+func (f *Faults) FailClose(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closeErr = err
+}
+
+// TearNextWrite makes the next journal write land only its first n bytes
+// and then fail — the torn-line crash the replay path must recover from.
+func (f *Faults) TearNextWrite(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tearArm, f.tearN = true, n
+}
+
+// writeFault returns the pending write fault: torn >=0 means write that
+// many bytes then fail with err.
+func (f *Faults) writeFault() (torn int, err error) {
+	if f == nil {
+		return -1, nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tearArm {
+		f.tearArm = false
+		return f.tearN, fmt.Errorf("resultstore: injected torn write after %d bytes", f.tearN)
+	}
+	if f.writeErr != nil {
+		return -1, f.writeErr
+	}
+	return -1, nil
+}
+
+func (f *Faults) syncFault() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncErr
+}
+
+func (f *Faults) closeFault() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closeErr
+}
 
 // Record is one persisted run result.
 type Record struct {
@@ -69,21 +177,29 @@ func (r Record) Key() Key {
 type Store struct {
 	mu      sync.Mutex
 	f       *os.File
-	w       *bufio.Writer
+	opts    Options
+	closed  bool
 	recs    []Record
 	byKey   map[Key][]int // indices into recs
 	skipped int           // malformed journal lines ignored at Open
 }
 
-// Open reads (or creates) the journal at path and rebuilds the index. A
-// malformed line — typically a torn final write from a crash — is skipped
-// and counted, never fatal: the journal's good prefix is always usable.
+// Open reads (or creates) the journal at path with the default options
+// (SyncOS, no fault injection) and rebuilds the index.
 func Open(path string) (*Store, error) {
+	return OpenWithOptions(path, Options{})
+}
+
+// OpenWithOptions reads (or creates) the journal at path and rebuilds the
+// index. A malformed line — typically a torn final write from a crash —
+// is skipped and counted, never fatal: the journal's good prefix is
+// always usable.
+func OpenWithOptions(path string, opts Options) (*Store, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("resultstore: %w", err)
 	}
-	s := &Store{f: f, byKey: make(map[Key][]int)}
+	s := &Store{f: f, opts: opts, byKey: make(map[Key][]int)}
 	if err := s.replay(); err != nil {
 		f.Close()
 		return nil, err
@@ -93,10 +209,10 @@ func Open(path string) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("resultstore: %w", err)
 	}
-	s.w = bufio.NewWriter(f)
 	// A torn final write leaves the journal without a trailing newline;
 	// terminate it so the next append starts on a fresh line instead of
-	// gluing onto the fragment.
+	// gluing onto the fragment. Repair bypasses the fault hooks: it fixes
+	// past damage, it does not participate in the injected failure.
 	if end > 0 {
 		last := make([]byte, 1)
 		if _, err := f.ReadAt(last, end-1); err != nil {
@@ -104,7 +220,7 @@ func Open(path string) (*Store, error) {
 			return nil, fmt.Errorf("resultstore: %w", err)
 		}
 		if last[0] != '\n' {
-			if err := s.w.WriteByte('\n'); err != nil {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
 				f.Close()
 				return nil, fmt.Errorf("resultstore: %w", err)
 			}
@@ -142,9 +258,11 @@ func (s *Store) index(r Record) {
 	s.byKey[r.Key()] = append(s.byKey[r.Key()], len(s.recs)-1)
 }
 
-// Append journals and indexes one record. The line is flushed to the OS
-// before Append returns, so an acknowledged record survives a process
-// crash.
+// Append journals and indexes one record. The full line reaches the OS —
+// and, under SyncAlways, the disk — *before* the record is indexed, so a
+// failed append leaves no indexed-but-lost entry: on any error the index
+// is untouched and the journal holds at most an unacknowledged fragment
+// that replay-on-open skips.
 func (s *Store) Append(r Record) error {
 	if r.ID == "" {
 		return fmt.Errorf("resultstore: record needs an ID")
@@ -153,21 +271,69 @@ func (s *Store) Append(r Record) error {
 	if err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
+	line = append(line, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.w == nil {
+	if s.closed {
 		return fmt.Errorf("resultstore: store is closed")
 	}
-	if _, err := s.w.Write(line); err != nil {
+	if err := s.write(line); err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	if err := s.w.WriteByte('\n'); err != nil {
-		return fmt.Errorf("resultstore: %w", err)
-	}
-	if err := s.w.Flush(); err != nil {
-		return fmt.Errorf("resultstore: %w", err)
+	if s.opts.Sync == SyncAlways {
+		if err := s.syncLocked(); err != nil {
+			// The line is in the OS but not durable; do not acknowledge.
+			// Replay tolerates the possible duplicate-free extra line: it
+			// was never indexed, so nothing claims it exists.
+			return fmt.Errorf("resultstore: sync before index: %w", err)
+		}
 	}
 	s.index(r)
+	return nil
+}
+
+// write sends one complete line to the journal, honoring injected faults.
+// A torn-write fault lands a prefix of the line and then fails, exactly
+// like a crash mid-write. Caller holds mu.
+func (s *Store) write(line []byte) error {
+	torn, err := s.opts.Faults.writeFault()
+	if err != nil {
+		if torn > 0 {
+			if torn > len(line) {
+				torn = len(line)
+			}
+			s.f.Write(line[:torn]) // best effort: the crash leaves a fragment
+		}
+		return err
+	}
+	_, err = s.f.Write(line)
+	return err
+}
+
+// syncLocked fsyncs the journal, honoring injected faults. Caller holds mu.
+func (s *Store) syncLocked() error {
+	if err := s.opts.Faults.syncFault(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Probe exercises the journal's write path without appending a record: it
+// checks the store is open, consults the injected write faults, and
+// fsyncs the file. splash4d uses it to decide when to leave degraded
+// mode — a passing probe means appends can succeed again.
+func (s *Store) Probe() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("resultstore: store is closed")
+	}
+	if _, err := s.opts.Faults.writeFault(); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := s.syncLocked(); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
 	return nil
 }
 
@@ -235,31 +401,37 @@ func (s *Store) TimesNS(k Key) []int64 {
 	return out
 }
 
-// Flush forces buffered journal bytes to the OS.
+// Flush forces journal bytes to the OS. Appends write through to the OS
+// directly, so this only needs to fsync under SyncAlways-equivalent
+// callers; it is kept as the pre-drain durability hook.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.w == nil {
+	if s.closed {
 		return nil
 	}
-	if err := s.w.Flush(); err != nil {
+	if err := s.syncLocked(); err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	return nil
 }
 
-// Close flushes, syncs and closes the journal. Further Appends fail.
+// Close syncs and closes the journal. Further Appends fail.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.w == nil {
+	if s.closed {
 		return nil
 	}
-	flushErr := s.w.Flush()
-	s.w = nil
-	syncErr := s.f.Sync()
-	closeErr := s.f.Close()
-	for _, err := range []error{flushErr, syncErr, closeErr} {
+	s.closed = true
+	syncErr := s.syncLocked()
+	closeErr := s.opts.Faults.closeFault()
+	if closeErr == nil {
+		closeErr = s.f.Close()
+	} else {
+		s.f.Close() // release the descriptor even when reporting the injected failure
+	}
+	for _, err := range []error{syncErr, closeErr} {
 		if err != nil {
 			return fmt.Errorf("resultstore: %w", err)
 		}

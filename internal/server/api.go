@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -31,8 +32,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 //	202 {job}            accepted, freshly queued
 //	200 {job}            identical spec already queued/running (singleflight)
 //	400 {error}          malformed body or unusable spec
-//	429 {error}          admission ring full — retry later
-//	503 {error}          server is draining
+//	429 {error}          admission ring full — retry after Retry-After
+//	503 {error}          server is draining, or degraded (journal write
+//	                     path down; reads still served)
+//
+// Every 429/503 carries a Retry-After header; the client retry contract
+// is documented in docs/SERVICE.md.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var sp Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -51,8 +56,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
+	case errors.Is(err, errDegraded):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
 	case errors.Is(err, errBusy):
-		w.Header().Set("Retry-After", "1")
+		// Adaptive backpressure: the deeper the backlog, the longer the
+		// suggested wait, so bounced clients spread their retries instead
+		// of hammering a full ring in lockstep.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case err != nil:
@@ -104,6 +116,9 @@ func (s *Server) jobView(j *Job, deduped bool) map[string]any {
 	}
 	if j.errMsg != "" {
 		v["error"] = j.errMsg
+	}
+	if j.stall != "" {
+		v["stall"] = j.stall
 	}
 	if j.record != nil && j.State() == StateDone {
 		v["result"] = map[string]any{
@@ -177,18 +192,56 @@ func writeSSE(w http.ResponseWriter, ev Event) error {
 	return err
 }
 
-// handleHealthz is GET /healthz.
+// retryAfterSeconds estimates when a bounced (429) submission is worth
+// retrying: roughly a second per backlogged job per worker, clamped to
+// [1, 30] so the hint stays useful under any load.
+func (s *Server) retryAfterSeconds() int {
+	backlog := s.queue.Len() + int(s.inflight.Load())
+	secs := 1 + backlog/s.cfg.Workers
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// handleHealthz is GET /healthz: pure liveness. It answers 200 as long as
+// the process can serve HTTP — draining and degraded are reported in the
+// status field but are readiness concerns (GET /readyz), not liveness
+// ones: restarting a draining or degraded daemon would only lose work.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
-	code := http.StatusOK
-	if s.draining.Load() {
+	switch {
+	case s.draining.Load():
 		status = "draining"
-		code = http.StatusServiceUnavailable
+	case s.degraded.Load():
+		status = "degraded"
 	}
-	writeJSON(w, code, map[string]any{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      status,
 		"uptime_s":    int64(time.Since(s.start).Seconds()),
 		"queue_depth": s.queue.Len(),
 		"inflight":    s.inflight.Load(),
 	})
+}
+
+// handleReadyz is GET /readyz: readiness to accept new submissions. 503
+// while draining or degraded (with the reasons), 200 otherwise. The
+// degraded check probes the journal first, so a cleared disk fault flips
+// the daemon back to ready on the next probe without a restart.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if s.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	if !s.probeRecovery() {
+		reasons = append(reasons, "degraded: result journal write path failing")
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":  "not_ready",
+			"reasons": reasons,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }

@@ -33,6 +33,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		draining = 1
 	}
 	gauge("splash4d_draining", "1 while the server refuses new submissions.", draining)
+	degraded := 0
+	if s.degraded.Load() {
+		degraded = 1
+	}
+	gauge("splash4d_degraded", "1 while the journal write path is failing and the server serves reads only.", degraded)
 	gauge("splash4d_store_records", "Results in the persistent store, including replayed history.", s.store.Len())
 
 	counter("splash4d_jobs_accepted_total", "Jobs admitted to the queue.", s.accepted.Load())
@@ -40,6 +45,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("splash4d_jobs_failed_total", "Jobs that ended in an error (including canceled).", s.failed.Load())
 	counter("splash4d_jobs_rejected_total", "Submissions refused with 429 because the ring was full.", s.rejected.Load())
 	counter("splash4d_jobs_deduped_total", "Submissions answered by an already-active identical job.", s.deduped.Load())
+	counter("splash4d_append_retries_total", "Journal appends that failed and were retried.", s.appendRetries.Load())
 
 	s.writeHistograms(&b)
 

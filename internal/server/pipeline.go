@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -112,6 +114,7 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	errMsg   string
+	stall    string // watchdog diagnosis summary, when a repetition stalled
 	record   *resultstore.Record
 	events   []Event
 	subs     []chan Event
@@ -171,6 +174,7 @@ func (j *Job) subscribe(chanCap int) (replay []Event, ch chan Event, cancel func
 var (
 	errDraining = errors.New("server is draining, not accepting new runs")
 	errBusy     = errors.New("admission queue is full")
+	errDegraded = errors.New("result journal unavailable, serving reads only")
 )
 
 // validateSpec normalizes sp in place and rejects unusable requests.
@@ -215,6 +219,13 @@ func (s *Server) validateSpec(sp *Spec) error {
 func (s *Server) submit(sp Spec) (job *Job, created bool, err error) {
 	if s.draining.Load() {
 		return nil, false, errDraining
+	}
+	// Degraded mode: the journal's write path is failing, so accepting a
+	// job would promise a durable result the server cannot deliver. Each
+	// submission probes for recovery first, so admission resumes by itself
+	// once the fault clears.
+	if !s.probeRecovery() {
+		return nil, false, errDegraded
 	}
 	s.mu.Lock()
 	if existing := s.active[sp.key()]; existing != nil {
@@ -334,7 +345,11 @@ func (s *Server) runJob(j *Job) {
 
 // measure runs the job's repetitions one at a time so each one yields a
 // live progress event carrying that repetition's wall time and trace-census
-// summary from the synchronization event recorder.
+// summary from the synchronization event recorder. Two failure guards are
+// armed: the job as a whole runs under Config.JobTimeout, and every
+// repetition runs under the harness watchdog (Config.RepTimeout), so a
+// deadlocked or livelocked workload fails with a structured diagnosis
+// instead of wedging its worker forever.
 func (s *Server) measure(j *Job, bench core.Benchmark) error {
 	sp := j.Spec
 	kit, err := sp.kit()
@@ -345,19 +360,37 @@ func (s *Server) measure(j *Job, bench core.Benchmark) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := context.WithTimeout(s.jobCtx, s.cfg.JobTimeout)
+	defer cancel()
 	rec := trace.NewRecorder(2*sp.Threads+2, s.cfg.TraceCapacity)
 	sample := &stats.Sample{}
 	var traceEvents, syncOps int64
 	for rep := 0; rep < sp.Reps; rep++ {
-		opt := harness.Options{Reps: 1, Verify: true, Instrument: true, Trace: rec}
+		if err := ctx.Err(); err != nil {
+			return s.decorateTimeout(err)
+		}
+		opt := harness.Options{
+			Reps: 1, Verify: true, Instrument: true, Trace: rec,
+			RepTimeout: s.cfg.RepTimeout,
+		}
 		if rep == 0 {
 			opt.Warmup = sp.Warmup
 		}
-		res, err := harness.RunContext(s.jobCtx, bench, core.Config{
+		res, err := harness.RunContext(ctx, bench, core.Config{
 			Threads: sp.Threads, Kit: kit, Scale: sc, Seed: sp.Seed,
 		}, opt)
 		if err != nil {
-			return err
+			if res.Stall != nil {
+				j.mu.Lock()
+				j.stall = res.Stall.Brief()
+				j.mu.Unlock()
+				j.emit("stall", map[string]any{
+					"rep":       rep,
+					"kind":      string(res.Stall.Kind),
+					"diagnosis": res.Stall.Brief(),
+				})
+			}
+			return s.decorateTimeout(err)
 		}
 		d := res.Times.Mean()
 		sample.Add(d)
@@ -382,6 +415,45 @@ func (s *Server) measure(j *Job, bench core.Benchmark) error {
 	j.mu.Unlock()
 	s.observeLatency(sp.Workload, sp.Kit, sample.Durations())
 	return nil
+}
+
+// decorateTimeout distinguishes "the job blew its execution budget" from
+// "the server is shutting down": both surface as context errors from the
+// harness, but only the former is the job's own fault.
+func (s *Server) decorateTimeout(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) && s.jobCtx.Err() == nil {
+		return fmt.Errorf("job exceeded its %v execution timeout: %w", s.cfg.JobTimeout, err)
+	}
+	return err
+}
+
+// Journal append retry policy: transient write failures (a full disk
+// being cleared, a hiccuping filesystem) get a few quick retries with
+// exponential backoff and jitter before the server declares the write
+// path degraded.
+const (
+	appendAttempts = 3
+	appendBackoff  = 5 * time.Millisecond
+)
+
+// appendWithRetry persists one journal line, retrying transient failures.
+// Success clears degraded mode (the write path evidently works); running
+// out of attempts enters it. The returned error is the last attempt's.
+func (s *Server) appendWithRetry(rec resultstore.Record) error {
+	var err error
+	for attempt := 0; attempt < appendAttempts; attempt++ {
+		if err = s.store.Append(rec); err == nil {
+			s.degraded.Store(false)
+			return nil
+		}
+		if attempt < appendAttempts-1 {
+			s.appendRetries.Inc()
+			backoff := appendBackoff << attempt
+			time.Sleep(backoff + rand.N(backoff))
+		}
+	}
+	s.degraded.Store(true)
+	return err
 }
 
 // finishJob journals the outcome, publishes the terminal state and event,
@@ -410,9 +482,11 @@ func (s *Server) finishJob(j *Job, st State, cause error) {
 	}
 	j.mu.Unlock()
 
-	if err := s.store.Append(*rec); err != nil && cause == nil {
-		// The measurement succeeded but persisting it did not: the job
-		// fails, because an acknowledged result must be in the journal.
+	if err := s.appendWithRetry(*rec); err != nil && cause == nil {
+		// The measurement succeeded but persisting it did not, even after
+		// retries: the job fails, because an acknowledged result must be
+		// in the journal. appendWithRetry has already flipped the server
+		// into degraded (read-only) mode.
 		st = StateFailed
 		cause = err
 		j.mu.Lock()

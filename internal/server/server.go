@@ -58,6 +58,14 @@ type Config struct {
 	// TraceCapacity is the per-lane event-buffer capacity of each job's
 	// trace recorder. Defaults to 1<<16.
 	TraceCapacity int
+	// JobTimeout bounds one job's total execution (all repetitions,
+	// including warmup). A job that exceeds it fails with a timeout error
+	// instead of occupying its worker forever. Defaults to 5 minutes.
+	JobTimeout time.Duration
+	// RepTimeout arms the harness watchdog for each repetition: a rep that
+	// exceeds it is abandoned and the job fails with harness.ErrStalled
+	// plus a structured stall diagnosis. Defaults to JobTimeout.
+	RepTimeout time.Duration
 	// Resolver maps a workload name to its benchmark. Defaults to
 	// all.ByName; tests inject controllable benchmarks here.
 	Resolver func(name string) (core.Benchmark, error)
@@ -81,6 +89,12 @@ func (c *Config) fill() error {
 	}
 	if c.TraceCapacity <= 0 {
 		c.TraceCapacity = 1 << 16
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.RepTimeout <= 0 {
+		c.RepTimeout = c.JobTimeout
 	}
 	if c.Resolver == nil {
 		c.Resolver = all.ByName
@@ -127,8 +141,20 @@ type Server struct {
 	histMu sync.Mutex
 	hists  map[histKey]*stats.Histogram
 
-	start     time.Time
-	draining  atomic.Bool
+	// appendRetries counts journal append attempts that failed and were
+	// retried (or gave up); it backs the splash4d_append_retries_total
+	// metric.
+	appendRetries sync4.Counter
+
+	start    time.Time
+	draining atomic.Bool
+	// degraded flips on when the result journal's write path fails even
+	// after bounded retries. While set, the server keeps serving reads
+	// (status, events, compare, metrics) but refuses new submissions with
+	// 503 — an accepted job whose result cannot be journaled would violate
+	// the acknowledged-means-durable contract. It clears when a
+	// store.Probe or a later append succeeds.
+	degraded  atomic.Bool
 	jobsWG    sync.WaitGroup // accepted jobs not yet terminal
 	workersWG sync.WaitGroup
 	stop      chan struct{} // closed after drain to end the workers
@@ -154,25 +180,26 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		store:      cfg.Store,
-		queue:      q,
-		queueCap:   queueCap,
-		wake:       make(chan struct{}, queueCap),
-		jobs:       make(map[string]*Job),
-		bySeq:      make(map[int64]*Job),
-		active:     make(map[string]*Job),
-		accepted:   kit.NewCounter(),
-		completed:  kit.NewCounter(),
-		failed:     kit.NewCounter(),
-		rejected:   kit.NewCounter(),
-		deduped:    kit.NewCounter(),
-		inflight:   kit.NewCounter(),
-		hists:      make(map[histKey]*stats.Histogram),
-		start:      time.Now(),
-		stop:       make(chan struct{}),
-		jobCtx:     ctx,
-		cancelJobs: cancel,
+		cfg:           cfg,
+		store:         cfg.Store,
+		queue:         q,
+		queueCap:      queueCap,
+		wake:          make(chan struct{}, queueCap),
+		jobs:          make(map[string]*Job),
+		bySeq:         make(map[int64]*Job),
+		active:        make(map[string]*Job),
+		accepted:      kit.NewCounter(),
+		completed:     kit.NewCounter(),
+		failed:        kit.NewCounter(),
+		rejected:      kit.NewCounter(),
+		deduped:       kit.NewCounter(),
+		inflight:      kit.NewCounter(),
+		appendRetries: kit.NewCounter(),
+		hists:         make(map[histKey]*stats.Histogram),
+		start:         time.Now(),
+		stop:          make(chan struct{}),
+		jobCtx:        ctx,
+		cancelJobs:    cancel,
 	}
 	s.workersWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -183,6 +210,25 @@ func New(cfg Config) (*Server, error) {
 
 // Draining reports whether the server has stopped admitting jobs.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Degraded reports whether the journal write path is failing and the
+// server is serving reads only.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// probeRecovery re-checks a degraded journal. It returns true when the
+// write path works again (clearing degraded mode) — called from the
+// admission path and the readiness probe so recovery needs no operator
+// action beyond fixing the disk.
+func (s *Server) probeRecovery() bool {
+	if !s.degraded.Load() {
+		return true
+	}
+	if err := s.store.Probe(); err != nil {
+		return false
+	}
+	s.degraded.Store(false)
+	return true
+}
 
 // QueueDepth returns a point-in-time estimate of queued (not yet running)
 // jobs.
@@ -238,6 +284,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /runs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /compare", s.handleCompare)
 	return mux

@@ -153,10 +153,12 @@ func (e Event) Dur() int64 { return e.End - e.Start }
 // fetch-added so a migrating (unpinned) goroutine pair can never collide on
 // a slot; slots beyond capacity are counted as drops.
 type lane struct {
-	cur     atomic.Int64
-	dropped atomic.Int64
-	_       [48]byte // keep hot cursors of adjacent lanes off one cache line
-	evs     []Event
+	cur      atomic.Int64
+	dropped  atomic.Int64
+	barriers atomic.Int64 // barrier episodes observed (watchdog heartbeat)
+	lastOp   atomic.Int32 // op+1 of the last observed event; 0 = none yet
+	_        [48]byte     // keep hot cursors of adjacent lanes off one cache line
+	evs      []Event
 }
 
 // slot maps one OS thread id to its lane. lane semantics: 0 = unset (the
@@ -254,12 +256,71 @@ func (r *Recorder) Record(op Op, obj uint32, start int64) {
 		r.noLane.Add(1)
 		return
 	}
+	// Progress probes first, so even dropped events count as observed
+	// progress for the watchdog.
+	l.lastOp.Store(int32(op) + 1)
+	if op == OpBarrierWait {
+		l.barriers.Add(1)
+	}
 	idx := l.cur.Add(1) - 1
 	if idx >= int64(r.capacity) {
 		l.dropped.Add(1)
 		return
 	}
 	l.evs[idx] = Event{Start: start, End: end, Obj: obj, Op: op}
+}
+
+// Progress returns a monotonic count of events observed since the last
+// Reset, including dropped ones. Unlike Snapshot it is safe to call while
+// recording is in flight — it reads only atomic counters — which makes it
+// the harness watchdog's heartbeat: a stalled workload stops advancing it.
+func (r *Recorder) Progress() int64 {
+	n := r.noLane.Load()
+	for i := range r.lanes {
+		n += r.lanes[i].cur.Load()
+	}
+	return n
+}
+
+// LaneState is an atomic-counter summary of one lane, readable while
+// recording is in flight (no event payloads). It is what the watchdog's
+// stall diagnosis reports per worker: how far it got (Ops, Barriers) and
+// what it was last seen doing (LastOp).
+type LaneState struct {
+	// Ops counts events observed on the lane, including dropped ones.
+	Ops int64
+	// Dropped counts events lost because the lane buffer was full.
+	Dropped int64
+	// Barriers counts barrier episodes completed — the lane's last
+	// barrier phase.
+	Barriers int64
+	// LastOp is the most recent operation observed, valid when HasLast.
+	LastOp  Op
+	HasLast bool
+}
+
+// LaneStates summarizes every claimed lane from atomic counters only.
+// Safe to call concurrently with recording; the per-lane values are each
+// individually consistent, not a cross-lane snapshot.
+func (r *Recorder) LaneStates() []LaneState {
+	claimed := int(r.nextLane.Load())
+	if claimed > len(r.lanes) {
+		claimed = len(r.lanes)
+	}
+	states := make([]LaneState, claimed)
+	for i := 0; i < claimed; i++ {
+		l := &r.lanes[i]
+		s := LaneState{
+			Ops:      l.cur.Load(),
+			Dropped:  l.dropped.Load(),
+			Barriers: l.barriers.Load(),
+		}
+		if op := l.lastOp.Load(); op > 0 {
+			s.LastOp, s.HasLast = Op(op-1), true
+		}
+		states[i] = s
+	}
+	return states
 }
 
 // lane returns the calling OS thread's lane, claiming one on first use, or
@@ -308,6 +369,8 @@ func (r *Recorder) Reset() {
 	for i := range r.lanes {
 		r.lanes[i].cur.Store(0)
 		r.lanes[i].dropped.Store(0)
+		r.lanes[i].barriers.Store(0)
+		r.lanes[i].lastOp.Store(0)
 	}
 	r.noLane.Store(0)
 	now := time.Since(r.base).Nanoseconds()

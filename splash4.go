@@ -32,6 +32,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/sync4"
 	"repro/internal/sync4/classic"
+	"repro/internal/sync4/faulty"
 	"repro/internal/sync4/lockfree"
 	"repro/internal/trace"
 	"repro/internal/workloads/all"
@@ -145,9 +146,10 @@ func Names() []string { return all.Names() }
 // Run measures b under cfg; see harness.Run.
 func Run(b Benchmark, cfg Config, opt Options) (Result, error) { return harness.Run(b, cfg, opt) }
 
-// RunContext is Run with cooperative cancellation: ctx is checked between
-// repetitions (an in-flight repetition always completes), so long
-// measurement campaigns can be aborted cleanly; see harness.RunContext.
+// RunContext is Run with cooperative cancellation: cancellation abandons
+// the in-flight repetition (its result is discarded, its goroutines
+// finish on their own) and prevents further ones, so long measurement
+// campaigns abort promptly even mid-repetition; see harness.RunContext.
 func RunContext(ctx context.Context, b Benchmark, cfg Config, opt Options) (Result, error) {
 	return harness.RunContext(ctx, b, cfg, opt)
 }
@@ -157,6 +159,53 @@ func RunContext(ctx context.Context, b Benchmark, cfg Config, opt Options) (Resu
 func Pair(b Benchmark, cfg Config, opt Options) (classicRes, lockfreeRes Result, err error) {
 	return harness.Pair(b, cfg, Classic(), Lockfree(), opt)
 }
+
+// Fault injection (robustness testing; see docs/ROBUSTNESS.md).
+
+// FaultPlan configures the faulty kit decorator's deterministic fault
+// schedule; see faulty.Plan.
+type FaultPlan = faulty.Plan
+
+// FaultInjector decorates kits with seeded schedule perturbation; see
+// faulty.Injector.
+type FaultInjector = faulty.Injector
+
+// FaultReport summarizes the faults an injector delivered; see
+// faulty.Report.
+type FaultReport = faulty.Report
+
+// NewFaultInjector builds an injector for plan; wrap a kit with its Wrap
+// method. The same seed always yields the same per-site fault schedule.
+func NewFaultInjector(plan FaultPlan) *FaultInjector { return faulty.New(plan) }
+
+// MildFaults is the semantics-preserving preset (delays, stragglers,
+// spurious wakeups — no contract weakening): any workload must produce
+// identical results under it.
+func MildFaults(seed int64) FaultPlan { return faulty.Mild(seed) }
+
+// AggressiveFaults adds transient Try* full/empty flapping for
+// retry-tolerant callers.
+func AggressiveFaults(seed int64) FaultPlan { return faulty.Aggressive(seed) }
+
+// Watchdog surface (Options.RepTimeout; see docs/ROBUSTNESS.md).
+
+// ErrStalled is returned (wrapped) when a repetition exceeds
+// Options.RepTimeout; the Result carries the diagnosis in Result.Stall.
+var ErrStalled = harness.ErrStalled
+
+// StallDiagnosis is the watchdog's structured post-mortem of a stalled
+// repetition; see harness.StallDiagnosis.
+type StallDiagnosis = harness.StallDiagnosis
+
+// StallKind classifies a stall from the trace heartbeat.
+type StallKind = harness.StallKind
+
+// Stall classifications.
+const (
+	StallDeadlock = harness.StallDeadlock
+	StallLivelock = harness.StallLivelock
+	StallUnknown  = harness.StallUnknown
+)
 
 // Parallel runs body on threads workers with thread ids in [0, threads).
 // Custom workloads can use it the way the built-in ones do.
