@@ -4,6 +4,8 @@
 #                     invariants, full test suite, trace smoke test
 #   make race         tier-2 gate: the whole suite under the Go race detector
 #   make vet          just the concurrency-invariant analyzers (splash4-vet)
+#   make allocs-gate  re-measure every //sync4:zeroalloc annotation with
+#                     testing.AllocsPerRun (uncached)
 #   make bench        the testing.B experiment targets
 #   make trace-smoke  capture fft traces under both kits and validate them
 #   make serve-smoke  drive the splash4d daemon end to end over HTTP
@@ -14,12 +16,13 @@ GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)
 CHAOS_SEED ?= 42
 
-.PHONY: check vet race test build bench trace-smoke serve-smoke chaos
+.PHONY: check vet allocs-gate race test build bench trace-smoke serve-smoke chaos
 
 check: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/splash4-vet ./...
 	$(GO) test ./...
+	$(MAKE) allocs-gate
 	$(MAKE) trace-smoke
 	$(MAKE) serve-smoke
 
@@ -29,6 +32,13 @@ build:
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/splash4-vet ./...
+
+# allocs-gate forces an uncached run of the zero-alloc conformance test:
+# every //sync4:zeroalloc annotation in the module is re-measured with
+# testing.AllocsPerRun under both kits (plus the traced/instrumented
+# wrappers) and must come out at exactly zero.
+allocs-gate:
+	$(GO) test -count=1 -run ZeroAlloc ./internal/allocgate/ ./internal/sync4/... ./internal/server/
 
 race:
 	$(GO) test -race ./...

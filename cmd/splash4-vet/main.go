@@ -9,6 +9,7 @@
 //	splash4-vet ./...                 # analyze the whole module
 //	splash4-vet ./internal/workloads/...
 //	splash4-vet -list                 # describe the analyzers
+//	splash4-vet -explain atomic-layout  # full rule rationale and remediation
 //	splash4-vet -run kit-bypass,naked-spin ./...
 //	splash4-vet -json ./...           # machine-readable diagnostics
 //	splash4-vet -sarif vet.sarif ./...  # SARIF 2.1.0 for CI annotation
@@ -33,6 +34,7 @@ import (
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list the analyzers and exit")
+		explain  = flag.String("explain", "", "print the named analyzer's full rule documentation and exit")
 		run      = flag.String("run", "", "comma-separated analyzer subset (default: all)")
 		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array")
 		sarifOut = flag.String("sarif", "", "write diagnostics as SARIF 2.1.0 to this file ('-' for stdout)")
@@ -44,6 +46,19 @@ func main() {
 		for _, a := range analysis.Analyzers() {
 			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
+		return
+	}
+
+	if *explain != "" {
+		a, err := analysis.ByName(*explain)
+		if err != nil {
+			fatal(err)
+		}
+		text, err := analysis.Explain(a.Name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %s\n\n%s\n", a.Name, a.Doc, text)
 		return
 	}
 

@@ -1,0 +1,413 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the alloc-site fact layer behind the zeroalloc analyzer: a
+// per-function catalog of expressions that allocate (or that this analysis
+// must assume allocate), plus the //sync4:zeroalloc annotation registry the
+// runtime AllocsPerRun gate cross-checks.
+
+// zeroAllocDirective marks a function whose whole static call tree must be
+// allocation-free. It goes in the function's doc comment:
+//
+//	//sync4:zeroalloc
+//	func (b *barrier) Wait() { ... }
+const zeroAllocDirective = "//sync4:zeroalloc"
+
+// ZeroAllocFunc is one annotated function, exported so the dynamic
+// conformance gate (internal/allocgate) can enumerate the same annotations
+// the static analyzer enforces.
+type ZeroAllocFunc struct {
+	FullName string // types.Func FullName, e.g. "(*repro/internal/trace.Recorder).Record"
+	PkgPath  string
+	Pos      token.Position
+}
+
+// ZeroAllocFuncs scans the packages' declarations for //sync4:zeroalloc
+// annotations and returns them sorted by full name.
+func ZeroAllocFuncs(pkgs []*Package) []ZeroAllocFunc {
+	var out []ZeroAllocFunc
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasZeroAllocDirective(fd) {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				out = append(out, ZeroAllocFunc{
+					FullName: fn.FullName(),
+					PkgPath:  pkg.Path,
+					Pos:      pkg.Fset.Position(fd.Pos()),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName < out[j].FullName })
+	return out
+}
+
+func hasZeroAllocDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == zeroAllocDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// allocSite is one expression the analysis treats as a heap allocation.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+// allocPkgDeny lists standard-library packages whose every call is an
+// allocation on a hot path (formatting, error construction, reflection-based
+// encoding). Calls into them are flagged by package, not function.
+var allocPkgDeny = map[string]bool{
+	"fmt": true, "errors": true, "encoding/json": true, "log": true,
+	"regexp": true, "reflect": true,
+}
+
+// allocFuncDeny lists individual standard-library functions that allocate,
+// in packages that also export allocation-free calls.
+var allocFuncDeny = map[string]map[string]bool{
+	"sort": {"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"SliceIsSorted": true},
+	"strings": {"Join": true, "Repeat": true, "Replace": true, "ReplaceAll": true,
+		"Split": true, "SplitN": true, "SplitAfter": true, "Fields": true,
+		"ToUpper": true, "ToLower": true, "Title": true, "Map": true, "Clone": true},
+	"bytes": {"Join": true, "Repeat": true, "Replace": true, "ReplaceAll": true,
+		"Split": true, "SplitN": true, "Fields": true, "Clone": true},
+}
+
+// allocCallSite classifies a resolved static call outside the module:
+// allocating by policy, or assumed clean. strconv is special-cased so the
+// Append* family (writes into a caller-owned buffer) stays usable on
+// annotated paths while Itoa/Format*/Quote are flagged.
+func allocCallSite(callee *types.Func) (string, bool) {
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	path, name := pkg.Path(), callee.Name()
+	if allocPkgDeny[path] {
+		return fmt.Sprintf("call to %s.%s allocates", path, name), true
+	}
+	if deny, ok := allocFuncDeny[path]; ok && deny[name] {
+		return fmt.Sprintf("call to %s.%s allocates", path, name), true
+	}
+	if path == "strconv" && !strings.HasPrefix(name, "Append") {
+		return fmt.Sprintf("call to strconv.%s allocates (use strconv.Append%s into a reused buffer)", name, name), true
+	}
+	return "", false
+}
+
+// nodeAllocSites computes (memoized per graph) the direct allocation sites
+// of every function body. Sites inside nested literals belong to the
+// literal's own node; creating a *capturing* literal is itself a site in the
+// enclosing body.
+func nodeAllocSites(g *CallGraph, n *CGNode) []allocSite {
+	const memoKey = "alloc-sites"
+	cache, ok := g.memo[memoKey].(map[*CGNode][]allocSite)
+	if !ok {
+		cache = make(map[*CGNode][]allocSite)
+		g.memo[memoKey] = cache
+	}
+	if sites, ok := cache[n]; ok {
+		return sites
+	}
+	sites := scanAllocSites(n)
+	cache[n] = sites
+	return sites
+}
+
+// scanAllocSites walks one body and records every allocating expression.
+func scanAllocSites(n *CGNode) []allocSite {
+	info := n.Pkg.Info
+	var sites []allocSite
+	add := func(pos token.Pos, format string, args ...any) {
+		sites = append(sites, allocSite{pos: pos, what: fmt.Sprintf(format, args...)})
+	}
+
+	// First pass: find append calls whose result feeds back into the slice
+	// they extend — `x = append(x, ...)`, or the strconv.Append* idiom of
+	// `return append(buf, ...)` growing a buffer the caller owns. Amortized
+	// growth of a caller-owned buffer is the one allocation shape zero-alloc
+	// hot paths legitimately rely on (the AllocsPerRun gate's warm-up run
+	// absorbs it), so these are exempt; any other append target is a fresh
+	// slice.
+	selfAppend := make(map[*ast.CallExpr]bool)
+	markReturned := func(expr ast.Expr) {
+		call, ok := ast.Unparen(expr).(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+			return
+		}
+		if root, _ := rootObject(info, n.assigns(), call.Args[0], 0); root != nil {
+			selfAppend[call] = true
+		}
+	}
+	ast.Inspect(n.Body(), func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.AssignStmt:
+			if len(nd.Lhs) != len(nd.Rhs) {
+				return true
+			}
+			for i, rhs := range nd.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				lroot, _ := rootObject(info, n.assigns(), nd.Lhs[i], 0)
+				aroot, _ := rootObject(info, n.assigns(), call.Args[0], 0)
+				if lroot != nil && lroot == aroot {
+					selfAppend[call] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range nd.Results {
+				markReturned(res)
+			}
+		}
+		return true
+	})
+
+	var walk func(nd ast.Node) bool
+	walk = func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			if capturesLocals(n, nd) {
+				add(nd.Pos(), "closure captures local variables (allocates)")
+			}
+			return false
+		case *ast.GoStmt:
+			add(nd.Pos(), "go statement allocates a goroutine")
+		case *ast.UnaryExpr:
+			if nd.Op == token.AND {
+				if cl, ok := ast.Unparen(nd.X).(*ast.CompositeLit); ok {
+					add(cl.Pos(), "escaping composite literal &%s{...}", typeLabel(info, cl))
+					// The literal's element expressions still need a walk.
+					for _, el := range cl.Elts {
+						ast.Inspect(el, walk)
+					}
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[nd]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					add(nd.Pos(), "slice literal allocates")
+				case *types.Map:
+					add(nd.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if nd.Op == token.ADD {
+				if tv, ok := info.Types[nd]; ok && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						add(nd.Pos(), "non-constant string concatenation allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sites = append(sites, callAllocSites(n, info, nd, selfAppend)...)
+		}
+		return true
+	}
+	ast.Inspect(n.Body(), walk)
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	return sites
+}
+
+// callAllocSites classifies one call expression's allocation behavior.
+func callAllocSites(n *CGNode, info *types.Info, call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool) []allocSite {
+	var sites []allocSite
+	add := func(pos token.Pos, format string, args ...any) {
+		sites = append(sites, allocSite{pos: pos, what: fmt.Sprintf(format, args...)})
+	}
+
+	// Conversions: T(x) where T is a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		sites = append(sites, conversionAllocSites(info, call, tv.Type)...)
+		return sites
+	}
+
+	switch {
+	case isBuiltin(info, call, "make"):
+		add(call.Pos(), "make allocates")
+	case isBuiltin(info, call, "new"):
+		add(call.Pos(), "new allocates")
+	case isBuiltin(info, call, "append"):
+		if !selfAppend[call] {
+			add(call.Pos(), "append into a fresh slice allocates (grow the destination in place: x = append(x, ...))")
+		}
+	case isBuiltin(info, call, "panic"):
+		if len(call.Args) == 1 {
+			if s := ifaceConvSite(info, call.Args[0]); s != "" {
+				add(call.Pos(), "panic with non-constant value allocates (%s)", s)
+			}
+		}
+	default:
+		callee := staticCallee(info, call)
+		if callee == nil {
+			return sites // dynamic call: opaque to the static check
+		}
+		if what, bad := allocCallSite(callee); bad {
+			add(call.Pos(), "%s", what)
+			return sites
+		}
+		// Implicit interface conversions at the call boundary: a concrete
+		// non-pointer argument passed for an interface parameter boxes.
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return sites
+		}
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case i < params.Len():
+				pt = params.At(i).Type()
+			case sig.Variadic() && params.Len() > 0:
+				pt = params.At(params.Len() - 1).Type()
+				if sl, ok := pt.(*types.Slice); ok {
+					pt = sl.Elem()
+				}
+			default:
+				continue
+			}
+			if !types.IsInterface(pt) {
+				continue
+			}
+			if s := ifaceConvSite(info, arg); s != "" {
+				add(arg.Pos(), "passing %s boxes into interface parameter of %s", s, callee.Name())
+			}
+		}
+	}
+	return sites
+}
+
+// conversionAllocSites flags converting between strings and byte/rune
+// slices, and explicit boxing conversions to interface types.
+func conversionAllocSites(info *types.Info, call *ast.CallExpr, to types.Type) []allocSite {
+	arg := call.Args[0]
+	tvArg, ok := info.Types[arg]
+	if !ok {
+		return nil
+	}
+	var sites []allocSite
+	toU, fromU := to.Underlying(), tvArg.Type.Underlying()
+	toStr := isString(toU)
+	fromStr := isString(fromU)
+	_, toSlice := toU.(*types.Slice)
+	_, fromSlice := fromU.(*types.Slice)
+	switch {
+	case toStr && fromSlice, toSlice && fromStr:
+		if tvArg.Value == nil {
+			sites = append(sites, allocSite{call.Pos(), "string/slice conversion copies and allocates"})
+		}
+	case types.IsInterface(toU):
+		if s := ifaceConvSite(info, arg); s != "" {
+			sites = append(sites, allocSite{call.Pos(), "explicit conversion boxes " + s})
+		}
+	}
+	return sites
+}
+
+// ifaceConvSite describes the boxing cost of placing expr into an interface,
+// or "" when the conversion is free: constants are compiler-materialized
+// static data, pointers, interfaces, channels, maps and funcs box without
+// copying into a fresh heap cell.
+func ifaceConvSite(info *types.Info, expr ast.Expr) string {
+	tv, ok := info.Types[ast.Unparen(expr)]
+	if !ok {
+		return ""
+	}
+	if tv.Value != nil || tv.IsNil() {
+		return ""
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return ""
+	}
+	return fmt.Sprintf("non-constant %s value", types.TypeString(tv.Type, types.RelativeTo(nil)))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := info.Uses[id]
+	_, isB := obj.(*types.Builtin)
+	return isB
+}
+
+// capturesLocals reports whether lit references variables declared in an
+// enclosing function body — the captures that force the closure (and the
+// captured cells) onto the heap. Package-level state is not a capture.
+func capturesLocals(n *CGNode, lit *ast.FuncLit) bool {
+	info := n.Pkg.Info
+	found := false
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		id, ok := nd.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Declared outside the literal but inside some function: a capture.
+		if v.Pos() < lit.Pos() && !isPkgLevel(v) && v.Parent() != nil && v.Parent() != types.Universe {
+			if enclosingFuncScope(v) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isPkgLevel reports whether v is declared at package scope.
+func isPkgLevel(v *types.Var) bool {
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// enclosingFuncScope reports whether v lives in some function's scope chain
+// (i.e. it is a local or parameter, not package state).
+func enclosingFuncScope(v *types.Var) bool {
+	if v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() != v.Pkg().Scope()
+}
+
+// typeLabel renders a composite literal's type for a diagnostic.
+func typeLabel(info *types.Info, cl *ast.CompositeLit) string {
+	if tv, ok := info.Types[cl]; ok {
+		return types.TypeString(tv.Type, func(p *types.Package) string { return p.Name() })
+	}
+	return "T"
+}

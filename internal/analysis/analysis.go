@@ -119,6 +119,9 @@ func Analyzers() []*Analyzer {
 		GuardedBy,
 		BarrierOrder,
 		CASShape,
+		ZeroAlloc,
+		AtomicLayout,
+		PlainAtomicMix,
 		UnusedSuppression,
 	}
 }

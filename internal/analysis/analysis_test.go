@@ -154,6 +154,17 @@ func TestFixtures(t *testing.T) {
 		// exactly one justified suppression.
 		{"faulty/clean", "repro/internal/workloads/faultyfix", 0},
 		{"faulty/suppressed", "repro/internal/workloads/faultyfixsup", 1},
+		// Perf-pass fixtures: the suppressed zeroalloc fixture carries one
+		// justified waiver plus one stale waiver the meta-check must flag.
+		{"zeroalloc/bad", "repro/internal/analysis/zafixbad", 0},
+		{"zeroalloc/good", "repro/internal/analysis/zafixgood", 0},
+		{"zeroalloc/suppressed", "repro/internal/analysis/zafixsup", 1},
+		{"atomiclayout/bad", "repro/internal/analysis/alfixbad", 0},
+		{"atomiclayout/good", "repro/internal/analysis/alfixgood", 0},
+		{"atomiclayout/suppressed", "repro/internal/analysis/alfixsup", 1},
+		{"plainatomicmix/bad", "repro/internal/analysis/pmfixbad", 0},
+		{"plainatomicmix/good", "repro/internal/analysis/pmfixgood", 0},
+		{"plainatomicmix/suppressed", "repro/internal/analysis/pmfixsup", 1},
 	}
 	for _, tc := range cases {
 		tc := tc

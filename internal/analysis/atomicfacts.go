@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file collects the shared facts the atomic-layout and plain-atomic-mix
+// analyzers consume: which struct fields are accessed atomically (through
+// sync/atomic's typed values or its package-level functions), from which
+// functions, whether inside a spin/retry loop — and which functions can run
+// concurrently at all.
+
+// atomicAccess is one atomic operation on a struct field.
+type atomicAccess struct {
+	field *types.Var // the struct field holding the atomic word
+	node  *CGNode    // function containing the access
+	pos   token.Pos
+	write bool     // Store/Add/Swap/CAS/Or/And (vs pure Load)
+	raw   bool     // atomic.AddInt64(&x.f, ...) on a plain integer field
+	wide  bool     // 64-bit operand (alignment-sensitive on 32-bit targets)
+	loop  ast.Node // innermost enclosing for/range statement, nil outside loops
+	span  span     // extent of the whole call expression (for raw-access exclusion)
+}
+
+// atomicWriteMethods are the sync/atomic value methods (and function-name
+// prefixes) that publish, as opposed to Load's pure read.
+var atomicWriteMethods = map[string]bool{
+	"Store": true, "Add": true, "Swap": true, "CompareAndSwap": true,
+	"Or": true, "And": true,
+}
+
+// isAtomicValueType reports whether t is one of sync/atomic's typed values.
+func isAtomicValueType(t types.Type) (wide bool, ok bool) {
+	named, okNamed := t.(*types.Named)
+	if !okNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Int64", "Uint64":
+		return true, true
+	case "Int32", "Uint32", "Bool", "Uintptr", "Pointer", "Value":
+		return false, true
+	}
+	return false, false
+}
+
+// collectAtomicAccesses scans every function body in the graph once and
+// returns the atomic accesses grouped by field. Memoized on the graph.
+func collectAtomicAccesses(g *CallGraph) map[*types.Var][]atomicAccess {
+	const memoKey = "atomic-accesses"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.(map[*types.Var][]atomicAccess)
+	}
+	out := make(map[*types.Var][]atomicAccess)
+	forEachNode(g, func(n *CGNode) {
+		collectNodeAccesses(n, out)
+	})
+	g.memo[memoKey] = out
+	return out
+}
+
+// forEachNode visits every declared function and literal node of the graph
+// in deterministic source order.
+func forEachNode(g *CallGraph, fn func(*CGNode)) {
+	nodes := make([]*CGNode, 0, len(g.Nodes)+len(g.Lits))
+	for _, n := range g.Nodes {
+		nodes = append(nodes, n)
+	}
+	for _, n := range g.Lits {
+		nodes = append(nodes, n)
+	}
+	sortNodes(nodes)
+	for _, n := range nodes {
+		fn(n)
+	}
+}
+
+func sortNodes(nodes []*CGNode) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j].Body().Pos() < nodes[j-1].Body().Pos(); j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}
+
+// collectNodeAccesses walks one body tracking the innermost enclosing loop,
+// recording typed-value method calls and raw atomic.* function calls that
+// root at struct fields. Nested literals are skipped — they are nodes of
+// their own.
+func collectNodeAccesses(n *CGNode, out map[*types.Var][]atomicAccess) {
+	info := n.Pkg.Info
+	var walk func(ast.Node, ast.Node) bool
+	walk = func(nd ast.Node, loop ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			ast.Inspect(nd.Body, func(m ast.Node) bool { return walk(m, nd) })
+			walkParts(nd.Init, nd.Cond, nd.Post, loop, nd, walk)
+			return false
+		case *ast.RangeStmt:
+			ast.Inspect(nd.Body, func(m ast.Node) bool { return walk(m, nd) })
+			if nd.X != nil {
+				ast.Inspect(nd.X, func(m ast.Node) bool { return walk(m, loop) })
+			}
+			return false
+		case *ast.CallExpr:
+			if acc, ok := classifyAtomicCall(n, info, nd); ok {
+				acc.loop = loop
+				out[acc.field] = append(out[acc.field], acc)
+			}
+		}
+		return true
+	}
+	ast.Inspect(n.Body(), func(m ast.Node) bool { return walk(m, nil) })
+}
+
+// walkParts walks a for statement's header clauses. The condition re-runs
+// every iteration, so it counts as loop-resident; init and post are close
+// enough to the loop to treat the same way.
+func walkParts(init ast.Stmt, cond ast.Expr, post ast.Stmt, outer, self ast.Node,
+	walk func(ast.Node, ast.Node) bool) {
+	if init != nil {
+		ast.Inspect(init, func(m ast.Node) bool { return walk(m, outer) })
+	}
+	if cond != nil {
+		ast.Inspect(cond, func(m ast.Node) bool { return walk(m, self) })
+	}
+	if post != nil {
+		ast.Inspect(post, func(m ast.Node) bool { return walk(m, self) })
+	}
+}
+
+// classifyAtomicCall recognizes the two atomic access shapes:
+//
+//	x.f.Load()                     typed sync/atomic value method
+//	atomic.AddInt64(&x.f, 1)       package function on a raw integer field
+func classifyAtomicCall(n *CGNode, info *types.Info, call *ast.CallExpr) (atomicAccess, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return atomicAccess{}, false
+	}
+	// Typed value method: receiver expression's type is a sync/atomic type.
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		wide, isAtomic := isAtomicValueType(s.Recv())
+		if ptr, okPtr := s.Recv().(*types.Pointer); !isAtomic && okPtr {
+			wide, isAtomic = isAtomicValueType(ptr.Elem())
+		}
+		if isAtomic {
+			field := fieldOf(n, info, sel.X)
+			if field == nil {
+				return atomicAccess{}, false
+			}
+			return atomicAccess{
+				field: field, node: n, pos: sel.Sel.Pos(),
+				write: atomicWriteMethods[sel.Sel.Name],
+				wide:  wide,
+				span:  span{call.Pos(), call.End()},
+			}, true
+		}
+	}
+	// Package function: atomic.LoadInt64(&x.f) and friends.
+	callee := staticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+		return atomicAccess{}, false
+	}
+	if len(call.Args) == 0 {
+		return atomicAccess{}, false
+	}
+	un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return atomicAccess{}, false
+	}
+	field := fieldOf(n, info, un.X)
+	if field == nil {
+		return atomicAccess{}, false
+	}
+	name := callee.Name()
+	write := false
+	for prefix := range atomicWriteMethods {
+		if strings.HasPrefix(name, prefix) {
+			write = true
+			break
+		}
+	}
+	return atomicAccess{
+		field: field, node: n, pos: call.Pos(),
+		write: write, raw: true,
+		wide: strings.HasSuffix(name, "64"),
+		span: span{call.Pos(), call.End()},
+	}, true
+}
+
+// fieldOf resolves expr to the struct field it denotes, or nil.
+func fieldOf(n *CGNode, info *types.Info, expr ast.Expr) *types.Var {
+	if sel, ok := ast.Unparen(expr).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+	}
+	root, _ := rootObject(info, n.assigns(), expr, 0)
+	if v, ok := root.(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// concurrentNodes computes (memoized) the set of functions that can execute
+// on more than one goroutine at once, as far as the graph can see:
+//
+//   - non-exempt members of the core.Parallel fixpoint,
+//   - bodies spawned with go statements,
+//   - everything declared in the sync4 kits and the trace recorder — being
+//     callable concurrently is those packages' contract,
+//
+// closed transitively over static call edges and nested literals.
+func concurrentNodes(g *CallGraph) map[*CGNode]bool {
+	const memoKey = "concurrent-nodes"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.(map[*CGNode]bool)
+	}
+	conc := make(map[*CGNode]bool)
+	var seed func(n *CGNode)
+	seed = func(n *CGNode) {
+		if n == nil || conc[n] {
+			return
+		}
+		conc[n] = true
+		for _, cs := range n.Calls {
+			if callee := g.NodeOf(cs.Callee); callee != nil {
+				seed(callee)
+			}
+		}
+		for _, lit := range n.Lits {
+			seed(lit)
+		}
+	}
+	pc := parallelContext(g)
+	for node, pi := range pc.info {
+		if !pi.exempt {
+			seed(node)
+		}
+	}
+	forEachNode(g, func(n *CGNode) {
+		if concByContract(n) {
+			seed(n)
+		}
+		for _, cs := range n.Calls {
+			if !cs.Go {
+				continue
+			}
+			if callee := g.NodeOf(cs.Callee); callee != nil {
+				seed(callee)
+			}
+			if lit, ok := ast.Unparen(cs.Call.Fun).(*ast.FuncLit); ok {
+				seed(g.Lits[lit])
+			}
+		}
+	})
+	g.memo[memoKey] = conc
+	return conc
+}
+
+// concByContract reports whether n belongs to a package whose API contract
+// is concurrent use: the sync4 kits and the trace recorder.
+func concByContract(n *CGNode) bool {
+	path := n.Pkg.Path
+	return strings.Contains(path, "internal/sync4") || strings.Contains(path, "internal/trace")
+}

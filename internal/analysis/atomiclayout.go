@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicLayout checks struct layouts against the memory-system hazards that
+// dominate atomic-operation cost (Schweizer et al.): it flags
+//
+//  1. raw 64-bit fields used with sync/atomic package functions that are not
+//     guaranteed 8-byte aligned on 32-bit targets (only the first word of an
+//     allocated struct is; sync/atomic's typed values are always safe thanks
+//     to the compiler's align64 rule),
+//  2. pairs of independently contended atomic fields that share a 64-byte
+//     cache line without an intervening pad — each CAS/store on one field
+//     steals the line from spinners on the other ("false sharing"),
+//  3. per-goroutine structs that declare pad fields (so isolation is clearly
+//     intended) but whose total size is not a multiple of 64, so consecutive
+//     slice elements still straddle lines.
+//
+// Layouts come from the analysis's own gc-faithful calculator
+// (layoutfacts.go); contention facts come from the core.Parallel fixpoint
+// and the concurrency-contract packages (atomicfacts.go). "Independently
+// contended" is judged at loop granularity: a spin loop that touches field A
+// but not field B, while B is written elsewhere in concurrent code, means A's
+// spinners pay for B's writes unless a pad separates them.
+var AtomicLayout = &Analyzer{
+	Name: "atomic-layout",
+	Doc: "flag unaligned 64-bit atomics and independently-contended atomic " +
+		"fields sharing a cache line without padding",
+	Run: runAtomicLayout,
+}
+
+func runAtomicLayout(pass *Pass) {
+	for _, d := range atomicLayoutModule(pass.Graph) {
+		if pass.Owns(d.pos) {
+			pass.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+}
+
+func atomicLayoutModule(g *CallGraph) []posMsg {
+	const memoKey = "atomiclayout-findings"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.([]posMsg)
+	}
+	accesses := collectAtomicAccesses(g)
+	conc := concurrentNodes(g)
+
+	var out []posMsg
+	out = append(out, align64Hazards(accesses)...)
+	out = append(out, falseSharePairs(g, accesses, conc)...)
+	out = append(out, padStrideHazards(g)...)
+
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	g.memo[memoKey] = out
+	return out
+}
+
+// align64Hazards flags raw 64-bit fields passed to sync/atomic functions
+// whose offset under the 386 layout model is nonzero. The Go memory model's
+// documented exception — the first word of an allocated struct is 64-bit
+// aligned — covers offset 0 only; everything else needs either a typed
+// atomic (compiler-aligned everywhere) or a leading position.
+func align64Hazards(accesses map[*types.Var][]atomicAccess) []posMsg {
+	var out []posMsg
+	for field, accs := range accesses {
+		raw64 := false
+		var first atomicAccess
+		for _, a := range accs {
+			if a.raw && a.wide {
+				if !raw64 || a.pos < first.pos {
+					first = a
+				}
+				raw64 = true
+			}
+		}
+		if !raw64 {
+			continue
+		}
+		st, ok := owningStruct(field)
+		if !ok {
+			continue
+		}
+		lay, idx, ok := arch386.fieldHome(st, field)
+		if !ok || lay.fields[idx].offset == 0 {
+			continue
+		}
+		out = append(out, posMsg{pos: first.pos, msg: fmt.Sprintf(
+			"64-bit atomic on field %s at offset %d (GOARCH=386): only the first "+
+				"word of an allocated struct is guaranteed 8-byte aligned; use "+
+				"atomic.Int64/atomic.Uint64 or move the field to offset 0",
+			field.Name(), lay.fields[idx].offset)})
+	}
+	return out
+}
+
+// falseSharePairs flags unpadded same-line pairs of atomic fields where one
+// field is spun on (accessed in a loop that does not touch the other) while
+// the other is written, both from concurrent code.
+func falseSharePairs(g *CallGraph, accesses map[*types.Var][]atomicAccess, conc map[*CGNode]bool) []posMsg {
+	// Group atomically accessed fields by their owning struct.
+	byStruct := make(map[*types.Struct][]*types.Var)
+	for field, accs := range accesses {
+		if !anyConcurrent(accs, conc) {
+			continue
+		}
+		st, ok := owningStruct(field)
+		if !ok {
+			continue
+		}
+		byStruct[st] = append(byStruct[st], field)
+	}
+
+	var out []posMsg
+	for st, fields := range byStruct {
+		if len(fields) < 2 {
+			continue
+		}
+		sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+		lay := arch64.structLayout(st)
+		// Collect the fields involved in at least one hazardous pair, grouped
+		// by cache line, so one struct yields one finding per line instead of
+		// a quadratic pair listing.
+		involved := make(map[int64]map[int]bool) // cache line -> field indexes
+		for i := 0; i < len(fields); i++ {
+			for j := i + 1; j < len(fields); j++ {
+				f1, f2 := fields[i], fields[j]
+				_, i1, ok1 := arch64.fieldHome(st, f1)
+				_, i2, ok2 := arch64.fieldHome(st, f2)
+				if !ok1 || !ok2 {
+					continue
+				}
+				ln := line(lay.fields[i1].offset)
+				if ln != line(lay.fields[i2].offset) {
+					continue
+				}
+				if padBetween(lay, i1, i2) {
+					continue
+				}
+				if !independentlyContended(accesses, conc, f1, f2) {
+					continue
+				}
+				if involved[ln] == nil {
+					involved[ln] = make(map[int]bool)
+				}
+				involved[ln][i1] = true
+				involved[ln][i2] = true
+			}
+		}
+		for _, idxSet := range involved {
+			idxs := make([]int, 0, len(idxSet))
+			for i := range idxSet {
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+			names, offsets := "", ""
+			var at token.Pos
+			for k, i := range idxs {
+				if k > 0 {
+					names += ", "
+					offsets += ", "
+				}
+				names += lay.fields[i].field.Name()
+				offsets += fmt.Sprintf("%d", lay.fields[i].offset)
+				if p := lay.fields[i].field.Pos(); p > at {
+					at = p
+				}
+			}
+			out = append(out, posMsg{pos: at, msg: fmt.Sprintf(
+				"atomic fields %s share a cache line (offsets %s) and are "+
+					"contended independently; insert cache-line padding "+
+					"(_ [N]byte) between them", names, offsets)})
+		}
+	}
+	return out
+}
+
+// anyConcurrent reports whether any access happens in a concurrent node.
+func anyConcurrent(accs []atomicAccess, conc map[*CGNode]bool) bool {
+	for _, a := range accs {
+		if conc[a.node] {
+			return true
+		}
+	}
+	return false
+}
+
+// padBetween reports whether an explicit pad field separates fields i1 and
+// i2 in declaration order — the idiom that declares isolation intent (even
+// when the pad is, say, off by a line; sizing is the pad-stride rule's job).
+func padBetween(lay structLayoutInfo, i1, i2 int) bool {
+	lo, hi := i1, i2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for k := lo + 1; k < hi; k++ {
+		if isPadField(lay.fields[k].field) {
+			return true
+		}
+	}
+	return false
+}
+
+// independentlyContended reports whether some concurrent loop accesses
+// exactly one of the two fields while the other is written from concurrent
+// code — the access pattern where line stealing costs a spinner its cache
+// line. A loop that touches both fields (a CAS retry loop over the pair) is
+// intrinsic contention; padding cannot help it.
+func independentlyContended(accesses map[*types.Var][]atomicAccess, conc map[*CGNode]bool, f1, f2 *types.Var) bool {
+	return loopOnOneWriteOther(accesses, conc, f1, f2) ||
+		loopOnOneWriteOther(accesses, conc, f2, f1)
+}
+
+func loopOnOneWriteOther(accesses map[*types.Var][]atomicAccess, conc map[*CGNode]bool, spun, written *types.Var) bool {
+	hasWrite := false
+	for _, a := range accesses[written] {
+		if a.write && conc[a.node] {
+			hasWrite = true
+			break
+		}
+	}
+	if !hasWrite {
+		return false
+	}
+	for _, a := range accesses[spun] {
+		if a.loop == nil || !conc[a.node] {
+			continue
+		}
+		if !loopTouches(accesses[written], a.loop) {
+			return true
+		}
+	}
+	return false
+}
+
+// loopTouches reports whether any access in accs lies inside loop's extent.
+func loopTouches(accs []atomicAccess, loop ast.Node) bool {
+	for _, a := range accs {
+		if a.pos >= loop.Pos() && a.pos < loop.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// padStrideHazards flags structs that declare pad fields and are used as
+// slice or array elements, but whose amd64 size is not a multiple of the
+// cache line — so the declared isolation breaks for every element after the
+// first.
+func padStrideHazards(g *CallGraph) []posMsg {
+	elemTypes := sliceElemStructs(g)
+	var out []posMsg
+	for _, pkg := range g.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok || !elemTypes[named.Obj()] {
+				continue
+			}
+			hasPad := false
+			for i := 0; i < st.NumFields(); i++ {
+				if isPadField(st.Field(i)) {
+					hasPad = true
+					break
+				}
+			}
+			if !hasPad {
+				continue
+			}
+			size := arch64.sizeof(st)
+			if size%cacheLineSize == 0 {
+				continue
+			}
+			out = append(out, posMsg{pos: tn.Pos(), msg: fmt.Sprintf(
+				"struct %s declares cache-line padding but is %d bytes as a "+
+					"slice element (not a multiple of %d); resize the pad so "+
+					"elements do not straddle lines",
+				tn.Name(), size, cacheLineSize)})
+		}
+	}
+	return out
+}
+
+// sliceElemStructs collects named struct types used as slice or array
+// element types anywhere in the module's type-checked expressions.
+func sliceElemStructs(g *CallGraph) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	note := func(t types.Type) {
+		var elem types.Type
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			elem = u.Elem()
+		case *types.Array:
+			elem = u.Elem()
+		default:
+			return
+		}
+		if named, ok := elem.(*types.Named); ok {
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				out[named.Obj()] = true
+			}
+		}
+	}
+	for _, pkg := range g.Pkgs {
+		for _, tv := range pkg.Info.Types {
+			note(tv.Type)
+		}
+		// Struct fields of slice type don't always appear as expression
+		// types; scan declared struct shapes too.
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			if st, ok := tn.Type().Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					note(st.Field(i).Type())
+				}
+			}
+		}
+	}
+	return out
+}
+
+// owningStruct finds the declared struct type containing field f, by
+// scanning the field's package scope. ok=false for fields of unnamed struct
+// types declared inline (rare in this codebase, and un-addressable for a
+// layout diagnostic anyway).
+func owningStruct(f *types.Var) (*types.Struct, bool) {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return nil, false
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == f {
+				return st, true
+			}
+		}
+	}
+	return nil, false
+}

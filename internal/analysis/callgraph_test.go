@@ -114,12 +114,3 @@ func TestCallGraphSoundOnModule(t *testing.T) {
 			len(pc.info), resolvedEntries)
 	}
 }
-
-func forEachNode(g *CallGraph, fn func(*CGNode)) {
-	for _, n := range g.Nodes {
-		fn(n)
-	}
-	for _, n := range g.Lits {
-		fn(n)
-	}
-}

@@ -1,0 +1,112 @@
+package analysis
+
+import "fmt"
+
+// explanations holds the long-form rule documentation behind each analyzer:
+// what the rule detects, why it matters for the Splash-4 methodology, and
+// how to fix or waive a finding. Rendered by `splash4-vet -explain <rule>`
+// and embedded as each SARIF rule's fullDescription so code-scanning UIs
+// show the rationale inline.
+var explanations = map[string]string{
+	"kit-bypass": `Workload packages must obtain every synchronization construct from the
+sync4.Kit in core.Config. The experiment's entire design is running one
+algorithm against interchangeable kits (classic Splash-3 semantics vs.
+lockfree Splash-4 semantics); a raw sync.Mutex or bare sync/atomic call
+executes identically under both kits and silently corrupts the comparison.
+Fix: route the primitive through the kit (NewLock, NewCounter, NewFlag,
+a barrier) or hoist one-time setup into Prepare, which is single-threaded.`,
+
+	"construct-copy": `A by-value copy of a type holding atomic state (sync/atomic typed values,
+sync locks) creates a new, unrelated memory cell: goroutines holding the
+copy update a value nobody else reads. Splash-2 shipped bugs of exactly
+this species for twenty years. Fix: share the construct by pointer —
+pointer receivers, pointer struct fields, pointer-typed channel elements.`,
+
+	"barrier-mismatch": `A barrier created for n participants deadlocks (or releases early) when
+the function actually spawns a different fan-out. The analyzer compares
+NewBarrier(n) argument dataflow against the same function's core.Parallel
+and go-statement fan-out. Fix: derive both counts from one variable.`,
+
+	"naked-spin": `A busy-wait loop whose condition reads plain (non-atomic) memory that the
+loop body never updates has no happens-before edge with the writer: the
+compiler may hoist the load and spin forever, and the hardware may never
+invalidate the cached value. Fix: spin on a Kit flag or an atomic load,
+and yield (runtime.Gosched) in the body.`,
+
+	"errcheck-lite": `Dropped error returns from harness, report, and results APIs turn
+measurement failures into silently-wrong published numbers. Fix: check the
+error, or assign to _ with a comment when discarding is genuinely safe.`,
+
+	"guarded-by": `Eraser-style lockset inference: a field consistently written under one
+kit lock acquires that lock as its guard; a write that reaches the field
+on a core.Parallel path without the guard is a race. Fix: take the guard
+lock around the access, make the access single-thread gated (tid == 0), or
+move it out of the parallel phase.`,
+
+	"barrier-order": `Goroutines of one core.Parallel group that pass barriers in different
+orders (or different counts per iteration) deadlock: a barrier releases
+only when all participants arrive. The analyzer builds each worker's
+barrier-phase graph and reports sequences that can diverge across
+branches. Fix: make every branch of the worker body cross the same
+barriers in the same order.`,
+
+	"cas-shape": `CompareAndSwap retry loops have one correct shape: reload the expected
+value inside the loop, keep side effects off the retry path, and avoid
+reusing freed pointers (ABA). A stale expected value turns the loop into
+livelock under contention; a side effect on the retry path executes once
+per failed attempt. Fix: move the load inside the loop and make the loop
+body pure up to the CAS.`,
+
+	"zeroalloc": `Functions annotated //sync4:zeroalloc promise an allocation-free static
+call tree: they run in timed regions where one heap allocation perturbs
+both latency and the GC, polluting measurements. The analyzer walks every
+static callee and flags make/new/append-to-fresh-slice, escaping composite
+literals, capturing closures, go statements, interface boxing, string
+building, and calls into allocating stdlib (fmt, errors, strconv.Itoa...).
+Amortized growth of a caller-owned buffer (x = append(x, ...) and the
+strconv.Append* return idiom) is exempt — the AllocsPerRun gate's warm-up
+run absorbs it. Each annotation is also enforced dynamically: the
+internal/allocgate test drives testing.AllocsPerRun over every annotated
+function and fails on a nonzero count, so the static claim and the runtime
+behavior cannot drift apart. Fix: preallocate in Prepare, reuse buffers,
+use typed atomics, or drop the annotation if the path genuinely must
+allocate.`,
+
+	"atomic-layout": `Struct layout is part of atomic-operation cost. Three hazards: (1) a raw
+64-bit field used with sync/atomic at nonzero offset is not guaranteed
+8-byte aligned on 32-bit targets — only the first word of an allocated
+struct is; atomic.Int64/Uint64 are compiler-aligned everywhere. (2) two
+atomic fields contended independently (one spun on in a loop that never
+touches the other, the other written concurrently) on one 64-byte cache
+line false-share: every write steals the spinners' line. Insert cache-line
+padding (_ [N]byte) between them. (3) a struct that declares pad fields
+but whose size is not a multiple of 64 loses the declared isolation the
+moment it becomes a slice element — neighbors straddle lines. Resize the
+pad so sizeof(T) % 64 == 0. Layouts come from a gc-faithful calculator
+checked against unsafe.Offsetof in the test suite.`,
+
+	"plain-atomic-mix": `A field accessed with sync/atomic in one place and plain loads/stores in
+another is not "mostly safe": each plain access races every atomic one,
+and the compiler may tear, cache, or reorder it. Exempt: accesses before
+the field is shared (constructors, the spawner before core.Parallel),
+single-thread gated spans (tid == 0), and lock-held accesses (guarded-by's
+jurisdiction). Fix: use atomic access everywhere, or migrate the field to
+a typed atomic so plain access becomes a compile error.`,
+
+	"unused-suppression": `A //lint:ignore sync4vet-<rule> directive that silences nothing is stale:
+the code it excused has been fixed or moved, and the waiver now only hides
+future regressions. Delete it, or — during a migration — waive the
+meta-check itself by also naming sync4vet-unused-suppression.`,
+}
+
+// Explain returns the long-form documentation for the named analyzer.
+func Explain(name string) (string, error) {
+	if _, err := ByName(name); err != nil {
+		return "", err
+	}
+	text, ok := explanations[name]
+	if !ok {
+		return "", fmt.Errorf("analyzer %q has no explanation registered", name)
+	}
+	return text, nil
+}

@@ -1,0 +1,22 @@
+package analysis
+
+import "testing"
+
+// TestExplainCoversAllAnalyzers pins the contract behind `splash4-vet
+// -explain` and the SARIF fullDescription: registering an analyzer without
+// long-form rule documentation is an error.
+func TestExplainCoversAllAnalyzers(t *testing.T) {
+	for _, a := range Analyzers() {
+		text, err := Explain(a.Name)
+		if err != nil {
+			t.Errorf("Explain(%q): %v", a.Name, err)
+			continue
+		}
+		if len(text) < 100 {
+			t.Errorf("Explain(%q) is %d bytes; long-form documentation expected", a.Name, len(text))
+		}
+	}
+	if _, err := Explain("no-such-rule"); err == nil {
+		t.Error("Explain accepted an unknown rule name")
+	}
+}

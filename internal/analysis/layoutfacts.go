@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// This file is the field-layout fact layer behind the atomic-layout
+// analyzer: a small, self-contained struct layout calculator that mirrors
+// the gc compiler's algorithm for the two shapes of target this suite cares
+// about — 64-bit targets (the measurement platforms) and GOARCH=386 (the
+// strictest mainstream target for 64-bit atomic alignment).
+//
+// It deliberately does not delegate struct layout to go/types.Sizes: the gc
+// compiler guarantees 8-byte alignment for sync/atomic's align64-marked
+// types (atomic.Int64, atomic.Uint64) even on 32-bit targets, a special
+// case types.SizesFor("gc", "386") does not model. Encoding the rule here
+// lets the analyzer distinguish "atomic.Int64 anywhere in a struct" (always
+// safe) from "raw int64 handed to atomic.AddInt64" (safe only at offset 0).
+
+// layoutArch parameterizes layout by target: word size drives pointer-sized
+// types, maxAlign caps the alignment of the widest basic types (8 on 64-bit
+// targets, 4 on 386, where int64 is only word-aligned).
+type layoutArch struct {
+	name     string
+	wordSize int64
+	maxAlign int64
+}
+
+var (
+	arch64  = layoutArch{name: "amd64", wordSize: 8, maxAlign: 8}
+	arch386 = layoutArch{name: "386", wordSize: 4, maxAlign: 4}
+)
+
+// cacheLineSize is the coherence granularity the false-sharing rules assume:
+// 64 bytes on every x86 and most arm64 server parts.
+const cacheLineSize = 64
+
+// isAlign64 reports whether t is sync/atomic's align64 marker (or the
+// runtime-internal twin): the zero-size field the compiler recognizes by
+// name and rewards with guaranteed 8-byte alignment on every target.
+func isAlign64(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "align64" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "sync/atomic" || strings.HasSuffix(path, "internal/atomic")
+}
+
+// alignof returns the alignment of t under arch, in bytes.
+func (a layoutArch) alignof(t types.Type) int64 {
+	if isAlign64(t) {
+		return 8
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		s := a.basicSize(u)
+		if s > a.maxAlign {
+			return a.maxAlign
+		}
+		if s < 1 {
+			return 1
+		}
+		return s
+	case *types.Struct:
+		align := int64(1)
+		for i := 0; i < u.NumFields(); i++ {
+			if fa := a.alignof(u.Field(i).Type()); fa > align {
+				align = fa
+			}
+		}
+		return align
+	case *types.Array:
+		return a.alignof(u.Elem())
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan,
+		*types.Signature, *types.Interface:
+		return a.wordSize
+	}
+	return a.wordSize
+}
+
+// sizeof returns the size of t under arch, in bytes.
+func (a layoutArch) sizeof(t types.Type) int64 {
+	if isAlign64(t) {
+		return 0
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return a.basicSize(u)
+	case *types.Struct:
+		return a.structLayout(u).size
+	case *types.Array:
+		// Struct and basic sizes are already multiples of their alignment,
+		// so elements tile without extra padding.
+		return u.Len() * a.sizeof(u.Elem())
+	case *types.Slice:
+		return 3 * a.wordSize
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return a.wordSize
+	case *types.Interface:
+		return 2 * a.wordSize
+	}
+	return a.wordSize
+}
+
+// basicSize returns the size of a basic type under arch.
+func (a layoutArch) basicSize(b *types.Basic) int64 {
+	switch b.Kind() {
+	case types.Bool, types.Int8, types.Uint8:
+		return 1
+	case types.Int16, types.Uint16:
+		return 2
+	case types.Int32, types.Uint32, types.Float32:
+		return 4
+	case types.Int64, types.Uint64, types.Float64, types.Complex64:
+		return 8
+	case types.Complex128:
+		return 16
+	case types.String:
+		return 2 * a.wordSize
+	case types.UnsafePointer, types.Int, types.Uint, types.Uintptr:
+		return a.wordSize
+	}
+	return a.wordSize
+}
+
+// fieldLayout is one field's placement inside its struct.
+type fieldLayout struct {
+	field  *types.Var
+	offset int64
+	size   int64
+	align  int64
+}
+
+// structLayoutInfo is the computed layout of one struct type.
+type structLayoutInfo struct {
+	size   int64
+	align  int64
+	fields []fieldLayout
+}
+
+// line returns the cache line index a byte offset falls in.
+func line(off int64) int64 { return off / cacheLineSize }
+
+// structLayout lays out st the way the gc compiler does: fields in
+// declaration order, each rounded up to its alignment, the total rounded up
+// to the struct's alignment, with the trailing zero-size-field rule (a
+// struct may not end exactly at a zero-size field, or a pointer to that
+// field would point past the allocation).
+func (a layoutArch) structLayout(st *types.Struct) structLayoutInfo {
+	out := structLayoutInfo{align: 1}
+	var off int64
+	lastZero := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		fa := a.alignof(f.Type())
+		fs := a.sizeof(f.Type())
+		if fa > out.align {
+			out.align = fa
+		}
+		off = roundUp(off, fa)
+		out.fields = append(out.fields, fieldLayout{field: f, offset: off, size: fs, align: fa})
+		off += fs
+		lastZero = fs == 0
+	}
+	if lastZero && off > 0 {
+		off++
+	}
+	out.size = roundUp(off, out.align)
+	return out
+}
+
+func roundUp(n, align int64) int64 {
+	if align <= 1 {
+		return n
+	}
+	return (n + align - 1) / align * align
+}
+
+// fieldHome locates the struct field f inside its declared struct layout,
+// returning the layout and the index of f, or ok=false when f is not a
+// field of st.
+func (a layoutArch) fieldHome(st *types.Struct, f *types.Var) (structLayoutInfo, int, bool) {
+	lay := a.structLayout(st)
+	for i, fl := range lay.fields {
+		if fl.field == f {
+			return lay, i, true
+		}
+	}
+	return lay, 0, false
+}
+
+// isPadField reports whether f is a blank padding field (the `_ [N]byte`
+// idiom that declares cache-line isolation intent).
+func isPadField(f *types.Var) bool {
+	if f.Name() != "_" {
+		return false
+	}
+	arr, ok := f.Type().Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	b, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int8)
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"repro/internal/analysis/layoutshapes"
+)
+
+// shapeTypes pairs every declared shape with its compiled runtime type.
+var shapeTypes = map[string]reflect.Type{
+	"Inner":        reflect.TypeOf(layoutshapes.Inner{}),
+	"Embedded":     reflect.TypeOf(layoutshapes.Embedded{}),
+	"WithArray":    reflect.TypeOf(layoutshapes.WithArray{}),
+	"Padded":       reflect.TypeOf(layoutshapes.Padded{}),
+	"Small386":     reflect.TypeOf(layoutshapes.Small386{}),
+	"Mixed":        reflect.TypeOf(layoutshapes.Mixed{}),
+	"TrailingZero": reflect.TypeOf(layoutshapes.TrailingZero{}),
+}
+
+func loadShapeStructs(t *testing.T) map[string]*types.Struct {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir("layoutshapes", "repro/internal/analysis/layoutshapes")
+	if err != nil {
+		t.Fatalf("load layoutshapes: %v", err)
+	}
+	out := make(map[string]*types.Struct)
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if st, ok := tn.Type().Underlying().(*types.Struct); ok {
+			out[name] = st
+		}
+	}
+	return out
+}
+
+// TestLayoutMatchesRuntime is the property test behind the atomic-layout
+// calculator: for every declared shape, the amd64 model's field offsets,
+// total size, and alignment must equal what the compiler actually did —
+// observed through reflect, which reads the same data unsafe.Offsetof sees.
+func TestLayoutMatchesRuntime(t *testing.T) {
+	if unsafe.Sizeof(uintptr(0)) != 8 || unsafe.Alignof(uint64(0)) != 8 {
+		t.Skipf("host is not an 8-byte-word/8-byte-align target; the amd64 model cannot be compared against it")
+	}
+	structs := loadShapeStructs(t)
+	if len(structs) != len(shapeTypes) {
+		t.Fatalf("loaded %d shape structs, want %d", len(structs), len(shapeTypes))
+	}
+	for name, st := range structs {
+		rt, ok := shapeTypes[name]
+		if !ok {
+			t.Errorf("shape %s has no runtime twin registered", name)
+			continue
+		}
+		lay := arch64.structLayout(st)
+		if len(lay.fields) != rt.NumField() {
+			t.Errorf("%s: model has %d fields, runtime has %d", name, len(lay.fields), rt.NumField())
+			continue
+		}
+		for i, f := range lay.fields {
+			rf := rt.Field(i)
+			if f.field.Name() != rf.Name {
+				t.Errorf("%s field %d: model %s vs runtime %s", name, i, f.field.Name(), rf.Name)
+			}
+			if f.offset != int64(rf.Offset) {
+				t.Errorf("%s.%s: model offset %d, unsafe.Offsetof %d", name, rf.Name, f.offset, rf.Offset)
+			}
+		}
+		if got, want := arch64.sizeof(st), int64(rt.Size()); got != want {
+			t.Errorf("%s: model size %d, unsafe.Sizeof %d", name, got, want)
+		}
+		if got, want := arch64.alignof(st), int64(rt.Align()); got != want {
+			t.Errorf("%s: model align %d, unsafe.Alignof %d", name, got, want)
+		}
+	}
+}
+
+// TestLayout386Model pins the GOARCH=386 rules the host cannot execute:
+// int64 is only word-aligned (the hazard the align64 rule exists for),
+// while sync/atomic's typed values stay 8-byte aligned everywhere.
+func TestLayout386Model(t *testing.T) {
+	structs := loadShapeStructs(t)
+
+	small := structs["Small386"]
+	lay := arch386.structLayout(small)
+	if got := lay.fields[1].offset; got != 4 {
+		t.Errorf("Small386.B at 386 offset %d, want 4 (int64 aligns to the 4-byte word)", got)
+	}
+	if got := arch386.sizeof(small); got != 12 {
+		t.Errorf("Small386 386 size %d, want 12", got)
+	}
+
+	padded := structs["Padded"]
+	hot := padded.Field(0).Type()
+	if got := arch386.alignof(hot); got != 8 {
+		t.Errorf("atomic.Int64 386 alignment %d, want 8 (the align64 guarantee)", got)
+	}
+	if got := arch386.structLayout(padded).fields[0].offset; got != 0 {
+		t.Errorf("Padded.Hot at 386 offset %d, want 0", got)
+	}
+	if got := arch386.sizeof(padded); got != 64 {
+		t.Errorf("Padded 386 size %d, want 64", got)
+	}
+
+	// Embedded: Inner{byte,int32} is 8 bytes; C needs only 4-byte alignment
+	// on 386, so it lands at 8 and the struct stays 16.
+	emb := structs["Embedded"]
+	if got := arch386.structLayout(emb).fields[1].offset; got != 8 {
+		t.Errorf("Embedded.C at 386 offset %d, want 8", got)
+	}
+}

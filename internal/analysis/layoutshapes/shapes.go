@@ -1,0 +1,66 @@
+// Package layoutshapes declares the struct shapes the analysis layout
+// calculator is property-tested against: embedded structs, arrays, blank
+// pads, typed atomics, trailing zero-size fields, and every pointer-shaped
+// category. The test in internal/analysis compares the calculator's amd64
+// offsets field-by-field with the reflect/unsafe layout of these same
+// types, so the shapes must exist both as source (for go/types) and as
+// compiled types (for the runtime).
+package layoutshapes
+
+import "sync/atomic"
+
+// Inner is embedded and used as an array element below.
+type Inner struct {
+	A byte
+	B int32
+}
+
+// Embedded exercises anonymous-field flattening at an 8-byte boundary.
+type Embedded struct {
+	Inner
+	C int64
+}
+
+// WithArray exercises array sizing and trailing-pad alignment.
+type WithArray struct {
+	Tag  [3]byte
+	Vals [4]int64
+	Tail uint16
+}
+
+// Padded is the pad idiom: one hot atomic isolated to a full cache line.
+type Padded struct {
+	Hot atomic.Int64
+	_   [56]byte
+}
+
+// Small386 is the canonical 386 hazard shape: the raw int64 lands at
+// offset 4 under GOARCH=386 (max alignment 4) but offset 8 on amd64.
+type Small386 struct {
+	A bool
+	B int64
+}
+
+// Mixed covers the remaining type categories in one declaration.
+type Mixed struct {
+	F1  bool
+	F2  int16
+	F3  [2]Inner
+	F4  *Embedded
+	F5  atomic.Uint64
+	F6  complex128
+	F7  string
+	F8  []int32
+	F9  map[string]int
+	F10 chan int
+	F11 func() int
+	F12 interface{ M() }
+	F13 float32
+}
+
+// TrailingZero exercises the gc rule that a trailing zero-size field gets
+// one byte of padding so a past-the-end pointer cannot escape the object.
+type TrailingZero struct {
+	N int64
+	Z struct{}
+}

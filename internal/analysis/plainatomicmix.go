@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// PlainAtomicMix flags struct fields that are accessed both through
+// sync/atomic package functions and through plain loads/stores from code
+// that can run concurrently — the classic "mostly atomic" bug where one
+// overlooked plain access silently demotes every atomic on the field to a
+// data race. It complements guarded-by: that analyzer infers lock
+// discipline; this one enforces atomic discipline.
+//
+// Only raw integer fields (atomic.AddInt64(&s.f, ...) style) are checked:
+// sync/atomic's typed values make plain access a compile error, which is the
+// fix this analyzer recommends. A plain access is exempt when it is
+// single-thread gated (`if tid == 0` spans from the parallel fixpoint), when
+// the function is exempt in the parallel fixpoint (runs on one goroutine),
+// when a lock is held at the access, or when it is not in concurrent code at
+// all (constructors run before sharing).
+var PlainAtomicMix = &Analyzer{
+	Name: "plain-atomic-mix",
+	Doc: "flag fields accessed both atomically and with plain loads/stores " +
+		"outside guarded or single-thread spans",
+	Run: runPlainAtomicMix,
+}
+
+func runPlainAtomicMix(pass *Pass) {
+	for _, d := range plainAtomicMixModule(pass.Graph) {
+		if pass.Owns(d.pos) {
+			pass.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+}
+
+func plainAtomicMixModule(g *CallGraph) []posMsg {
+	const memoKey = "plainatomicmix-findings"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.([]posMsg)
+	}
+	accesses := collectAtomicAccesses(g)
+	conc := concurrentNodes(g)
+	pc := parallelContext(g)
+
+	// Fields with at least one raw atomic access from concurrent code, and
+	// the extents of all their atomic calls (a raw access like
+	// atomic.AddInt64(&s.f, 1) contains a plain-looking &s.f the IR also
+	// sees; those spans are excluded from the plain-access scan).
+	rawFields := make(map[*types.Var][]span)
+	for field, accs := range accesses {
+		raw := false
+		var spans []span
+		for _, a := range accs {
+			spans = append(spans, a.span)
+			if a.raw && conc[a.node] {
+				raw = true
+			}
+		}
+		if raw {
+			rawFields[field] = spans
+		}
+	}
+	if len(rawFields) == 0 {
+		g.memo[memoKey] = []posMsg(nil)
+		return nil
+	}
+
+	var out []posMsg
+	forEachNode(g, func(n *CGNode) {
+		if !conc[n] {
+			return
+		}
+		pi := pc.info[n]
+		if pi != nil && pi.exempt {
+			return
+		}
+		entry := lockset{}
+		if pi != nil {
+			entry = pi.entryLocks
+		}
+		ir := n.IR()
+		ir.ForEachOpWithLockset(entry, func(op *Op, held lockset) {
+			if op.Kind != OpRead && op.Kind != OpWrite {
+				return
+			}
+			field, ok := op.Obj.(*types.Var)
+			if !ok {
+				return
+			}
+			spans, tracked := rawFields[field]
+			if !tracked {
+				return
+			}
+			for _, s := range spans {
+				if s.contains(op.Pos) {
+					return // the atomic call's own &s.f operand
+				}
+			}
+			if len(held) > 0 {
+				return // lock-guarded access: guarded-by's jurisdiction
+			}
+			if pi != nil && pi.posGated(op.Pos) {
+				return // single-thread gated span
+			}
+			kind := "load"
+			if op.Kind == OpWrite {
+				kind = "store"
+			}
+			out = append(out, posMsg{pos: op.Pos, msg: fmt.Sprintf(
+				"plain %s of field %s, which is accessed with sync/atomic "+
+					"elsewhere; use atomic access everywhere or migrate the "+
+					"field to a typed atomic (atomic.Int64 etc.)",
+				kind, field.Name())})
+		})
+	})
+
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	out = dedupePosMsg(out)
+	g.memo[memoKey] = out
+	return out
+}
+
+// dedupePosMsg drops duplicate findings at the same position (an access can
+// be visited once per IR path).
+func dedupePosMsg(in []posMsg) []posMsg {
+	var out []posMsg
+	for _, d := range in {
+		if len(out) > 0 && out[len(out)-1].pos == d.pos && out[len(out)-1].msg == d.msg {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

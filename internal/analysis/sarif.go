@@ -32,8 +32,9 @@ type sarifDriver struct {
 }
 
 type sarifRule struct {
-	ID               string       `json:"id"`
-	ShortDescription sarifMessage `json:"shortDescription"`
+	ID               string        `json:"id"`
+	ShortDescription sarifMessage  `json:"shortDescription"`
+	FullDescription  *sarifMessage `json:"fullDescription,omitempty"`
 }
 
 type sarifMessage struct {
@@ -74,10 +75,14 @@ const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/m
 func SARIF(diags []Diagnostic, analyzers []*Analyzer, root string) ([]byte, error) {
 	rules := make([]sarifRule, 0, len(analyzers))
 	for _, a := range analyzers {
-		rules = append(rules, sarifRule{
+		rule := sarifRule{
 			ID:               a.Name,
 			ShortDescription: sarifMessage{Text: a.Doc},
-		})
+		}
+		if full, err := Explain(a.Name); err == nil {
+			rule.FullDescription = &sarifMessage{Text: full}
+		}
+		rules = append(rules, rule)
 	}
 	results := make([]sarifResult, 0, len(diags))
 	for _, d := range diags {

@@ -22,6 +22,9 @@ type sarifShape struct {
 					ShortDescription struct {
 						Text string `json:"text"`
 					} `json:"shortDescription"`
+					FullDescription struct {
+						Text string `json:"text"`
+					} `json:"fullDescription"`
 				} `json:"rules"`
 			} `json:"driver"`
 		} `json:"tool"`
@@ -77,6 +80,9 @@ func TestSARIFOutput(t *testing.T) {
 	for _, r := range run.Tool.Driver.Rules {
 		if r.ID == "" || r.ShortDescription.Text == "" {
 			t.Errorf("rule %+v missing id or shortDescription", r)
+		}
+		if r.FullDescription.Text == "" {
+			t.Errorf("rule %s missing fullDescription (is it registered in explain.go?)", r.ID)
 		}
 		rules[r.ID] = true
 	}

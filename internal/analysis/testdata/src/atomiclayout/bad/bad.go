@@ -1,0 +1,60 @@
+// Package alfixbad seeds one finding per atomic-layout hazard class: an
+// unpadded independently-contended pair (spin on one field while the other
+// is written), a raw 64-bit atomic at nonzero 386 offset, and a padded
+// per-thread struct whose slice stride is not a cache-line multiple.
+package alfixbad
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// gate packs a spun-on flag and a hot counter into one cache line: every
+// ticket increment steals the line from the ready spinners.
+type gate struct {
+	ready  atomic.Uint32
+	ticket atomic.Int64 // want atomic-layout "share a cache line"
+}
+
+func run(threads, iters int) int64 {
+	g := &gate{}
+	core.Parallel(threads, func(tid int) {
+		if tid == 0 {
+			for i := 0; i < iters; i++ {
+				g.ticket.Add(1)
+			}
+			g.ready.Store(1)
+			return
+		}
+		for g.ready.Load() == 0 {
+			runtime.Gosched()
+		}
+	})
+	return g.ticket.Load()
+}
+
+// stats64 puts a raw int64 after a uint32: on GOARCH=386 the field lands at
+// offset 4 and atomic.AddInt64 faults.
+type stats64 struct {
+	flags uint32
+	hits  int64
+}
+
+func bump(s *stats64) {
+	atomic.AddInt64(&s.hits, 1) // want atomic-layout "only the first word"
+}
+
+// perThread declares isolation intent with a pad but is 48 bytes, so slice
+// neighbors still share lines.
+type perThread struct { // want atomic-layout "not a multiple of 64"
+	hits atomic.Int64
+	_    [40]byte
+}
+
+var shards []perThread
+
+func addAt(i int) {
+	shards[i].hits.Add(1)
+}

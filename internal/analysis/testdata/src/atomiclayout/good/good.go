@@ -1,0 +1,72 @@
+// Package alfixgood shows the remediated shapes for every atomic-layout
+// hazard: a pad between independently-contended fields, a typed atomic
+// instead of a misaligned raw int64, a raw int64 kept at offset 0, and a
+// per-thread struct padded to a full cache-line multiple.
+package alfixgood
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// gate separates the spun-on flag from the hot counter with a full line of
+// padding: ticket increments no longer steal the spinners' line.
+type gate struct {
+	ready  atomic.Uint32
+	_      [60]byte
+	ticket atomic.Int64
+}
+
+func run(threads, iters int) int64 {
+	g := &gate{}
+	core.Parallel(threads, func(tid int) {
+		if tid == 0 {
+			for i := 0; i < iters; i++ {
+				g.ticket.Add(1)
+			}
+			g.ready.Store(1)
+			return
+		}
+		for g.ready.Load() == 0 {
+			runtime.Gosched()
+		}
+	})
+	return g.ticket.Load()
+}
+
+// stats64 keeps atomically-updated 64-bit state in a typed atomic, which the
+// compiler aligns on every target.
+type stats64 struct {
+	flags uint32
+	hits  atomic.Int64
+}
+
+func bump(s *stats64) {
+	s.hits.Add(1)
+}
+
+// lead keeps its raw 64-bit counter at offset 0, the one placement the Go
+// memory model guarantees 8-byte alignment for on 32-bit targets.
+type lead struct {
+	hits  int64
+	flags uint32
+}
+
+func bumpLead(l *lead) {
+	atomic.AddInt64(&l.hits, 1)
+}
+
+// perThread is padded to exactly one cache line, so slice neighbors stay
+// isolated.
+type perThread struct {
+	hits atomic.Int64
+	_    [56]byte
+}
+
+var shards []perThread
+
+func addAt(i int) {
+	shards[i].hits.Add(1)
+}

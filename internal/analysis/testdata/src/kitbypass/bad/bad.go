@@ -14,7 +14,7 @@ type state struct {
 }
 
 func run(s *state, threads int) {
-	atomic.AddInt64(&s.ops, 1) // want kit-bypass "workload uses sync/atomic.AddInt64 directly"
+	atomic.AddInt64(&s.ops, 1) // want kit-bypass "workload uses sync/atomic.AddInt64 directly" // want atomic-layout "only the first word"
 	var once sync.Once         // want kit-bypass "workload uses sync.Once directly"
 	once.Do(func() {})
 }

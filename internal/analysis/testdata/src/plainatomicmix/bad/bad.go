@@ -1,0 +1,45 @@
+// Package pmfixbad seeds mixed plain/atomic accesses: fields updated with
+// sync/atomic from parallel workers and then read (and reset) with plain
+// loads/stores on the same concurrent path — each plain access demotes every
+// atomic on the field to an ordinary data race.
+package pmfixbad
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// tally keeps its raw counter at offset 0 so only the mix is at fault, not
+// the alignment.
+type tally struct {
+	ops int64
+}
+
+func run(threads, iters int) int64 {
+	t := &tally{}
+	core.Parallel(threads, func(tid int) {
+		for i := 0; i < iters; i++ {
+			atomic.AddInt64(&t.ops, 1)
+			if t.ops > 100 { // want plain-atomic-mix "plain load of field ops"
+				return
+			}
+		}
+	})
+	return atomic.LoadInt64(&t.ops)
+}
+
+type phase struct {
+	cur int64
+}
+
+func step(threads, iters int) int64 {
+	p := &phase{}
+	core.Parallel(threads, func(tid int) {
+		for i := 0; i < iters; i++ {
+			atomic.AddInt64(&p.cur, 1)
+		}
+		p.cur = 0 // want plain-atomic-mix "plain store of field cur"
+	})
+	return atomic.LoadInt64(&p.cur)
+}

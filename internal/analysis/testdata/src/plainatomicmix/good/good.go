@@ -1,0 +1,31 @@
+// Package pmfixgood exercises every plain-access exemption: constructor
+// writes before the field is shared, single-thread `tid == 0` gated spans,
+// and accesses from the non-concurrent spawner after the join — plus the
+// recommended fix, a field that is atomic everywhere.
+package pmfixgood
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+type tally struct {
+	ops int64
+}
+
+var last int64
+
+func run(threads, iters int, seed int64) int64 {
+	t := &tally{}
+	t.ops = seed // plain constructor write: runs before any sharing
+	core.Parallel(threads, func(tid int) {
+		if tid == 0 {
+			last = t.ops // single-thread gated plain load
+		}
+		for i := 0; i < iters; i++ {
+			atomic.AddInt64(&t.ops, 1)
+		}
+	})
+	return t.ops - last // spawner reads after the join: not concurrent
+}

@@ -1,0 +1,27 @@
+// Package pmfixsup carries a justified mixed-access waiver: the plain read
+// is acknowledged and documented rather than migrated.
+package pmfixsup
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+type tally struct {
+	ops int64
+}
+
+func run(threads, iters int) int64 {
+	t := &tally{}
+	core.Parallel(threads, func(tid int) {
+		for i := 0; i < iters; i++ {
+			atomic.AddInt64(&t.ops, 1)
+			//lint:ignore sync4vet-plain-atomic-mix fixture: monotonic counter, a stale read only delays the early exit
+			if t.ops > 100 {
+				return
+			}
+		}
+	})
+	return atomic.LoadInt64(&t.ops)
+}

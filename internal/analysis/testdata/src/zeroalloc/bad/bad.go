@@ -1,0 +1,62 @@
+// Package zafixbad seeds one finding per zeroalloc site class: allocation
+// in the annotated body, allocation in a transitive static callee, closure
+// capture, interface boxing, string building, and fresh-slice append.
+package zafixbad
+
+import "fmt"
+
+type ring struct {
+	buf []int64
+}
+
+//sync4:zeroalloc
+func (r *ring) push(v int64) {
+	r.buf = append(r.buf, v) // self-append: exempt
+	tmp := make([]int64, 4)  // want zeroalloc "make allocates"
+	tmp[0] = v
+	r.describe(v)
+}
+
+// describe is not annotated itself; its allocation is reachable from push.
+func (r *ring) describe(v int64) {
+	_ = fmt.Sprintf("v=%d", v) // want zeroalloc "call to fmt.Sprintf allocates"
+}
+
+//sync4:zeroalloc
+func label(a, b string) string {
+	return a + b // want zeroalloc "string concatenation allocates"
+}
+
+//sync4:zeroalloc
+func fresh(src []int64) []int64 {
+	dst := append([]int64(nil), src...) // want zeroalloc "append into a fresh slice"
+	return dst
+}
+
+//sync4:zeroalloc
+func box(v int64) any {
+	return any(v) // want zeroalloc "boxes"
+}
+
+//sync4:zeroalloc
+func escape() *ring {
+	return &ring{} // want zeroalloc "escaping composite literal"
+}
+
+//sync4:zeroalloc
+func capture(n int64) func() int64 {
+	total := int64(0)
+	return func() int64 { // want zeroalloc "closure captures local variables"
+		total += n
+		return total
+	}
+}
+
+var spawned = make(chan struct{}, 1)
+
+//sync4:zeroalloc
+func spawn() {
+	go func() { // want zeroalloc "go statement allocates"
+		spawned <- struct{}{}
+	}()
+}

@@ -1,0 +1,50 @@
+// Package zafixgood exercises every allocation shape the zeroalloc analyzer
+// deliberately exempts: self-append growth of a caller-owned buffer, the
+// strconv.Append* return idiom, constant panics, pointer/constant interface
+// conversions, and typed atomics. None of it may diagnose.
+package zafixgood
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+type sink struct {
+	buf  []byte
+	vals []int64
+	ops  atomic.Int64
+}
+
+//sync4:zeroalloc
+func (s *sink) push(v int64) {
+	s.vals = append(s.vals, v) // self-append: amortized growth is exempt
+	s.ops.Add(1)
+}
+
+// encode grows a caller-owned buffer, strconv.Append* style: the append
+// result is returned, so the caller keeps ownership of the storage.
+//
+//sync4:zeroalloc
+func encode(buf []byte, v int64) []byte {
+	buf = strconv.AppendInt(buf, v, 10)
+	return append(buf, '\n')
+}
+
+//sync4:zeroalloc
+func (s *sink) guard(i int) {
+	if i < 0 {
+		panic("sink: negative index") // constant panic value: static data
+	}
+	s.buf = encode(s.buf, int64(i))
+}
+
+// report boxes only free things: a pointer and an untyped constant.
+//
+//sync4:zeroalloc
+func (s *sink) report() {
+	emit(s)  // pointer boxing is free
+	emit(42) // constant boxing is compiler-materialized static data
+}
+
+//go:noinline
+func emit(v any) { _ = v }

@@ -1,0 +1,18 @@
+// Package zafixsup exercises zeroalloc waivers: a justified one silencing a
+// real allocation site on an annotated path counts as suppressed, and a
+// waiver parked on an allocation-free line is flagged as stale.
+package zafixsup
+
+type table struct {
+	rows [][]int64
+}
+
+//sync4:zeroalloc
+func (t *table) grow(width int) {
+	//lint:ignore sync4vet-zeroalloc fixture: one-time growth outside the timed region
+	row := make([]int64, width)
+	t.rows = append(t.rows, row) // self-append: exempt anyway
+}
+
+//lint:ignore sync4vet-zeroalloc nothing on this path allocates // want unused-suppression "silences nothing"
+func (t *table) depth() int { return len(t.rows) }

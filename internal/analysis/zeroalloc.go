@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// ZeroAlloc enforces the //sync4:zeroalloc annotation: a function so marked
+// — and every function it statically calls, transitively — must contain no
+// allocation site. The annotation goes on per-operation hot paths (barrier
+// waits, lock-free queue ops, the trace recorder's Record, histogram
+// observation, SSE event encoding) where a single hidden allocation turns
+// into GC pressure multiplied by the op rate.
+//
+// The check is static and therefore approximate in a documented direction:
+// dynamic calls (interface methods, function values) are opaque and assumed
+// clean, which is why the annotation registry is exported — the
+// internal/allocgate conformance test closes the loop by measuring
+// testing.AllocsPerRun over every annotated function at `make check` time.
+// One allocation shape is deliberately exempt: self-append
+// (`x = append(x, ...)`) into a caller-owned buffer, whose amortized growth
+// the dynamic gate's warm-up run absorbs.
+var ZeroAlloc = &Analyzer{
+	Name: "zeroalloc",
+	Doc: "flag allocation sites statically reachable from functions " +
+		"annotated //sync4:zeroalloc",
+	Run: runZeroAlloc,
+}
+
+func runZeroAlloc(pass *Pass) {
+	for _, d := range zeroAllocModule(pass.Graph) {
+		if pass.Owns(d.pos) {
+			pass.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+}
+
+// zeroAllocModule walks every annotated root's static call tree and collects
+// one finding per (root, allocation site). Memoized on the graph.
+func zeroAllocModule(g *CallGraph) []posMsg {
+	const memoKey = "zeroalloc-findings"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.([]posMsg)
+	}
+
+	type rootSite struct {
+		root string
+		pos  token.Pos
+	}
+	seen := make(map[rootSite]bool)
+	var out []posMsg
+
+	var roots []*CGNode
+	forEachNode(g, func(n *CGNode) {
+		if n.Decl != nil && hasZeroAllocDirective(n.Decl) {
+			roots = append(roots, n)
+		}
+	})
+
+	for _, root := range roots {
+		rootName := root.Name()
+		visited := make(map[*CGNode]bool)
+		var visit func(n *CGNode)
+		visit = func(n *CGNode) {
+			if n == nil || visited[n] {
+				return
+			}
+			visited[n] = true
+			for _, site := range nodeAllocSites(g, n) {
+				key := rootSite{rootName, site.pos}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				msg := fmt.Sprintf("%s: %s on //sync4:zeroalloc path from %s",
+					site.what, describeSiteOwner(n, root), rootName)
+				out = append(out, posMsg{pos: site.pos, msg: msg})
+			}
+			for _, cs := range n.Calls {
+				if callee := g.NodeOf(cs.Callee); callee != nil {
+					visit(callee)
+				}
+			}
+			for _, lit := range n.Lits {
+				visit(lit)
+			}
+		}
+		visit(root)
+	}
+
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	g.memo[memoKey] = out
+	return out
+}
+
+// describeSiteOwner names where the site lives relative to the annotated
+// root, so the diagnostic reads well for transitive findings.
+func describeSiteOwner(n, root *CGNode) string {
+	if n == root {
+		return "annotated function"
+	}
+	return "callee " + n.Name()
+}

@@ -155,8 +155,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// max-reps job arriving while this subscriber is between reads.
 	replay, ch, cancel := job.subscribe(s.cfg.MaxReps + 8)
 	defer cancel()
+	// One encoder per connection: after its buffer warms up, streaming an
+	// event allocates nothing (enforced by //sync4:zeroalloc on encode).
+	enc := newSSEEncoder()
 	for _, ev := range replay {
-		if err := writeSSE(w, ev); err != nil {
+		if err := writeSSE(w, enc, ev); err != nil {
 			return
 		}
 	}
@@ -171,7 +174,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-s.stop:
 			return
 		case ev := <-ch:
-			if err := writeSSE(w, ev); err != nil {
+			if err := writeSSE(w, enc, ev); err != nil {
 				return
 			}
 			fl.Flush()
@@ -180,16 +183,6 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-}
-
-// writeSSE renders one event in text/event-stream framing.
-func writeSSE(w http.ResponseWriter, ev Event) error {
-	payload, err := json.Marshal(ev)
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, payload)
-	return err
 }
 
 // retryAfterSeconds estimates when a bounced (429) submission is worth

@@ -34,6 +34,8 @@ func NewHistogram() *Histogram {
 // Add folds one observation in. Negative values are clamped to zero: the
 // intended payloads are durations, and a clock anomaly must not corrupt the
 // bucket index.
+//
+//sync4:zeroalloc
 func (h *Histogram) Add(v int64) {
 	if v < 0 {
 		v = 0
@@ -50,6 +52,8 @@ func (h *Histogram) Add(v int64) {
 }
 
 // AddDuration is Add on a duration's nanosecond count.
+//
+//sync4:zeroalloc
 func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Nanoseconds()) }
 
 // N returns the number of observations.

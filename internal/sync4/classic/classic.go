@@ -77,6 +77,7 @@ type barrier struct {
 	gen   uint64
 }
 
+//sync4:zeroalloc
 func (b *barrier) Wait() {
 	b.mu.Lock()
 	gen := b.gen
@@ -99,6 +100,7 @@ type counter struct {
 	v  int64
 }
 
+//sync4:zeroalloc
 func (c *counter) Add(delta int64) int64 {
 	c.mu.Lock()
 	c.v += delta
@@ -107,8 +109,10 @@ func (c *counter) Add(delta int64) int64 {
 	return v
 }
 
+//sync4:zeroalloc
 func (c *counter) Inc() int64 { return c.Add(1) }
 
+//sync4:zeroalloc
 func (c *counter) Load() int64 {
 	c.mu.Lock()
 	v := c.v
@@ -116,6 +120,7 @@ func (c *counter) Load() int64 {
 	return v
 }
 
+//sync4:zeroalloc
 func (c *counter) Store(v int64) {
 	c.mu.Lock()
 	c.v = v
@@ -127,12 +132,14 @@ type accumulator struct {
 	v  float64
 }
 
+//sync4:zeroalloc
 func (a *accumulator) Add(v float64) {
 	a.mu.Lock()
 	a.v += v
 	a.mu.Unlock()
 }
 
+//sync4:zeroalloc
 func (a *accumulator) Load() float64 {
 	a.mu.Lock()
 	v := a.v
@@ -140,6 +147,7 @@ func (a *accumulator) Load() float64 {
 	return v
 }
 
+//sync4:zeroalloc
 func (a *accumulator) Store(v float64) {
 	a.mu.Lock()
 	a.v = v
@@ -151,6 +159,7 @@ type minmax struct {
 	min, max float64
 }
 
+//sync4:zeroalloc
 func (m *minmax) Update(v float64) {
 	m.mu.Lock()
 	if v < m.min {
@@ -162,6 +171,7 @@ func (m *minmax) Update(v float64) {
 	m.mu.Unlock()
 }
 
+//sync4:zeroalloc
 func (m *minmax) Min() float64 {
 	m.mu.Lock()
 	v := m.min
@@ -169,6 +179,7 @@ func (m *minmax) Min() float64 {
 	return v
 }
 
+//sync4:zeroalloc
 func (m *minmax) Max() float64 {
 	m.mu.Lock()
 	v := m.max
@@ -191,6 +202,7 @@ type flag struct {
 	set  bool
 }
 
+//sync4:zeroalloc
 func (f *flag) Set() {
 	f.mu.Lock()
 	f.set = true
@@ -198,6 +210,7 @@ func (f *flag) Set() {
 	f.cond.Broadcast()
 }
 
+//sync4:zeroalloc
 func (f *flag) Wait() {
 	f.mu.Lock()
 	for !f.set {
@@ -206,6 +219,7 @@ func (f *flag) Wait() {
 	f.mu.Unlock()
 }
 
+//sync4:zeroalloc
 func (f *flag) IsSet() bool {
 	f.mu.Lock()
 	v := f.set
@@ -223,6 +237,7 @@ type queue struct {
 	n       int // number of elements
 }
 
+//sync4:zeroalloc
 func (q *queue) Put(v int64) {
 	q.mu.Lock()
 	for q.n == len(q.buf) {
@@ -232,6 +247,7 @@ func (q *queue) Put(v int64) {
 	q.mu.Unlock()
 }
 
+//sync4:zeroalloc
 func (q *queue) TryPut(v int64) bool {
 	q.mu.Lock()
 	if q.n == len(q.buf) {
@@ -249,6 +265,7 @@ func (q *queue) put(v int64) {
 	q.n++
 }
 
+//sync4:zeroalloc
 func (q *queue) TryGet() (int64, bool) {
 	q.mu.Lock()
 	if q.n == 0 {
@@ -263,6 +280,7 @@ func (q *queue) TryGet() (int64, bool) {
 	return v, true
 }
 
+//sync4:zeroalloc
 func (q *queue) Len() int {
 	q.mu.Lock()
 	n := q.n
@@ -281,6 +299,7 @@ func (s *stack) Push(v int64) {
 	s.mu.Unlock()
 }
 
+//sync4:zeroalloc
 func (s *stack) TryPop() (int64, bool) {
 	s.mu.Lock()
 	if len(s.buf) == 0 {
@@ -293,6 +312,7 @@ func (s *stack) TryPop() (int64, bool) {
 	return v, true
 }
 
+//sync4:zeroalloc
 func (s *stack) Len() int {
 	s.mu.Lock()
 	n := len(s.buf)

@@ -11,6 +11,10 @@ func TestConformance(t *testing.T) {
 	kittest.Conformance(t, classic.New())
 }
 
+func TestZeroAlloc(t *testing.T) {
+	kittest.ZeroAlloc(t, classic.New())
+}
+
 func TestName(t *testing.T) {
 	if got := classic.New().Name(); got != "classic" {
 		t.Fatalf("Name = %q, want classic", got)

@@ -171,6 +171,7 @@ type Injector struct {
 	plan     Plan
 	ops      atomic.Int64
 	injected [numFaults]atomic.Int64
+	//lint:ignore sync4vet-atomic-layout the injector is a test harness, never a measured hot path; its counters stay compact on purpose
 	nextSite atomic.Uint64
 
 	recMu sync.Mutex

@@ -212,6 +212,7 @@ type instrBarrier struct {
 	k *instrumentedKit
 }
 
+//sync4:zeroalloc
 func (b *instrBarrier) Wait() {
 	b.k.c.BarrierWaits.Add(1)
 	if b.k.timed {
@@ -228,6 +229,7 @@ type instrLock struct {
 	k *instrumentedKit
 }
 
+//sync4:zeroalloc
 func (l *instrLock) Lock() {
 	l.k.c.LockAcquires.Add(1)
 	if l.k.timed {
@@ -239,6 +241,7 @@ func (l *instrLock) Lock() {
 	l.l.Lock()
 }
 
+//sync4:zeroalloc
 func (l *instrLock) Unlock() { l.l.Unlock() }
 
 type instrCounter struct {
@@ -246,17 +249,22 @@ type instrCounter struct {
 	k *instrumentedKit
 }
 
+//sync4:zeroalloc
 func (c *instrCounter) Add(delta int64) int64 {
 	c.k.c.CounterOps.Add(1)
 	return c.c.Add(delta)
 }
 
+//sync4:zeroalloc
 func (c *instrCounter) Inc() int64 {
 	c.k.c.CounterOps.Add(1)
 	return c.c.Inc()
 }
 
-func (c *instrCounter) Load() int64   { return c.c.Load() }
+//sync4:zeroalloc
+func (c *instrCounter) Load() int64 { return c.c.Load() }
+
+//sync4:zeroalloc
 func (c *instrCounter) Store(v int64) { c.c.Store(v) }
 
 type instrAccum struct {
@@ -264,12 +272,16 @@ type instrAccum struct {
 	k *instrumentedKit
 }
 
+//sync4:zeroalloc
 func (a *instrAccum) Add(v float64) {
 	a.k.c.AccumOps.Add(1)
 	a.a.Add(v)
 }
 
-func (a *instrAccum) Load() float64   { return a.a.Load() }
+//sync4:zeroalloc
+func (a *instrAccum) Load() float64 { return a.a.Load() }
+
+//sync4:zeroalloc
 func (a *instrAccum) Store(v float64) { a.a.Store(v) }
 
 type instrMinMax struct {
@@ -277,12 +289,16 @@ type instrMinMax struct {
 	k *instrumentedKit
 }
 
+//sync4:zeroalloc
 func (m *instrMinMax) Update(v float64) {
 	m.k.c.MinMaxOps.Add(1)
 	m.m.Update(v)
 }
 
+//sync4:zeroalloc
 func (m *instrMinMax) Min() float64 { return m.m.Min() }
+
+//sync4:zeroalloc
 func (m *instrMinMax) Max() float64 { return m.m.Max() }
 func (m *instrMinMax) Reset()       { m.m.Reset() }
 
@@ -291,11 +307,13 @@ type instrFlag struct {
 	k *instrumentedKit
 }
 
+//sync4:zeroalloc
 func (f *instrFlag) Set() {
 	f.k.c.FlagSets.Add(1)
 	f.f.Set()
 }
 
+//sync4:zeroalloc
 func (f *instrFlag) Wait() {
 	f.k.c.FlagWaits.Add(1)
 	if f.k.timed {
@@ -307,6 +325,7 @@ func (f *instrFlag) Wait() {
 	f.f.Wait()
 }
 
+//sync4:zeroalloc
 func (f *instrFlag) IsSet() bool { return f.f.IsSet() }
 
 type instrQueue struct {
@@ -314,11 +333,13 @@ type instrQueue struct {
 	k *instrumentedKit
 }
 
+//sync4:zeroalloc
 func (q *instrQueue) Put(v int64) {
 	q.k.c.QueuePuts.Add(1)
 	q.q.Put(v)
 }
 
+//sync4:zeroalloc
 func (q *instrQueue) TryPut(v int64) bool {
 	ok := q.q.TryPut(v)
 	if ok {
@@ -327,6 +348,7 @@ func (q *instrQueue) TryPut(v int64) bool {
 	return ok
 }
 
+//sync4:zeroalloc
 func (q *instrQueue) TryGet() (int64, bool) {
 	v, ok := q.q.TryGet()
 	if ok {
@@ -337,6 +359,7 @@ func (q *instrQueue) TryGet() (int64, bool) {
 	return v, ok
 }
 
+//sync4:zeroalloc
 func (q *instrQueue) Len() int { return q.q.Len() }
 
 type instrStack struct {
@@ -349,6 +372,7 @@ func (s *instrStack) Push(v int64) {
 	s.s.Push(v)
 }
 
+//sync4:zeroalloc
 func (s *instrStack) TryPop() (int64, bool) {
 	v, ok := s.s.TryPop()
 	if ok {
@@ -359,4 +383,5 @@ func (s *instrStack) TryPop() (int64, bool) {
 	return v, ok
 }
 
+//sync4:zeroalloc
 func (s *instrStack) Len() int { return s.s.Len() }

@@ -14,11 +14,17 @@ import (
 // TicketLock is a fair FIFO spinlock: acquirers take a ticket and spin
 // until the serving counter reaches it. It satisfies sync4.Locker.
 type TicketLock struct {
-	next    atomic.Uint64
+	next atomic.Uint64
+	// Ticket takers fetch-and-add next while the whole queue spins on
+	// serving; a shared line would turn every arrival into an eviction
+	// broadcast to all spinners.
+	_       [56]byte
 	serving atomic.Uint64
 }
 
 // Lock acquires the lock in ticket order.
+//
+//sync4:zeroalloc
 func (l *TicketLock) Lock() {
 	t := l.next.Add(1) - 1
 	spins := 0
@@ -28,6 +34,8 @@ func (l *TicketLock) Lock() {
 }
 
 // Unlock releases the lock to the next ticket holder.
+//
+//sync4:zeroalloc
 func (l *TicketLock) Unlock() {
 	l.serving.Add(1)
 }
@@ -101,6 +109,8 @@ func NewTreeBarrier(n, fanIn int) *TreeBarrier {
 }
 
 // Wait blocks thread tid until all n threads have arrived.
+//
+//sync4:zeroalloc
 func (b *TreeBarrier) Wait(tid int) {
 	phase := b.phase.Load()
 	node := b.leaf[tid]
@@ -147,12 +157,16 @@ func NewStripedCounter(threads int) *StripedCounter {
 
 // AddAt adds delta to thread tid's stripe and returns the stripe's new
 // value (not the global sum, which would defeat the striping).
+//
+//sync4:zeroalloc
 func (c *StripedCounter) AddAt(tid int, delta int64) int64 {
 	return c.stripes[tid].v.Add(delta)
 }
 
 // Sum folds all stripes. It is linearizable only at quiescence (e.g. after
 // a barrier), which is exactly how the suite uses counters between phases.
+//
+//sync4:zeroalloc
 func (c *StripedCounter) Sum() int64 {
 	var total int64
 	for i := range c.stripes {

@@ -1,0 +1,115 @@
+package lockfree_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sync4/lockfree"
+)
+
+// Microbenchmarks behind the atomic-layout pad fixes (EXPERIMENTS.md E10):
+// the shared-vs-padded pair isolates the false-sharing cost the analyzer's
+// `share a cache line` rule targets, and the barrier/minmax/ticket-lock
+// benchmarks measure the repaired constructs themselves. On a single-CPU
+// host the cache-line ping-pong these exist to expose is invisible —
+// record the numbers anyway so a multicore run has a baseline to diff.
+
+// sharedPair is the hazard shape: two independently-updated hot atomics on
+// one cache line.
+type sharedPair struct {
+	a atomic.Int64
+	b atomic.Int64
+}
+
+// paddedPair is the remediation the analyzer suggests.
+type paddedPair struct {
+	a atomic.Int64
+	_ [56]byte
+	b atomic.Int64
+}
+
+// hammerPair drives half the workers at each counter.
+func hammerPair(b *testing.B, add func(worker int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	per := b.N/workers + 1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				add(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkPairSharedLine(b *testing.B) {
+	p := new(sharedPair)
+	hammerPair(b, func(w int) {
+		if w%2 == 0 {
+			p.a.Add(1)
+		} else {
+			p.b.Add(1)
+		}
+	})
+}
+
+func BenchmarkPairPaddedLine(b *testing.B) {
+	p := new(paddedPair)
+	hammerPair(b, func(w int) {
+		if w%2 == 0 {
+			p.a.Add(1)
+		} else {
+			p.b.Add(1)
+		}
+	})
+}
+
+func BenchmarkBarrierWait(b *testing.B) {
+	threads := 4
+	bar := lockfree.New().NewBarrier(threads)
+	var wg sync.WaitGroup
+	per := b.N/threads + 1
+	b.ResetTimer()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				bar.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkMinMaxUpdate(b *testing.B) {
+	mm := lockfree.New().NewMinMax()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.0
+		for pb.Next() {
+			mm.Update(v)
+			v += 1.0
+		}
+	})
+}
+
+func BenchmarkTicketLock(b *testing.B) {
+	var tl lockfree.TicketLock
+	counter := 0
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tl.Lock()
+			counter++
+			tl.Unlock()
+		}
+	})
+	_ = counter
+}

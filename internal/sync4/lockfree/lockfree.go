@@ -93,9 +93,14 @@ func (Kit) NewStack() sync4.Stack { return new(stack) }
 type barrier struct {
 	n     int64
 	count atomic.Int64
+	// Arrivals hammer count with fetch-and-add while earlier arrivals spin
+	// on phase; keeping the two words on separate cache lines stops each
+	// arrival from stealing the line out from under every spinner.
+	_     [48]byte
 	phase atomic.Uint64
 }
 
+//sync4:zeroalloc
 func (b *barrier) Wait() {
 	phase := b.phase.Load()
 	if b.count.Add(1) == b.n {
@@ -116,6 +121,7 @@ type spinLock struct {
 	state atomic.Int32
 }
 
+//sync4:zeroalloc
 func (l *spinLock) Lock() {
 	spins := 0
 	for {
@@ -126,6 +132,7 @@ func (l *spinLock) Lock() {
 	}
 }
 
+//sync4:zeroalloc
 func (l *spinLock) Unlock() {
 	if l.state.Swap(0) != 1 {
 		panic("lockfree: unlock of unlocked spinLock")
@@ -136,16 +143,24 @@ type counter struct {
 	v atomic.Int64
 }
 
+//sync4:zeroalloc
 func (c *counter) Add(delta int64) int64 { return c.v.Add(delta) }
-func (c *counter) Inc() int64            { return c.v.Add(1) }
-func (c *counter) Load() int64           { return c.v.Load() }
-func (c *counter) Store(v int64)         { c.v.Store(v) }
+
+//sync4:zeroalloc
+func (c *counter) Inc() int64 { return c.v.Add(1) }
+
+//sync4:zeroalloc
+func (c *counter) Load() int64 { return c.v.Load() }
+
+//sync4:zeroalloc
+func (c *counter) Store(v int64) { c.v.Store(v) }
 
 // accumulator adds float64 values with a CAS loop on the bit pattern.
 type accumulator struct {
 	bits atomic.Uint64
 }
 
+//sync4:zeroalloc
 func (a *accumulator) Add(v float64) {
 	for {
 		old := a.bits.Load()
@@ -156,7 +171,10 @@ func (a *accumulator) Add(v float64) {
 	}
 }
 
-func (a *accumulator) Load() float64   { return math.Float64frombits(a.bits.Load()) }
+//sync4:zeroalloc
+func (a *accumulator) Load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+//sync4:zeroalloc
 func (a *accumulator) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
 
 // minmax tracks min and max in two CAS'd words. The loops terminate early
@@ -164,9 +182,14 @@ func (a *accumulator) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
 // reads of a stable extreme cost one load.
 type minmax struct {
 	minBits atomic.Uint64
+	// The two extremes are CAS'd by disjoint retry loops — an update racing
+	// on min never touches max and vice versa — so sharing a line would make
+	// each loop's retries evict the other's.
+	_       [56]byte
 	maxBits atomic.Uint64
 }
 
+//sync4:zeroalloc
 func (m *minmax) Update(v float64) {
 	for {
 		old := m.minBits.Load()
@@ -188,7 +211,10 @@ func (m *minmax) Update(v float64) {
 	}
 }
 
+//sync4:zeroalloc
 func (m *minmax) Min() float64 { return math.Float64frombits(m.minBits.Load()) }
+
+//sync4:zeroalloc
 func (m *minmax) Max() float64 { return math.Float64frombits(m.maxBits.Load()) }
 
 func (m *minmax) Reset() {
@@ -201,8 +227,10 @@ type flag struct {
 	set atomic.Bool
 }
 
+//sync4:zeroalloc
 func (f *flag) Set() { f.set.Store(true) }
 
+//sync4:zeroalloc
 func (f *flag) Wait() {
 	spins := 0
 	for !f.set.Load() {
@@ -210,6 +238,7 @@ func (f *flag) Wait() {
 	}
 }
 
+//sync4:zeroalloc
 func (f *flag) IsSet() bool { return f.set.Load() }
 
 // queue is Vyukov's bounded MPMC ring buffer: each slot carries a sequence
@@ -249,6 +278,7 @@ func newQueue(capacity int) *queue {
 	return q
 }
 
+//sync4:zeroalloc
 func (q *queue) Put(v int64) {
 	spins := 0
 	for !q.TryPut(v) {
@@ -256,6 +286,7 @@ func (q *queue) Put(v int64) {
 	}
 }
 
+//sync4:zeroalloc
 func (q *queue) TryPut(v int64) bool {
 	pos := q.enq.Load()
 	for {
@@ -277,6 +308,7 @@ func (q *queue) TryPut(v int64) bool {
 	}
 }
 
+//sync4:zeroalloc
 func (q *queue) TryGet() (int64, bool) {
 	pos := q.deq.Load()
 	for {
@@ -298,6 +330,7 @@ func (q *queue) TryGet() (int64, bool) {
 	}
 }
 
+//sync4:zeroalloc
 func (q *queue) Len() int {
 	n := int64(q.enq.Load()) - int64(q.deq.Load())
 	if n < 0 {
@@ -333,6 +366,7 @@ func (s *stack) Push(v int64) {
 	}
 }
 
+//sync4:zeroalloc
 func (s *stack) TryPop() (int64, bool) {
 	for {
 		old := s.top.Load()
@@ -346,6 +380,7 @@ func (s *stack) TryPop() (int64, bool) {
 	}
 }
 
+//sync4:zeroalloc
 func (s *stack) Len() int {
 	n := s.n.Load()
 	if n < 0 {

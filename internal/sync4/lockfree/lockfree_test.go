@@ -11,6 +11,10 @@ func TestConformance(t *testing.T) {
 	kittest.Conformance(t, lockfree.New())
 }
 
+func TestZeroAlloc(t *testing.T) {
+	kittest.ZeroAlloc(t, lockfree.New())
+}
+
 func TestName(t *testing.T) {
 	if got := lockfree.New().Name(); got != "lockfree" {
 		t.Fatalf("Name = %q, want lockfree", got)

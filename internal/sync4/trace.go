@@ -77,6 +77,7 @@ type tracedBarrier struct {
 	obj uint32
 }
 
+//sync4:zeroalloc
 func (b *tracedBarrier) Wait() {
 	start := b.r.Now()
 	b.b.Wait()
@@ -89,12 +90,14 @@ type tracedLock struct {
 	obj uint32
 }
 
+//sync4:zeroalloc
 func (l *tracedLock) Lock() {
 	start := l.r.Now()
 	l.l.Lock()
 	l.r.Record(trace.OpLockAcquire, l.obj, start)
 }
 
+//sync4:zeroalloc
 func (l *tracedLock) Unlock() {
 	start := l.r.Now()
 	l.l.Unlock()
@@ -107,6 +110,7 @@ type tracedCounter struct {
 	obj uint32
 }
 
+//sync4:zeroalloc
 func (c *tracedCounter) Add(delta int64) int64 {
 	start := c.r.Now()
 	v := c.c.Add(delta)
@@ -114,6 +118,7 @@ func (c *tracedCounter) Add(delta int64) int64 {
 	return v
 }
 
+//sync4:zeroalloc
 func (c *tracedCounter) Inc() int64 {
 	start := c.r.Now()
 	v := c.c.Inc()
@@ -121,7 +126,10 @@ func (c *tracedCounter) Inc() int64 {
 	return v
 }
 
-func (c *tracedCounter) Load() int64   { return c.c.Load() }
+//sync4:zeroalloc
+func (c *tracedCounter) Load() int64 { return c.c.Load() }
+
+//sync4:zeroalloc
 func (c *tracedCounter) Store(v int64) { c.c.Store(v) }
 
 type tracedAccum struct {
@@ -130,13 +138,17 @@ type tracedAccum struct {
 	obj uint32
 }
 
+//sync4:zeroalloc
 func (a *tracedAccum) Add(v float64) {
 	start := a.r.Now()
 	a.a.Add(v)
 	a.r.Record(trace.OpRMW, a.obj, start)
 }
 
-func (a *tracedAccum) Load() float64   { return a.a.Load() }
+//sync4:zeroalloc
+func (a *tracedAccum) Load() float64 { return a.a.Load() }
+
+//sync4:zeroalloc
 func (a *tracedAccum) Store(v float64) { a.a.Store(v) }
 
 type tracedMinMax struct {
@@ -145,13 +157,17 @@ type tracedMinMax struct {
 	obj uint32
 }
 
+//sync4:zeroalloc
 func (m *tracedMinMax) Update(v float64) {
 	start := m.r.Now()
 	m.m.Update(v)
 	m.r.Record(trace.OpRMW, m.obj, start)
 }
 
+//sync4:zeroalloc
 func (m *tracedMinMax) Min() float64 { return m.m.Min() }
+
+//sync4:zeroalloc
 func (m *tracedMinMax) Max() float64 { return m.m.Max() }
 func (m *tracedMinMax) Reset()       { m.m.Reset() }
 
@@ -161,18 +177,21 @@ type tracedFlag struct {
 	obj uint32
 }
 
+//sync4:zeroalloc
 func (f *tracedFlag) Set() {
 	start := f.r.Now()
 	f.f.Set()
 	f.r.Record(trace.OpFlagSet, f.obj, start)
 }
 
+//sync4:zeroalloc
 func (f *tracedFlag) Wait() {
 	start := f.r.Now()
 	f.f.Wait()
 	f.r.Record(trace.OpFlagWait, f.obj, start)
 }
 
+//sync4:zeroalloc
 func (f *tracedFlag) IsSet() bool { return f.f.IsSet() }
 
 type tracedQueue struct {
@@ -181,12 +200,14 @@ type tracedQueue struct {
 	obj uint32
 }
 
+//sync4:zeroalloc
 func (q *tracedQueue) Put(v int64) {
 	start := q.r.Now()
 	q.q.Put(v)
 	q.r.Record(trace.OpQueuePut, q.obj, start)
 }
 
+//sync4:zeroalloc
 func (q *tracedQueue) TryPut(v int64) bool {
 	start := q.r.Now()
 	ok := q.q.TryPut(v)
@@ -196,6 +217,7 @@ func (q *tracedQueue) TryPut(v int64) bool {
 	return ok
 }
 
+//sync4:zeroalloc
 func (q *tracedQueue) TryGet() (int64, bool) {
 	start := q.r.Now()
 	v, ok := q.q.TryGet()
@@ -205,6 +227,7 @@ func (q *tracedQueue) TryGet() (int64, bool) {
 	return v, ok
 }
 
+//sync4:zeroalloc
 func (q *tracedQueue) Len() int { return q.q.Len() }
 
 type tracedStack struct {
@@ -219,6 +242,7 @@ func (s *tracedStack) Push(v int64) {
 	s.r.Record(trace.OpStackPush, s.obj, start)
 }
 
+//sync4:zeroalloc
 func (s *tracedStack) TryPop() (int64, bool) {
 	start := s.r.Now()
 	v, ok := s.s.TryPop()
@@ -228,4 +252,5 @@ func (s *tracedStack) TryPop() (int64, bool) {
 	return v, ok
 }
 
+//sync4:zeroalloc
 func (s *tracedStack) Len() int { return s.s.Len() }
