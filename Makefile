@@ -11,12 +11,17 @@
 #   make serve-smoke  drive the splash4d daemon end to end over HTTP
 #   make chaos        fault-injection gate: workloads under the faulty kit
 #                     with the watchdog armed, plus the wedged fixture
+#   make traffic-gate SLO gate: live loadgen smoke against a loopback
+#                     splash4d (retry contract end to end), then the
+#                     pinned-seed deterministic sim that writes the
+#                     byte-stable BENCH_traffic.json artifact
 
 GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)
 CHAOS_SEED ?= 42
+TRAFFIC_SEED ?= 42
 
-.PHONY: check vet allocs-gate race test build bench trace-smoke serve-smoke chaos
+.PHONY: check vet allocs-gate race test build bench trace-smoke serve-smoke chaos traffic-gate
 
 check: build
 	$(GO) vet ./...
@@ -75,3 +80,17 @@ chaos:
 	$(GO) run ./cmd/splash4-chaos -chaos-seed $(CHAOS_SEED) -workloads fft,radix -threads 4 -scale test
 	$(GO) run ./cmd/splash4-chaos -wedge -rep-timeout 2s -diag chaos-diag.txt
 	@echo "chaos: ok"
+
+# traffic-gate is the service-level SLO gate. The live leg self-hosts a
+# loopback splash4d (1 worker, capacity-2 ring) and drives every schedule
+# shape through it, verifying the client retry contract end to end: bursts
+# provoke real 429s with in-range Retry-After, dedup-hostile clumps get
+# singleflight 200s, and an injected journal fault produces degraded 503s
+# with a clean recovery. The sim leg re-runs the shapes through the
+# deterministic pipeline model and writes BENCH_traffic.json — byte-stable
+# under the pinned TRAFFIC_SEED, so CI can diff it across runs. Either leg
+# failing its SLOs or contract checks fails the target.
+traffic-gate:
+	$(GO) run ./cmd/splash4-loadgen -mode live -seed $(TRAFFIC_SEED) -out BENCH_traffic_live.json
+	$(GO) run ./cmd/splash4-loadgen -mode sim -seed $(TRAFFIC_SEED) -out BENCH_traffic.json
+	@echo "traffic-gate: ok"

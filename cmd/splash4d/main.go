@@ -27,6 +27,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +36,7 @@ import (
 
 	"repro/internal/resultstore"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +50,8 @@ func main() {
 		repTimeout   = flag.Duration("rep-timeout", 0, "per-repetition watchdog deadline (0 means the job timeout)")
 		smoke        = flag.Bool("smoke", false, "run the self-contained smoke sequence and exit")
 		out          = flag.String("out", "BENCH_serve.json", "smoke result path (with -smoke)")
+		accessLog    = flag.String("access-log", "", "structured JSONL access log path (request + job lifecycle lines); empty disables")
+		debugAddr    = flag.String("debug-addr", "", "separate listener for net/http/pprof; empty disables")
 	)
 	flag.Parse()
 
@@ -58,43 +62,86 @@ func main() {
 		RepTimeout:    *repTimeout,
 	}
 	if *smoke {
-		if err := runSmoke(*storePath, *out, cfg, *drainTimeout); err != nil {
+		if err := runSmoke(*storePath, *out, *accessLog, cfg, *drainTimeout); err != nil {
 			log.Fatalf("splash4d smoke: %v", err)
 		}
 		return
 	}
-	if err := serve(*addr, *storePath, cfg, *drainTimeout); err != nil {
+	if err := serve(*addr, *storePath, *accessLog, *debugAddr, cfg, *drainTimeout); err != nil {
 		log.Fatalf("splash4d: %v", err)
 	}
 }
 
-// newServer opens the store and builds the pipeline; the caller owns both.
-// The journal runs under SyncAlways: the daemon acknowledges a result only
+// newServer opens the store and builds the pipeline; the caller owns all
+// three returned resources (the access log is nil when disabled). The
+// journal runs under SyncAlways: the daemon acknowledges a result only
 // after it is on disk (fsync before the index publish), so a crash can
 // never lose an acknowledged measurement.
-func newServer(storePath string, cfg server.Config) (*server.Server, *resultstore.Store, error) {
+func newServer(storePath, accessLogPath string, cfg server.Config) (*server.Server, *resultstore.Store, *telemetry.AccessLog, error) {
 	store, err := resultstore.OpenWithOptions(storePath, resultstore.Options{Sync: resultstore.SyncAlways})
 	if err != nil {
-		return nil, nil, fmt.Errorf("opening result store: %w", err)
+		return nil, nil, nil, fmt.Errorf("opening result store: %w", err)
+	}
+	var al *telemetry.AccessLog
+	if accessLogPath != "" {
+		al, err = telemetry.OpenAccessLog(accessLogPath)
+		if err != nil {
+			store.Close()
+			return nil, nil, nil, fmt.Errorf("opening access log: %w", err)
+		}
+		cfg.AccessLog = al
 	}
 	cfg.Store = store
 	srv, err := server.New(cfg)
 	if err != nil {
+		if al != nil {
+			al.Close()
+		}
 		store.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if n := store.Skipped(); n > 0 {
 		log.Printf("store %s: skipped %d malformed journal lines on replay", storePath, n)
 	}
-	return srv, store, nil
+	return srv, store, al, nil
 }
 
-func serve(addr, storePath string, cfg server.Config, drainTimeout time.Duration) error {
-	srv, store, err := newServer(storePath, cfg)
+// startDebug serves net/http/pprof on its own listener, keeping the
+// profiling surface off the public API address.
+func startDebug(addr string) (*http.Server, string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("debug listener: %w", err)
+	}
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(ln)
+	return hs, "http://" + ln.Addr().String(), nil
+}
+
+func serve(addr, storePath, accessLogPath, debugAddr string, cfg server.Config, drainTimeout time.Duration) error {
+	srv, store, al, err := newServer(storePath, accessLogPath, cfg)
 	if err != nil {
 		return err
 	}
 	defer store.Close()
+	if al != nil {
+		defer al.Close()
+	}
+	if debugAddr != "" {
+		dbg, dbgBase, err := startDebug(debugAddr)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer dbg.Close()
+		log.Printf("debug (pprof) listening on %s", dbgBase)
+	}
 
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -133,12 +180,18 @@ func serve(addr, storePath string, cfg server.Config, drainTimeout time.Duration
 // both kits of fft at test scale, status polling, /compare, /metrics, and a
 // graceful drain. It writes a JSON summary suitable for tracking the
 // service's measured speedup over time.
-func runSmoke(storePath, outPath string, cfg server.Config, drainTimeout time.Duration) error {
-	srv, store, err := newServer(storePath, cfg)
+func runSmoke(storePath, outPath, accessLogPath string, cfg server.Config, drainTimeout time.Duration) error {
+	// The smoke always exercises the access log; default it next to the
+	// summary artifact when the flag is unset.
+	if accessLogPath == "" {
+		accessLogPath = outPath + ".access.jsonl"
+	}
+	srv, store, al, err := newServer(storePath, accessLogPath, cfg)
 	if err != nil {
 		return err
 	}
 	defer store.Close()
+	defer al.Close()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -148,6 +201,14 @@ func runSmoke(storePath, outPath string, cfg server.Config, drainTimeout time.Du
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
 	base := "http://" + ln.Addr().String()
+
+	// The profiling surface comes up on its own loopback listener.
+	dbg, dbgBase, err := startDebug("127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	defer dbg.Close()
 
 	const (
 		workload = "fft"
@@ -195,6 +256,11 @@ func runSmoke(storePath, outPath string, cfg server.Config, drainTimeout time.Du
 			return fmt.Errorf("probe %s: %w", probe, err)
 		}
 	}
+	// The pprof surface must answer on the debug listener.
+	if err := checkPprof(dbgBase); err != nil {
+		srv.Close()
+		return err
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
@@ -203,6 +269,14 @@ func runSmoke(storePath, outPath string, cfg server.Config, drainTimeout time.Du
 	}
 	if err := hs.Shutdown(context.Background()); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
+	}
+	// With the daemon drained, the access log must hold every HTTP
+	// exchange and one complete job line per finished run.
+	if err := al.Flush(); err != nil {
+		return fmt.Errorf("access log flush: %w", err)
+	}
+	if err := checkAccessLog(accessLogPath, 2); err != nil {
+		return err
 	}
 
 	summary := map[string]any{
@@ -289,6 +363,60 @@ func decodeBody(resp *http.Response) (map[string]any, error) {
 		return nil, fmt.Errorf("decoding response: %w", err)
 	}
 	return v, nil
+}
+
+// checkPprof asserts the debug listener is serving the profiling index.
+func checkPprof(dbgBase string) error {
+	resp, err := http.Get(dbgBase + "/debug/pprof/cmdline")
+	if err != nil {
+		return fmt.Errorf("pprof: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/pprof/cmdline = %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// checkAccessLog asserts the JSONL access log holds wantJobs terminal job
+// lines, each carrying a request ID and a span chain that reaches the
+// publish phase, plus at least one HTTP line.
+func checkAccessLog(path string, wantJobs int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("access log: %w", err)
+	}
+	var jobs, https int
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" {
+			continue
+		}
+		var entry struct {
+			Kind      string           `json:"kind"`
+			RequestID string           `json:"request_id"`
+			Spans     []telemetry.Span `json:"spans"`
+		}
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			return fmt.Errorf("access log line %q: %w", line, err)
+		}
+		switch entry.Kind {
+		case "http":
+			https++
+		case "job":
+			jobs++
+			if entry.RequestID == "" {
+				return fmt.Errorf("access log job line without request_id: %s", line)
+			}
+			if err := telemetry.ChainPhases(entry.Spans); err != nil {
+				return fmt.Errorf("access log job %s span chain: %w", entry.RequestID, err)
+			}
+		}
+	}
+	if jobs < wantJobs || https == 0 {
+		return fmt.Errorf("access log has %d job / %d http lines, want >=%d / >=1", jobs, https, wantJobs)
+	}
+	log.Printf("smoke: access log %s holds %d http + %d job lines with complete span chains", path, https, jobs)
+	return nil
 }
 
 // checkMetrics asserts the Prometheus endpoint is alive and exporting the

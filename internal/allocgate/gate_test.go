@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/stats"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/sync4/classic"
 	"repro/internal/sync4/kittest"
 	"repro/internal/sync4/lockfree"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -124,7 +126,8 @@ func probeSets(t *testing.T) map[string]map[string][]func() {
 }
 
 // directProbes covers annotated functions outside the kit interface: the
-// lockfree extras, the trace recorder, and the stats histogram.
+// lockfree extras, the trace recorder, the stats histogram, and the
+// telemetry span/latency hot path.
 func directProbes() map[string][]func() {
 	tl := new(lockfree.TicketLock)
 	tb := lockfree.NewTreeBarrier(1, 4)
@@ -132,6 +135,11 @@ func directProbes() map[string][]func() {
 	rec := trace.NewRecorder(8, 1<<12)
 	obj := rec.RegisterObject(trace.FamilyCounter)
 	h := stats.NewHistogram()
+	// A SpanSet sized for one rep: the first probe iterations fill its
+	// preallocated spans, the rest exercise the at-capacity drop path —
+	// both must be allocation-free.
+	ss := telemetry.NewSpanSet(time.Now(), 1)
+	reg := telemetry.NewRegistry()
 	return map[string][]func(){
 		"TicketLock.Lock":       {func() { tl.Lock(); tl.Unlock() }},
 		"TicketLock.Unlock":     {func() { tl.Lock(); tl.Unlock() }},
@@ -142,6 +150,9 @@ func directProbes() map[string][]func() {
 		"Recorder.Record":       {func() { rec.Record(trace.OpRMW, obj, rec.Now()) }},
 		"Histogram.Add":         {func() { h.Add(1234) }},
 		"Histogram.AddDuration": {func() { h.AddDuration(1234) }},
+		"SpanSet.Mark":          {func() { ss.Mark(telemetry.PhaseRep, 0) }},
+		"SpanSet.Annotate":      {func() { ss.Annotate(1, 2) }},
+		"Registry.Observe":      {func() { reg.Observe(telemetry.PhaseRep, 1234) }},
 	}
 }
 

@@ -1,0 +1,310 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// LiveConfig drives real HTTP traffic at a splash4d instance. The live
+// runner is the end-to-end verifier of the client retry contract: every
+// 429 and 503 must carry a usable Retry-After, honored (scaled) before the
+// bounded retry, and the terminal job states must line up with what the
+// daemon advertised.
+type LiveConfig struct {
+	Target string // base URL, e.g. http://127.0.0.1:8080
+	Client *http.Client
+	// Loop selects the generator discipline: "open" replays the schedule's
+	// arrival times (offered load independent of completions), "closed"
+	// runs Concurrency workers back to back (offered load throttled by
+	// response times).
+	Loop        string
+	Concurrency int
+	MaxRetries  int
+	// RetryAfterScale compresses the honored Retry-After sleeps so a smoke
+	// run finishes in seconds; 1.0 sleeps the full advised time. The
+	// contract check (header present, integer, in [1,30]) is unaffected.
+	RetryAfterScale float64
+	// TimeScale compresses the schedule's arrival offsets in open-loop
+	// mode (virtual ns → real ns).
+	TimeScale float64
+	// SpecFor renders the POST /runs body for one scheduled request.
+	// Requests sharing a SpecKey must produce identical bodies.
+	SpecFor      func(Request) []byte
+	PollInterval time.Duration
+	JobTimeout   time.Duration
+}
+
+// LiveResult aggregates a live run. Latency is client-observed wall time
+// from first submission to terminal job state; Submit is the POST round
+// trip alone.
+type LiveResult struct {
+	mu          sync.Mutex
+	Latency     *stats.Histogram
+	Submit      *stats.Histogram
+	Accepted    int
+	Deduped     int
+	Rejected429 int
+	Unavail503  int
+	Errors      int
+	violations  map[string]int
+}
+
+// Counts returns the outcome tallies (taken under the lock, so safe to
+// call while a run is still in flight).
+func (r *LiveResult) Counts() (accepted, deduped, rejected429, unavail503, errors int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.Accepted, r.Deduped, r.Rejected429, r.Unavail503, r.Errors
+}
+
+// LatencyHist returns a snapshot copy of the completion-latency histogram.
+func (r *LiveResult) LatencyHist() *stats.Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := stats.NewHistogram()
+	h.Merge(r.Latency)
+	return h
+}
+
+// SubmitHist returns a snapshot copy of the POST round-trip histogram.
+func (r *LiveResult) SubmitHist() *stats.Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := stats.NewHistogram()
+	h.Merge(r.Submit)
+	return h
+}
+
+// Violations returns the deduplicated contract violations observed, each
+// with its occurrence count, in sorted order.
+func (r *LiveResult) Violations() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.violations))
+	for v, n := range r.violations {
+		out = append(out, fmt.Sprintf("%s (x%d)", v, n))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *LiveResult) violate(format string, args ...any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.violations == nil {
+		r.violations = map[string]int{}
+	}
+	r.violations[fmt.Sprintf(format, args...)]++
+}
+
+// RunLive replays one schedule against a live daemon.
+func RunLive(cfg LiveConfig, schedule []Request) (*LiveResult, error) {
+	if cfg.Target == "" || cfg.SpecFor == nil {
+		return nil, fmt.Errorf("live run needs a target and a spec renderer")
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.RetryAfterScale == 0 {
+		cfg.RetryAfterScale = 1
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = 10 * time.Millisecond
+	}
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = 60 * time.Second
+	}
+	res := &LiveResult{Latency: stats.NewHistogram(), Submit: stats.NewHistogram()}
+
+	switch cfg.Loop {
+	case "", "open":
+		start := time.Now()
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Concurrency)
+		for i := range schedule {
+			wg.Add(1)
+			go func(req Request) {
+				defer wg.Done()
+				due := start.Add(time.Duration(float64(req.AtNS) * cfg.TimeScale))
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				res.drive(cfg, req)
+			}(schedule[i])
+		}
+		wg.Wait()
+	case "closed":
+		var wg sync.WaitGroup
+		next := make(chan Request)
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for req := range next {
+					res.drive(cfg, req)
+				}
+			}()
+		}
+		for i := range schedule {
+			next <- schedule[i]
+		}
+		close(next)
+		wg.Wait()
+	default:
+		return nil, fmt.Errorf("unknown loop discipline %q", cfg.Loop)
+	}
+	return res, nil
+}
+
+// drive pushes one scheduled request through the retry contract until a
+// terminal outcome.
+func (r *LiveResult) drive(cfg LiveConfig, req Request) {
+	first := time.Now()
+	body := cfg.SpecFor(req)
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		resp, err := cfg.Client.Post(cfg.Target+"/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			r.violate("POST /runs transport error: %v", err)
+			r.countError()
+			return
+		}
+		r.observeSubmit(time.Since(t0))
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			var view struct {
+				ID      string `json:"id"`
+				Deduped bool   `json:"deduped"`
+			}
+			if err := json.Unmarshal(payload, &view); err != nil || view.ID == "" {
+				r.violate("2xx submission without a job id: %v", err)
+				r.countError()
+				return
+			}
+			deduped := resp.StatusCode == http.StatusOK && view.Deduped
+			if resp.StatusCode == http.StatusOK && !view.Deduped {
+				r.violate("200 submission not marked deduped")
+			}
+			if r.await(cfg, view.ID) {
+				r.countDone(deduped, time.Since(first))
+			} else {
+				r.countError()
+			}
+			return
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			retryAfter, ok := r.checkRetryAfter(resp)
+			r.countBounce(resp.StatusCode)
+			if attempt >= cfg.MaxRetries {
+				r.countError()
+				return
+			}
+			if !ok {
+				retryAfter = 1
+			}
+			time.Sleep(time.Duration(float64(retryAfter) * cfg.RetryAfterScale * float64(time.Second)))
+		default:
+			r.violate("unexpected submission status %d", resp.StatusCode)
+			r.countError()
+			return
+		}
+	}
+}
+
+// checkRetryAfter enforces the header contract on a 429/503: present,
+// integral, and within the daemon's advertised [1, 30] clamp.
+func (r *LiveResult) checkRetryAfter(resp *http.Response) (int, bool) {
+	raw := resp.Header.Get("Retry-After")
+	if raw == "" {
+		r.violate("%d without Retry-After header", resp.StatusCode)
+		return 0, false
+	}
+	secs, err := strconv.Atoi(raw)
+	if err != nil || secs < 1 || secs > 30 {
+		r.violate("%d with out-of-contract Retry-After %q", resp.StatusCode, raw)
+		return 0, false
+	}
+	return secs, true
+}
+
+// await polls the job to a terminal state; true means done.
+func (r *LiveResult) await(cfg LiveConfig, id string) bool {
+	deadline := time.Now().Add(cfg.JobTimeout)
+	for time.Now().Before(deadline) {
+		resp, err := cfg.Client.Get(cfg.Target + "/runs/" + id)
+		if err != nil {
+			r.violate("GET /runs/%s transport error: %v", id, err)
+			return false
+		}
+		var view struct {
+			Status string `json:"status"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			r.violate("GET /runs/%s undecodable body: %v", id, err)
+			return false
+		}
+		switch view.Status {
+		case "done":
+			return true
+		case "error":
+			return false
+		}
+		time.Sleep(cfg.PollInterval)
+	}
+	r.violate("job %s did not reach a terminal state in %s", id, cfg.JobTimeout)
+	return false
+}
+
+func (r *LiveResult) observeSubmit(d time.Duration) {
+	r.mu.Lock()
+	r.Submit.AddDuration(d)
+	r.mu.Unlock()
+}
+
+func (r *LiveResult) countDone(deduped bool, wall time.Duration) {
+	r.mu.Lock()
+	r.Latency.AddDuration(wall)
+	if deduped {
+		r.Deduped++
+	} else {
+		r.Accepted++
+	}
+	r.mu.Unlock()
+}
+
+func (r *LiveResult) countBounce(status int) {
+	r.mu.Lock()
+	if status == http.StatusTooManyRequests {
+		r.Rejected429++
+	} else {
+		r.Unavail503++
+	}
+	r.mu.Unlock()
+}
+
+func (r *LiveResult) countError() {
+	r.mu.Lock()
+	r.Errors++
+	r.mu.Unlock()
+}

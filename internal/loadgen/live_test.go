@@ -1,0 +1,186 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubDaemon fakes just enough of the splash4d API surface to exercise
+// the live runner's retry contract handling without real workloads: a
+// bounded "ring" of concurrently-open jobs, instant completion after one
+// poll, singleflight by spec key, and optional contract sabotage.
+type stubDaemon struct {
+	mu       sync.Mutex
+	capacity int
+	open     map[string]string // specKey → job id
+	done     map[string]bool
+	nextID   int
+	bounces  int
+	// sabotage drops the Retry-After header from 429s.
+	sabotage bool
+}
+
+func newStubDaemon(capacity int) *stubDaemon {
+	return &stubDaemon{capacity: capacity, open: map[string]string{}, done: map[string]bool{}}
+}
+
+func (d *stubDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runs", d.submit)
+	mux.HandleFunc("GET /runs/{id}", d.status)
+	return mux
+}
+
+func (d *stubDaemon) submit(w http.ResponseWriter, r *http.Request) {
+	var spec struct {
+		Workload string `json:"workload"`
+		Seed     int64  `json:"seed"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := fmt.Sprintf("%s/%d", spec.Workload, spec.Seed)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.open[key]; ok {
+		writeStub(w, http.StatusOK, map[string]any{"id": id, "deduped": true})
+		return
+	}
+	if len(d.open) >= d.capacity {
+		d.bounces++
+		if !d.sabotage {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeStub(w, http.StatusTooManyRequests, map[string]any{"error": "ring full"})
+		return
+	}
+	d.nextID++
+	id := fmt.Sprintf("job-%d", d.nextID)
+	d.open[key] = id
+	go func() { // complete shortly after admission
+		time.Sleep(5 * time.Millisecond)
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.done[id] = true
+		delete(d.open, key)
+	}()
+	writeStub(w, http.StatusAccepted, map[string]any{"id": id})
+}
+
+func (d *stubDaemon) status(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	status := "running"
+	if d.done[id] {
+		status = "done"
+	}
+	writeStub(w, http.StatusOK, map[string]any{"id": id, "status": status})
+}
+
+func writeStub(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func liveSpec(req Request) []byte {
+	return []byte(fmt.Sprintf(`{"workload":"stub","seed":%d}`, req.Seed))
+}
+
+func liveConfig(target string) LiveConfig {
+	return LiveConfig{
+		Target:          target,
+		MaxRetries:      5,
+		RetryAfterScale: 0.01, // compress the honored sleeps to ~10ms
+		TimeScale:       0.001,
+		SpecFor:         liveSpec,
+		PollInterval:    2 * time.Millisecond,
+		JobTimeout:      5 * time.Second,
+		Concurrency:     16,
+	}
+}
+
+func TestRunLiveOpenLoopContract(t *testing.T) {
+	daemon := newStubDaemon(2)
+	ts := httptest.NewServer(daemon.handler())
+	defer ts.Close()
+
+	sched := mustSchedule(t, ScheduleConfig{Shape: ShapeBurst, Requests: 60, SpanNS: 3e9, Seed: 21})
+	res, err := RunLive(liveConfig(ts.URL), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted, deduped, rejected, _, errors := res.Counts()
+	if v := res.Violations(); len(v) != 0 {
+		t.Fatalf("contract violations against a compliant daemon: %v", v)
+	}
+	if accepted+deduped+errors != 60 {
+		t.Errorf("outcomes %d+%d+%d don't cover 60 requests", accepted, deduped, errors)
+	}
+	if accepted == 0 {
+		t.Error("no accepted requests")
+	}
+	if rejected == 0 {
+		t.Error("burst against capacity-2 stub produced no 429s")
+	}
+	if h := res.LatencyHist(); int(h.N()) != accepted+deduped {
+		t.Errorf("latency histogram holds %d, want %d", h.N(), accepted+deduped)
+	}
+	if h := res.SubmitHist(); h.N() == 0 {
+		t.Error("no submit round-trips recorded")
+	}
+}
+
+func TestRunLiveClosedLoopDedup(t *testing.T) {
+	daemon := newStubDaemon(64)
+	ts := httptest.NewServer(daemon.handler())
+	defer ts.Close()
+
+	cfg := liveConfig(ts.URL)
+	cfg.Loop = "closed"
+	sched := mustSchedule(t, ScheduleConfig{Shape: ShapeDedupHostile, Requests: 48, SpanNS: 1e9, Seed: 8})
+	res, err := RunLive(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	_, deduped, _, _, errors := res.Counts()
+	if deduped == 0 {
+		t.Error("dedup-hostile closed loop saw no singleflight hits")
+	}
+	if errors != 0 {
+		t.Errorf("%d errors against an uncontended stub", errors)
+	}
+}
+
+func TestRunLiveFlagsMissingRetryAfter(t *testing.T) {
+	daemon := newStubDaemon(1)
+	daemon.sabotage = true
+	ts := httptest.NewServer(daemon.handler())
+	defer ts.Close()
+
+	sched := mustSchedule(t, ScheduleConfig{Shape: ShapeBurst, Requests: 40, SpanNS: 1e9, Seed: 5})
+	res, err := RunLive(liveConfig(ts.URL), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations() {
+		if strings.Contains(v, "without Retry-After") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sabotaged daemon produced no Retry-After violation; got %v", res.Violations())
+	}
+}

@@ -1,0 +1,233 @@
+package loadgen
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// SimConfig parameterizes the virtual-clock model of splash4d's admission
+// pipeline: a bounded ring, a worker pool, singleflight dedup, and the
+// adaptive Retry-After advice the daemon computes for bounced clients.
+// Everything is virtual time — a run over hours of modeled traffic
+// finishes in milliseconds and produces identical results for identical
+// seeds.
+type SimConfig struct {
+	Workers  int
+	QueueCap int
+	// ServiceNS is the mean modeled job service time. Individual jobs draw
+	// from [0.5, 2.5)× the mean.
+	ServiceNS int64
+	// MaxRetries bounds how many times a bounced (429) client re-submits,
+	// honoring the advised Retry-After each time, before giving up. This
+	// mirrors the documented client retry contract.
+	MaxRetries int
+}
+
+// Outcome classifies how one scheduled request ended.
+type Outcome int
+
+const (
+	// OutcomeDone: the request created a job and it completed.
+	OutcomeDone Outcome = iota
+	// OutcomeDeduped: singleflight attached the request to an identical
+	// in-flight job; it completed with that job.
+	OutcomeDeduped
+	// OutcomeError: the request exhausted its retry budget against a full
+	// ring and gave up.
+	OutcomeError
+)
+
+// RequestResult is the simulator's record of one scheduled request.
+type RequestResult struct {
+	Request Request
+	Outcome Outcome
+	// LatencyNS is first arrival → job completion (including every
+	// Retry-After wait for bounced submissions).
+	LatencyNS int64
+	// Rejections counts 429 bounces this request absorbed.
+	Rejections int
+}
+
+// SimResult aggregates one shape's simulated run.
+type SimResult struct {
+	Results  []RequestResult
+	Latency  *stats.Histogram // completion latencies, ns
+	Accepted int
+	Deduped  int
+	Rejected int // total 429 bounces (a request can bounce repeatedly)
+	Errors   int // requests that gave up
+	// MaxQueueDepth and MaxRetryAfterS record the deepest backlog and the
+	// largest Retry-After the model advised — the load's stress signature.
+	MaxQueueDepth  int
+	MaxRetryAfterS int
+}
+
+// Event kinds for the discrete-event loop.
+const (
+	evArrival = iota
+	evJobDone
+)
+
+type simEvent struct {
+	atNS int64
+	kind int
+	seq  int // tie-break: FIFO among equal-time events, deterministic
+	req  *simRequest
+	job  *simJob
+}
+
+type eventQueue []*simEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].atNS != q[j].atNS {
+		return q[i].atNS < q[j].atNS
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*simEvent)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+type simRequest struct {
+	idx        int // index into the schedule
+	firstNS    int64
+	rejections int
+}
+
+type simJob struct {
+	specKey string
+	// waiters are every request (creator first) resolved when the job
+	// completes.
+	waiters []*simRequest
+	running bool
+}
+
+// Simulate runs one shape's schedule through the pipeline model.
+func Simulate(cfg SimConfig, schedule []Request, seed uint64) (*SimResult, error) {
+	if cfg.Workers <= 0 || cfg.QueueCap <= 0 || cfg.ServiceNS <= 0 {
+		return nil, fmt.Errorf("sim needs positive workers, queue capacity, and service time")
+	}
+	serviceRNG := newRNG(seed).split()
+	res := &SimResult{
+		Results: make([]RequestResult, len(schedule)),
+		Latency: stats.NewHistogram(),
+	}
+	for i := range schedule {
+		res.Results[i].Request = schedule[i]
+	}
+
+	var events eventQueue
+	seq := 0
+	push := func(ev *simEvent) {
+		ev.seq = seq
+		seq++
+		heap.Push(&events, ev)
+	}
+	for i := range schedule {
+		push(&simEvent{atNS: schedule[i].AtNS, kind: evArrival,
+			req: &simRequest{idx: i, firstNS: schedule[i].AtNS}})
+	}
+
+	active := map[string]*simJob{} // specKey → in-flight job (queued or running)
+	var queue []*simJob            // admission ring: FIFO of not-yet-running jobs
+	idle := cfg.Workers
+	inflight := 0
+
+	// drawService models the run duration spread: [0.5, 2.5)× the mean,
+	// biased low (u² keeps most jobs short, a few long — a tail).
+	drawService := func() int64 {
+		u := serviceRNG.float64()
+		return int64(float64(cfg.ServiceNS) * (0.5 + 2*u*u))
+	}
+	startNext := func(now int64) {
+		for idle > 0 && len(queue) > 0 {
+			job := queue[0]
+			queue = queue[1:]
+			job.running = true
+			idle--
+			inflight++
+			push(&simEvent{atNS: now + drawService(), kind: evJobDone, job: job})
+		}
+	}
+	complete := func(now int64, job *simJob) {
+		for _, w := range job.waiters {
+			r := &res.Results[w.idx]
+			r.LatencyNS = now - w.firstNS
+			r.Rejections = w.rejections
+			res.Latency.Add(r.LatencyNS)
+			if w == job.waiters[0] {
+				r.Outcome = OutcomeDone
+				res.Accepted++
+			} else {
+				r.Outcome = OutcomeDeduped
+				res.Deduped++
+			}
+		}
+		delete(active, job.specKey)
+		idle++
+		inflight--
+		startNext(now)
+	}
+	// retryAfterS mirrors the daemon's adaptive advice: a second per
+	// backlogged job per worker, clamped to [1, 30].
+	retryAfterS := func() int {
+		s := 1 + (len(queue)+inflight)/cfg.Workers
+		if s > 30 {
+			s = 30
+		}
+		return s
+	}
+	arrive := func(now int64, req *simRequest) {
+		key := res.Results[req.idx].Request.SpecKey
+		if job, ok := active[key]; ok {
+			job.waiters = append(job.waiters, req)
+			return
+		}
+		if len(queue) >= cfg.QueueCap {
+			req.rejections++
+			res.Rejected++
+			ra := retryAfterS()
+			if ra > res.MaxRetryAfterS {
+				res.MaxRetryAfterS = ra
+			}
+			if req.rejections > cfg.MaxRetries {
+				r := &res.Results[req.idx]
+				r.Outcome = OutcomeError
+				r.Rejections = req.rejections
+				r.LatencyNS = now - req.firstNS
+				res.Errors++
+				return
+			}
+			push(&simEvent{atNS: now + int64(ra)*1e9, kind: evArrival, req: req})
+			return
+		}
+		job := &simJob{specKey: key, waiters: []*simRequest{req}}
+		active[key] = job
+		queue = append(queue, job)
+		if d := len(queue); d > res.MaxQueueDepth {
+			res.MaxQueueDepth = d
+		}
+		startNext(now)
+	}
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(*simEvent)
+		switch ev.kind {
+		case evArrival:
+			arrive(ev.atNS, ev.req)
+		case evJobDone:
+			complete(ev.atNS, ev.job)
+		}
+	}
+	return res, nil
+}

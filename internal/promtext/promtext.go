@@ -1,0 +1,472 @@
+// Package promtext parses and lints the Prometheus text exposition format
+// (version 0.0.4) — the format splash4d hand-renders on /metrics. It is
+// deliberately small: enough to validate that every exposed line is
+// well-formed (metric and label names legal, HELP/TYPE present and
+// consistent, histogram series cumulative and complete) and to let the
+// load generator assert on scraped values without regex-scraping response
+// bodies. The parser is strict where the exposition spec is strict and
+// tolerant nowhere: splash4d owns both ends, so any defect is a bug.
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one exposed time series sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns one label value ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// Family is one metric family: its metadata and every sample whose name is
+// the family name or, for histograms, a _bucket/_sum/_count derivative.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // "counter", "gauge", "histogram", "summary", "untyped"
+	Samples []Sample
+}
+
+// Metrics is a parsed exposition.
+type Metrics struct {
+	Families map[string]*Family
+	order    []string
+}
+
+// FamilyNames returns the family names in exposition order.
+func (m *Metrics) FamilyNames() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Value returns the sample with the given name whose labels all match
+// want (extra labels on the sample are not allowed to differ: the match
+// is exact on the provided keys).
+func (m *Metrics) Value(name string, want map[string]string) (float64, bool) {
+	fam := m.Families[familyOf(name)]
+	if fam == nil {
+		return 0, false
+	}
+	for _, s := range fam.Samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// familyOf strips histogram/summary sample suffixes.
+func familyOf(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			return strings.TrimSuffix(name, suffix)
+		}
+	}
+	return name
+}
+
+// Parse reads one exposition. It fails on the first malformed line;
+// structural defects that span lines (missing TYPE, broken cumulative
+// buckets) are reported by Lint.
+func Parse(text string) (*Metrics, error) {
+	m := &Metrics{Families: make(map[string]*Family)}
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := m.parseComment(line, lineNo); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := m.parseSample(line, lineNo); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// family returns (creating if needed) the family record for name.
+func (m *Metrics) family(name string) *Family {
+	if f := m.Families[name]; f != nil {
+		return f
+	}
+	f := &Family{Name: name}
+	m.Families[name] = f
+	m.order = append(m.order, name)
+	return f
+}
+
+// parseComment handles "# HELP name text" and "# TYPE name kind"; other
+// comments are legal and ignored.
+func (m *Metrics) parseComment(line string, lineNo int) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("line %d: HELP for invalid metric name %q", lineNo, fields[2])
+		}
+		f := m.family(fields[2])
+		if f.Help != "" {
+			return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, fields[2])
+		}
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		if help == "" {
+			return fmt.Errorf("line %d: empty HELP for %s", lineNo, fields[2])
+		}
+		f.Help = help
+	case "TYPE":
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("line %d: TYPE for invalid metric name %q", lineNo, fields[2])
+		}
+		f := m.family(fields[2])
+		if f.Type != "" {
+			return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, fields[2])
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, fields[2])
+		}
+		kind := ""
+		if len(fields) == 4 {
+			kind = fields[3]
+		}
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+			f.Type = kind
+		default:
+			return fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, kind, fields[2])
+		}
+	}
+	return nil
+}
+
+// parseSample handles "name{labels} value" and "name value".
+func (m *Metrics) parseSample(line string, lineNo int) error {
+	name, rest, labels, err := splitSample(line)
+	if err != nil {
+		return fmt.Errorf("line %d: %w", lineNo, err)
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+	}
+	for k := range labels {
+		if !validLabelName(k) {
+			return fmt.Errorf("line %d: invalid label name %q", lineNo, k)
+		}
+	}
+	valueText := strings.TrimSpace(rest)
+	if valueText == "" {
+		return fmt.Errorf("line %d: sample %s has no value", lineNo, name)
+	}
+	// A timestamp after the value is legal in the format; splash4d never
+	// emits one, and rejecting it keeps the lint honest about what the
+	// daemon produces.
+	if strings.ContainsAny(valueText, " \t") {
+		return fmt.Errorf("line %d: unexpected trailing fields in %q", lineNo, line)
+	}
+	value, err := parseValue(valueText)
+	if err != nil {
+		return fmt.Errorf("line %d: bad value %q: %v", lineNo, valueText, err)
+	}
+	fam := m.family(familyOf(name))
+	fam.Samples = append(fam.Samples, Sample{Name: name, Labels: labels, Value: value})
+	return nil
+}
+
+// splitSample separates the metric name, label block, and the remainder.
+func splitSample(line string) (name, rest string, labels map[string]string, err error) {
+	labels = map[string]string{}
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexAny(line, " \t")
+	if brace >= 0 && (space < 0 || brace < space) {
+		name = line[:brace]
+		end, ls, err := parseLabels(line[brace:])
+		if err != nil {
+			return "", "", nil, err
+		}
+		labels = ls
+		rest = line[brace+end:]
+		return name, rest, labels, nil
+	}
+	if space < 0 {
+		return "", "", nil, fmt.Errorf("no value in %q", line)
+	}
+	return line[:space], line[space:], labels, nil
+}
+
+// parseLabels parses "{k="v",...}" and returns the offset one past the
+// closing brace plus the label map.
+func parseLabels(s string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		key := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		val, n, err := parseQuoted(s[i:])
+		if err != nil {
+			return 0, nil, fmt.Errorf("label %q: %w", key, err)
+		}
+		if _, dup := labels[key]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %q", key)
+		}
+		labels[key] = val
+		i += n
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseQuoted reads a quoted label value with \\, \" and \n escapes,
+// returning the value and bytes consumed including both quotes.
+func parseQuoted(s string) (string, int, error) {
+	var sb strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return sb.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\', '"':
+				sb.WriteByte(s[i])
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted value")
+}
+
+// parseValue accepts Go float syntax plus the exposition's +Inf/-Inf/NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// Lint checks cross-line structure and returns every defect found:
+// families without HELP or TYPE, histogram families missing _sum/_count,
+// non-cumulative or unlabeled-le buckets, counts disagreeing with the
+// +Inf bucket, and counter samples with negative values.
+func Lint(m *Metrics) []string {
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	names := m.FamilyNames()
+	for _, name := range names {
+		f := m.Families[name]
+		if f.Help == "" {
+			bad("family %s has no HELP", name)
+		}
+		if f.Type == "" {
+			bad("family %s has no TYPE", name)
+			continue
+		}
+		switch f.Type {
+		case "histogram":
+			lintHistogram(f, bad)
+		case "counter":
+			for _, s := range f.Samples {
+				if s.Value < 0 {
+					bad("counter %s has negative value %g", s.Name, s.Value)
+				}
+			}
+		}
+		if f.Type != "histogram" && f.Type != "summary" {
+			for _, s := range f.Samples {
+				if s.Name != name {
+					bad("%s sample %s does not match its %s family", f.Type, s.Name, name)
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// lintHistogram validates one histogram family's series-set: per label-set
+// buckets must carry le, be cumulative, end at +Inf, and agree with _count;
+// _sum and _count must both exist.
+func lintHistogram(f *Family, bad func(string, ...any)) {
+	type series struct {
+		buckets []Sample
+		sum     *Sample
+		count   *Sample
+	}
+	bySet := map[string]*series{}
+	var order []string
+	get := func(s Sample) *series {
+		key := labelKey(s.Labels, "le")
+		sr := bySet[key]
+		if sr == nil {
+			sr = &series{}
+			bySet[key] = sr
+			order = append(order, key)
+		}
+		return sr
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		switch s.Name {
+		case f.Name + "_bucket":
+			sr := get(s)
+			sr.buckets = append(sr.buckets, s)
+		case f.Name + "_sum":
+			get(s).sum = &f.Samples[i]
+		case f.Name + "_count":
+			get(s).count = &f.Samples[i]
+		default:
+			bad("histogram %s has stray sample %s", f.Name, s.Name)
+		}
+	}
+	for _, key := range order {
+		sr := bySet[key]
+		where := f.Name
+		if key != "" {
+			where += "{" + key + "}"
+		}
+		if len(sr.buckets) == 0 {
+			bad("histogram series %s has no buckets", where)
+			continue
+		}
+		prevLE := math.Inf(-1)
+		prevCum := -1.0
+		sawInf := false
+		for _, b := range sr.buckets {
+			leText, ok := b.Labels["le"]
+			if !ok {
+				bad("bucket of %s lacks an le label", where)
+				continue
+			}
+			le, err := parseValue(leText)
+			if err != nil {
+				bad("bucket of %s has unparseable le=%q", where, leText)
+				continue
+			}
+			if le <= prevLE {
+				bad("buckets of %s are not in increasing le order (%q)", where, leText)
+			}
+			prevLE = le
+			if b.Value < prevCum {
+				bad("buckets of %s are not cumulative at le=%q", where, leText)
+			}
+			prevCum = b.Value
+			if math.IsInf(le, 1) {
+				sawInf = true
+			}
+		}
+		if !sawInf {
+			bad("histogram series %s lacks an le=\"+Inf\" bucket", where)
+		}
+		if sr.sum == nil {
+			bad("histogram series %s lacks a _sum sample", where)
+		}
+		if sr.count == nil {
+			bad("histogram series %s lacks a _count sample", where)
+		} else if sawInf {
+			inf := sr.buckets[len(sr.buckets)-1]
+			if inf.Value != sr.count.Value {
+				bad("histogram series %s: +Inf bucket %g != _count %g", where, inf.Value, sr.count.Value)
+			}
+		}
+	}
+}
+
+// labelKey renders labels (minus the excluded one) canonically.
+func labelKey(labels map[string]string, exclude string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == exclude {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.Quote(labels[k])
+	}
+	return strings.Join(parts, ",")
+}

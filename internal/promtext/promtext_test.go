@@ -1,0 +1,153 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# HELP demo_queue_depth Jobs waiting.
+# TYPE demo_queue_depth gauge
+demo_queue_depth 3
+# HELP demo_requests_total Requests served.
+# TYPE demo_requests_total counter
+demo_requests_total{code="200"} 10
+demo_requests_total{code="429"} 2
+# HELP demo_latency_seconds Request latency.
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{kit="lockfree",le="0.1"} 4
+demo_latency_seconds_bucket{kit="lockfree",le="1"} 9
+demo_latency_seconds_bucket{kit="lockfree",le="+Inf"} 10
+demo_latency_seconds_sum{kit="lockfree"} 4.2
+demo_latency_seconds_count{kit="lockfree"} 10
+`
+
+func mustParse(t *testing.T, text string) *Metrics {
+	t.Helper()
+	m, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return m
+}
+
+func TestParseWellFormed(t *testing.T) {
+	m := mustParse(t, goodExposition)
+	if got := m.FamilyNames(); len(got) != 3 {
+		t.Fatalf("families = %v, want 3", got)
+	}
+	if v, ok := m.Value("demo_queue_depth", nil); !ok || v != 3 {
+		t.Errorf("queue_depth = %v, %v", v, ok)
+	}
+	if v, ok := m.Value("demo_requests_total", map[string]string{"code": "429"}); !ok || v != 2 {
+		t.Errorf("429 counter = %v, %v", v, ok)
+	}
+	if v, ok := m.Value("demo_latency_seconds_count", map[string]string{"kit": "lockfree"}); !ok || v != 10 {
+		t.Errorf("histogram count = %v, %v", v, ok)
+	}
+	if v, ok := m.Value("demo_latency_seconds_bucket", map[string]string{"kit": "lockfree", "le": "+Inf"}); !ok || v != 10 {
+		t.Errorf("+Inf bucket = %v, %v", v, ok)
+	}
+	if _, ok := m.Value("demo_requests_total", map[string]string{"code": "500"}); ok {
+		t.Error("found a code=500 sample that was never exposed")
+	}
+	if problems := Lint(m); len(problems) != 0 {
+		t.Errorf("Lint reported %v for a clean exposition", problems)
+	}
+}
+
+func TestParseSpecialValues(t *testing.T) {
+	m := mustParse(t, "x_inf +Inf\nx_neg -Inf\nx_nan NaN\nx_exp 2.5e-3\n")
+	if v, _ := m.Value("x_inf", nil); !math.IsInf(v, 1) {
+		t.Errorf("x_inf = %v", v)
+	}
+	if v, _ := m.Value("x_neg", nil); !math.IsInf(v, -1) {
+		t.Errorf("x_neg = %v", v)
+	}
+	if v, _ := m.Value("x_nan", nil); !math.IsNaN(v) {
+		t.Errorf("x_nan = %v", v)
+	}
+	if v, _ := m.Value("x_exp", nil); v != 0.0025 {
+		t.Errorf("x_exp = %v", v)
+	}
+}
+
+func TestParseEscapedLabels(t *testing.T) {
+	m := mustParse(t, `x{a="he said \"hi\"",b="line\nbreak",c="back\\slash"} 1`+"\n")
+	f := m.Families["x"]
+	if f == nil || len(f.Samples) != 1 {
+		t.Fatalf("bad parse: %+v", m.Families)
+	}
+	s := f.Samples[0]
+	if s.Label("a") != `he said "hi"` || s.Label("b") != "line\nbreak" || s.Label("c") != `back\slash` {
+		t.Errorf("labels = %v", s.Labels)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no-value-line\n",
+		"1leading_digit 3\n",
+		"x{__reserved=\"v\"} 1\n",
+		"x{bad-name=\"v\"} 1\n",
+		"x{a=\"unterminated} 1\n",
+		"x{a=\"v\",a=\"w\"} 1\n",
+		"x{a=unquoted} 1\n",
+		"x not_a_number\n",
+		"x 1 1700000000\n", // timestamps: legal format, never emitted by splash4d
+		"# TYPE x wat\n",
+		"# TYPE x counter\n# TYPE x counter\n",
+		"# HELP x first\n# HELP x second\n",
+		"x 1\n# TYPE x counter\n",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestLintFindsStructuralDefects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"no help", "# TYPE x counter\nx 1\n", "no HELP"},
+		{"no type", "# HELP x h\nx 1\n", "no TYPE"},
+		{"negative counter", "# HELP x h\n# TYPE x counter\nx -1\n", "negative"},
+		{"non-cumulative", "# HELP x h\n# TYPE x histogram\nx_bucket{le=\"1\"} 5\nx_bucket{le=\"2\"} 3\nx_bucket{le=\"+Inf\"} 5\nx_sum 1\nx_count 5\n", "not cumulative"},
+		{"missing inf", "# HELP x h\n# TYPE x histogram\nx_bucket{le=\"1\"} 5\nx_sum 1\nx_count 5\n", "+Inf"},
+		{"missing sum", "# HELP x h\n# TYPE x histogram\nx_bucket{le=\"+Inf\"} 5\nx_count 5\n", "_sum"},
+		{"missing count", "# HELP x h\n# TYPE x histogram\nx_bucket{le=\"+Inf\"} 5\nx_sum 1\n", "_count"},
+		{"count mismatch", "# HELP x h\n# TYPE x histogram\nx_bucket{le=\"+Inf\"} 5\nx_sum 1\nx_count 4\n", "!= _count"},
+		{"le out of order", "# HELP x h\n# TYPE x histogram\nx_bucket{le=\"2\"} 1\nx_bucket{le=\"1\"} 1\nx_bucket{le=\"+Inf\"} 1\nx_sum 1\nx_count 1\n", "increasing"},
+		{"bucket without le", "# HELP x h\n# TYPE x histogram\nx_bucket 5\nx_bucket{le=\"+Inf\"} 5\nx_sum 1\nx_count 5\n", "lacks an le"},
+		{"gauge with stray suffix", "# HELP x h\n# TYPE x gauge\nx 1\nx_count 2\n", "does not match"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := mustParse(t, tc.text)
+			problems := Lint(m)
+			found := false
+			for _, p := range problems {
+				if strings.Contains(p, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("Lint = %v, want a problem containing %q", problems, tc.want)
+			}
+		})
+	}
+}
+
+func TestLintSeparatesLabelSets(t *testing.T) {
+	// Two label-sets in one histogram family: one healthy, one broken.
+	text := "# HELP x h\n# TYPE x histogram\n" +
+		"x_bucket{kit=\"a\",le=\"1\"} 2\nx_bucket{kit=\"a\",le=\"+Inf\"} 3\nx_sum{kit=\"a\"} 1\nx_count{kit=\"a\"} 3\n" +
+		"x_bucket{kit=\"b\",le=\"+Inf\"} 7\nx_sum{kit=\"b\"} 1\nx_count{kit=\"b\"} 6\n"
+	problems := Lint(mustParse(t, text))
+	if len(problems) != 1 || !strings.Contains(problems[0], `kit="b"`) {
+		t.Errorf("Lint = %v, want exactly one kit=\"b\" count mismatch", problems)
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // SyncPolicy selects journal durability.
@@ -155,6 +157,15 @@ type Record struct {
 	// SyncOps is the total synchronization-operation census of the last
 	// repetition; 0 when the run was not instrumented.
 	SyncOps int64 `json:"sync_ops,omitempty"`
+
+	// RequestID is the propagated ID of the submission that created the
+	// job, linking the journal record to the daemon's access log.
+	RequestID string `json:"request_id,omitempty"`
+	// Spans is the job's lifecycle span chain as known at append time:
+	// admission through the last repetition. The journal and publish
+	// phases close after this record is durable, so they appear in the
+	// job view and the access log but not here.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // Key identifies the measurement population a record belongs to: every

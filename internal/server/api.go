@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // maxBodyBytes bounds POST /runs request bodies; a spec is tiny.
@@ -50,7 +52,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid run spec: %v", err)
 		return
 	}
-	job, created, err := s.submit(sp)
+	// Start the lifecycle span chain at the request's arrival instant and
+	// close the admission phase: the spec is parsed, validated, and about
+	// to enter dedup resolution. The chain has room for one span per
+	// repetition plus every fixed phase.
+	info := requestInfo(r)
+	ss := telemetry.NewSpanSet(info.start, sp.Reps)
+	ss.Mark(telemetry.PhaseAdmission, 0)
+	job, created, err := s.submit(sp, info.id, ss)
 	switch {
 	case errors.Is(err, errDraining):
 		w.Header().Set("Retry-After", "5")
@@ -94,19 +103,26 @@ func (s *Server) jobView(j *Job, deduped bool) map[string]any {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := map[string]any{
-		"id":        j.ID,
-		"status":    j.State().String(),
-		"workload":  j.Spec.Workload,
-		"kit":       j.Spec.Kit,
-		"threads":   j.Spec.Threads,
-		"scale":     j.Spec.Scale,
-		"seed":      j.Spec.Seed,
-		"reps":      j.Spec.Reps,
-		"warmup":    j.Spec.Warmup,
-		"submitted": j.Submitted.UTC().Format(time.RFC3339Nano),
+		"id":         j.ID,
+		"status":     j.State().String(),
+		"workload":   j.Spec.Workload,
+		"kit":        j.Spec.Kit,
+		"threads":    j.Spec.Threads,
+		"scale":      j.Spec.Scale,
+		"seed":       j.Spec.Seed,
+		"reps":       j.Spec.Reps,
+		"warmup":     j.Spec.Warmup,
+		"submitted":  j.Submitted.UTC().Format(time.RFC3339Nano),
+		"request_id": j.RequestID,
 	}
 	if deduped {
 		v["deduped"] = true
+	}
+	// The lifecycle span chain closed so far: complete (admission through
+	// publish) once the job is terminal, a prefix while it runs.
+	if spans := j.spans.Spans(); len(spans) > 0 {
+		v["spans"] = spans
+		v["span_sum_ns"] = spanSum(spans)
 	}
 	if !j.started.IsZero() {
 		v["started"] = j.started.UTC().Format(time.RFC3339Nano)
@@ -129,6 +145,15 @@ func (s *Server) jobView(j *Job, deduped bool) map[string]any {
 		}
 	}
 	return v
+}
+
+// spanSum totals the closed spans' durations.
+func spanSum(spans []telemetry.Span) int64 {
+	var sum int64
+	for _, s := range spans {
+		sum += s.DurNS()
+	}
+	return sum
 }
 
 // handleEvents is GET /runs/{id}/events: a Server-Sent-Events stream of the

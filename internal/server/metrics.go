@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // handleMetrics is GET /metrics: Prometheus text exposition format,
@@ -39,19 +40,80 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	gauge("splash4d_degraded", "1 while the journal write path is failing and the server serves reads only.", degraded)
 	gauge("splash4d_store_records", "Results in the persistent store, including replayed history.", s.store.Len())
+	// The Retry-After a rejected submission would be advised right now —
+	// exported so load generators can assert the retry contract from the
+	// scrape instead of having to provoke a 429 and read its headers.
+	gauge("splash4d_retry_after_seconds", "Retry-After value the next rejected submission would receive.", s.retryAfterSeconds())
 
 	counter("splash4d_jobs_accepted_total", "Jobs admitted to the queue.", s.accepted.Load())
 	counter("splash4d_jobs_completed_total", "Jobs that finished successfully.", s.completed.Load())
 	counter("splash4d_jobs_failed_total", "Jobs that ended in an error (including canceled).", s.failed.Load())
-	counter("splash4d_jobs_rejected_total", "Submissions refused with 429 because the ring was full.", s.rejected.Load())
 	counter("splash4d_jobs_deduped_total", "Submissions answered by an already-active identical job.", s.deduped.Load())
 	counter("splash4d_append_retries_total", "Journal appends that failed and were retried.", s.appendRetries.Load())
 
+	// Rejections split by cause: ring_full is the 429 backpressure path,
+	// degraded and draining are the 503 paths.
+	fmt.Fprintf(&b, "# HELP %[1]s Submissions refused, by cause (ring_full=429, degraded/draining=503).\n# TYPE %[1]s counter\n", "splash4d_jobs_rejected_total")
+	fmt.Fprintf(&b, "splash4d_jobs_rejected_total{cause=\"ring_full\"} %d\n", s.rejected.Load())
+	fmt.Fprintf(&b, "splash4d_jobs_rejected_total{cause=\"degraded\"} %d\n", s.rejectedDegraded.Load())
+	fmt.Fprintf(&b, "splash4d_jobs_rejected_total{cause=\"draining\"} %d\n", s.rejectedDraining.Load())
+
+	// Cumulative time spent degraded, including the open window: the
+	// series an error-budget burn alert watches.
+	fmt.Fprintf(&b, "# HELP %[1]s Cumulative seconds spent in degraded (read-only) mode.\n# TYPE %[1]s counter\n", "splash4d_degraded_seconds_total")
+	fmt.Fprintf(&b, "splash4d_degraded_seconds_total %g\n", s.degradedTotal().Seconds())
+
+	s.writeHTTPCounters(&b)
+	s.writePhaseHistograms(&b)
 	s.writeHistograms(&b)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeHTTPCounters renders the per-status-code request counters.
+func (s *Server) writeHTTPCounters(b *strings.Builder) {
+	codes := s.httpCodesSnapshot()
+	if len(codes) == 0 {
+		return
+	}
+	keys := make([]int, 0, len(codes))
+	for c := range codes {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	const name = "splash4d_http_requests_total"
+	fmt.Fprintf(b, "# HELP %s HTTP requests served, by response status code.\n# TYPE %s counter\n", name, name)
+	for _, c := range keys {
+		fmt.Fprintf(b, "%s{code=\"%d\"} %d\n", name, c, codes[c])
+	}
+}
+
+// writePhaseHistograms renders the per-phase job lifecycle latency series
+// from the telemetry registry, one labeled histogram per phase.
+func (s *Server) writePhaseHistograms(b *strings.Builder) {
+	const name = "splash4d_phase_duration_seconds"
+	var any bool
+	for p := telemetry.Phase(0); int(p) < telemetry.NumPhases; p++ {
+		h := s.phases.Snapshot(p)
+		if h.N() == 0 {
+			continue
+		}
+		if !any {
+			fmt.Fprintf(b, "# HELP %s Job lifecycle phase durations (admission, dedup, queue, rep, journal, publish).\n# TYPE %s histogram\n", name, name)
+			any = true
+		}
+		labels := fmt.Sprintf("phase=%q", p.String())
+		var cum int64
+		for _, bucket := range h.Buckets() {
+			cum += bucket.Count
+			fmt.Fprintf(b, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, float64(bucket.Hi)/1e9, cum)
+		}
+		fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, h.N())
+		fmt.Fprintf(b, "%s_sum{%s} %g\n", name, labels, float64(h.Sum())/1e9)
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, h.N())
+	}
 }
 
 // writeHistograms renders every (workload, kit) run-duration series. The

@@ -16,6 +16,7 @@ import (
 	"repro/internal/sync4"
 	"repro/internal/sync4/classic"
 	"repro/internal/sync4/lockfree"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -107,6 +108,14 @@ type Job struct {
 	Seq       int64
 	Spec      Spec
 	Submitted time.Time
+	// RequestID is the propagated ID of the submission that created this
+	// job; it threads through SSE events, job views, the journal record,
+	// and the access log.
+	RequestID string
+	// spans is the job's lifecycle chain (admission → … → publish),
+	// boundary-marked along the pipeline. Nil-safe: jobs built without a
+	// chain simply record nothing.
+	spans *telemetry.SpanSet
 
 	state atomic.Int32
 
@@ -215,9 +224,12 @@ func (s *Server) validateSpec(sp *Spec) error {
 // submit admits one validated spec. It returns the job (fresh or, when an
 // identical spec is already queued or running, the existing one) and
 // whether this call created it. Backpressure and drain are reported as
-// errBusy and errDraining.
-func (s *Server) submit(sp Spec) (job *Job, created bool, err error) {
+// errBusy and errDraining. reqID is the submission's propagated request
+// ID; ss is the span chain started at request arrival, which the created
+// job adopts (both may be zero values for direct callers).
+func (s *Server) submit(sp Spec, reqID string, ss *telemetry.SpanSet) (job *Job, created bool, err error) {
 	if s.draining.Load() {
+		s.rejectedDraining.Inc()
 		return nil, false, errDraining
 	}
 	// Degraded mode: the journal's write path is failing, so accepting a
@@ -225,6 +237,7 @@ func (s *Server) submit(sp Spec) (job *Job, created bool, err error) {
 	// submission probes for recovery first, so admission resumes by itself
 	// once the fault clears.
 	if !s.probeRecovery() {
+		s.rejectedDegraded.Inc()
 		return nil, false, errDegraded
 	}
 	s.mu.Lock()
@@ -239,6 +252,8 @@ func (s *Server) submit(sp Spec) (job *Job, created bool, err error) {
 		Seq:       s.seq,
 		Spec:      sp,
 		Submitted: time.Now(),
+		RequestID: reqID,
+		spans:     ss,
 	}
 	// The lock-free ring is the admission gate: no room means 429, and
 	// nothing about this job survives the rejection.
@@ -254,10 +269,13 @@ func (s *Server) submit(sp Spec) (job *Job, created bool, err error) {
 	s.jobsWG.Add(1)
 	s.mu.Unlock()
 
+	// Dedup resolution and the ring enqueue are behind us; the queue-wait
+	// phase starts here.
+	j.spans.Mark(telemetry.PhaseDedup, 0)
 	s.accepted.Inc()
 	j.emit("queued", map[string]any{
 		"id": j.ID, "workload": sp.Workload, "kit": sp.Kit,
-		"queue_depth": s.queue.Len(),
+		"queue_depth": s.queue.Len(), "request_id": j.RequestID,
 	})
 	// Offer a wake token; a full channel already holds enough pending
 	// wake-ups to drain the ring past this job (see the wake field's
@@ -325,6 +343,7 @@ func (s *Server) runJob(j *Job) {
 	s.inflight.Inc()
 	defer s.inflight.Add(-1)
 
+	j.spans.Mark(telemetry.PhaseQueue, 0)
 	sp := j.Spec
 	j.state.Store(int32(StateRunning))
 	j.mu.Lock()
@@ -379,6 +398,10 @@ func (s *Server) measure(j *Job, bench core.Benchmark) error {
 		res, err := harness.RunContext(ctx, bench, core.Config{
 			Threads: sp.Threads, Kit: kit, Scale: sc, Seed: sp.Seed,
 		}, opt)
+		// The repetition span closes whether the rep succeeded or not, so
+		// the chain stays contiguous into the journal phase. Successful
+		// reps get the trace cross-link (event count + blocked time).
+		j.spans.Mark(telemetry.PhaseRep, rep)
 		if err != nil {
 			if res.Stall != nil {
 				j.mu.Lock()
@@ -396,6 +419,7 @@ func (s *Server) measure(j *Job, bench core.Benchmark) error {
 		sample.Add(d)
 		traceEvents = int64(res.Trace.Events())
 		syncOps = res.Sync.Total()
+		j.spans.Annotate(traceEvents, trace.Blocked(res.Trace).Total.Sum())
 		j.emit("rep", map[string]any{
 			"rep":           rep,
 			"wall_ns":       d.Nanoseconds(),
@@ -443,7 +467,7 @@ func (s *Server) appendWithRetry(rec resultstore.Record) error {
 	var err error
 	for attempt := 0; attempt < appendAttempts; attempt++ {
 		if err = s.store.Append(rec); err == nil {
-			s.degraded.Store(false)
+			s.setDegraded(false)
 			return nil
 		}
 		if attempt < appendAttempts-1 {
@@ -452,12 +476,15 @@ func (s *Server) appendWithRetry(rec resultstore.Record) error {
 			time.Sleep(backoff + rand.N(backoff))
 		}
 	}
-	s.degraded.Store(true)
+	s.setDegraded(true)
 	return err
 }
 
 // finishJob journals the outcome, publishes the terminal state and event,
-// and releases the singleflight window.
+// and releases the singleflight window. The journal span closes after the
+// durable append, the publish span after the terminal event; then the
+// finished chain is folded into the phase histograms and, when the server
+// has an access log, written out as the job's "job" line.
 func (s *Server) finishJob(j *Job, st State, cause error) {
 	now := time.Now()
 	j.mu.Lock()
@@ -472,6 +499,12 @@ func (s *Server) finishJob(j *Job, st State, cause error) {
 		j.record = rec
 	}
 	rec.Finished = now
+	rec.RequestID = j.RequestID
+	// The journaled record carries the chain as known before the append:
+	// admission through the last repetition. The journal and publish
+	// spans close after the append by necessity; the job view and the
+	// access log carry the complete chain.
+	rec.Spans = j.spans.Spans()
 	if cause != nil {
 		st = StateFailed
 		j.errMsg = cause.Error()
@@ -482,7 +515,9 @@ func (s *Server) finishJob(j *Job, st State, cause error) {
 	}
 	j.mu.Unlock()
 
-	if err := s.appendWithRetry(*rec); err != nil && cause == nil {
+	err := s.appendWithRetry(*rec)
+	j.spans.Mark(telemetry.PhaseJournal, 0)
+	if err != nil && cause == nil {
 		// The measurement succeeded but persisting it did not, even after
 		// retries: the job fails, because an acknowledged result must be
 		// in the journal. appendWithRetry has already flipped the server
@@ -500,11 +535,34 @@ func (s *Server) finishJob(j *Job, st State, cause error) {
 		s.completed.Inc()
 		j.emit("done", map[string]any{
 			"mean_ns": rec.MeanNS, "reps": rec.Reps, "times_ns": rec.TimesNS,
+			"request_id": j.RequestID,
 		})
 	} else {
 		s.failed.Inc()
-		j.emit("error", map[string]any{"error": j.Error()})
+		j.emit("error", map[string]any{"error": j.Error(), "request_id": j.RequestID})
 	}
+	j.spans.Mark(telemetry.PhasePublish, 0)
+	s.publishTelemetry(j, st, now)
+}
+
+// publishTelemetry folds a terminal job's span chain into the per-phase
+// histograms and appends the job's access-log line.
+func (s *Server) publishTelemetry(j *Job, st State, finished time.Time) {
+	spans := j.spans.Spans()
+	if spans == nil {
+		return
+	}
+	s.phases.ObserveSpans(spans)
+	s.accessLog.Job(telemetry.JobEntry{
+		Time:      finished,
+		RequestID: j.RequestID,
+		JobID:     j.ID,
+		Workload:  j.Spec.Workload,
+		Kit:       j.Spec.Kit,
+		Status:    st.String(),
+		WallNS:    finished.Sub(j.Submitted).Nanoseconds(),
+		Spans:     spans,
+	})
 }
 
 // Error returns the job's failure message, or "".

@@ -26,6 +26,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"runtime"
 	"sync"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/sync4"
 	"repro/internal/sync4/lockfree"
+	"repro/internal/telemetry"
 	"repro/internal/workloads/all"
 )
 
@@ -69,6 +71,11 @@ type Config struct {
 	// Resolver maps a workload name to its benchmark. Defaults to
 	// all.ByName; tests inject controllable benchmarks here.
 	Resolver func(name string) (core.Benchmark, error)
+	// AccessLog, when non-nil, receives one structured JSONL line per
+	// completed HTTP exchange and per terminal job (with the job's full
+	// lifecycle span chain). A nil log disables access logging; the
+	// pipeline's span recording stays on either way.
+	AccessLog *telemetry.AccessLog
 }
 
 func (c *Config) fill() error {
@@ -130,16 +137,35 @@ type Server struct {
 	bySeq  map[int64]*Job  // by ring payload
 	active map[string]*Job // singleflight: queued/running jobs by spec key
 
-	// Job-flow gauges, on the suite's own lock-free counters.
-	accepted  sync4.Counter
-	completed sync4.Counter
-	failed    sync4.Counter
-	rejected  sync4.Counter
-	deduped   sync4.Counter
-	inflight  sync4.Counter
+	// Job-flow gauges, on the suite's own lock-free counters. Rejections
+	// are split by cause: ring full (429), degraded journal (503),
+	// draining (503).
+	accepted         sync4.Counter
+	completed        sync4.Counter
+	failed           sync4.Counter
+	rejected         sync4.Counter // ring full
+	rejectedDegraded sync4.Counter
+	rejectedDraining sync4.Counter
+	deduped          sync4.Counter
+	inflight         sync4.Counter
 
 	histMu sync.Mutex
 	hists  map[histKey]*stats.Histogram
+
+	// phases aggregates every finished job's lifecycle span durations
+	// into per-phase histograms (splash4d_phase_duration_seconds).
+	phases *telemetry.Registry
+	// accessLog is the optional structured JSONL request/job log; nil
+	// disables it (telemetry.AccessLog methods are nil-safe).
+	accessLog *telemetry.AccessLog
+
+	// Request-ID minting: a per-process random prefix plus a sequence.
+	reqPrefix string
+	reqSeq    atomic.Int64
+
+	// Per-status-code HTTP request counters for /metrics.
+	httpMu    sync.Mutex
+	httpCodes map[int]int64
 
 	// appendRetries counts journal append attempts that failed and were
 	// retried (or gave up); it backs the splash4d_append_retries_total
@@ -154,7 +180,15 @@ type Server struct {
 	// 503 — an accepted job whose result cannot be journaled would violate
 	// the acknowledged-means-durable contract. It clears when a
 	// store.Probe or a later append succeeds.
-	degraded  atomic.Bool
+	degraded atomic.Bool
+	// degClock accounts cumulative time spent degraded, for the
+	// splash4d_degraded_seconds_total series. The flag above stays the
+	// lock-free fast-path check; transitions go through setDegraded so
+	// the clock and the flag move together.
+	degMu    sync.Mutex
+	degSince time.Time     // non-zero while degraded
+	degTotal time.Duration // closed degraded windows
+
 	jobsWG    sync.WaitGroup // accepted jobs not yet terminal
 	workersWG sync.WaitGroup
 	stop      chan struct{} // closed after drain to end the workers
@@ -180,26 +214,32 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:           cfg,
-		store:         cfg.Store,
-		queue:         q,
-		queueCap:      queueCap,
-		wake:          make(chan struct{}, queueCap),
-		jobs:          make(map[string]*Job),
-		bySeq:         make(map[int64]*Job),
-		active:        make(map[string]*Job),
-		accepted:      kit.NewCounter(),
-		completed:     kit.NewCounter(),
-		failed:        kit.NewCounter(),
-		rejected:      kit.NewCounter(),
-		deduped:       kit.NewCounter(),
-		inflight:      kit.NewCounter(),
-		appendRetries: kit.NewCounter(),
-		hists:         make(map[histKey]*stats.Histogram),
-		start:         time.Now(),
-		stop:          make(chan struct{}),
-		jobCtx:        ctx,
-		cancelJobs:    cancel,
+		cfg:              cfg,
+		store:            cfg.Store,
+		queue:            q,
+		queueCap:         queueCap,
+		wake:             make(chan struct{}, queueCap),
+		jobs:             make(map[string]*Job),
+		bySeq:            make(map[int64]*Job),
+		active:           make(map[string]*Job),
+		accepted:         kit.NewCounter(),
+		completed:        kit.NewCounter(),
+		failed:           kit.NewCounter(),
+		rejected:         kit.NewCounter(),
+		rejectedDegraded: kit.NewCounter(),
+		rejectedDraining: kit.NewCounter(),
+		deduped:          kit.NewCounter(),
+		inflight:         kit.NewCounter(),
+		appendRetries:    kit.NewCounter(),
+		hists:            make(map[histKey]*stats.Histogram),
+		phases:           telemetry.NewRegistry(),
+		accessLog:        cfg.AccessLog,
+		reqPrefix:        fmt.Sprintf("%08x", rand.Uint32()),
+		httpCodes:        make(map[int]int64),
+		start:            time.Now(),
+		stop:             make(chan struct{}),
+		jobCtx:           ctx,
+		cancelJobs:       cancel,
 	}
 	s.workersWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -226,8 +266,38 @@ func (s *Server) probeRecovery() bool {
 	if err := s.store.Probe(); err != nil {
 		return false
 	}
-	s.degraded.Store(false)
+	s.setDegraded(false)
 	return true
+}
+
+// setDegraded flips degraded mode and keeps the degraded-duration clock in
+// step: entering opens a window, leaving closes it into the running total.
+// Idempotent under concurrent callers; the clock mutex serializes the
+// flag-and-clock update.
+func (s *Server) setDegraded(on bool) {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	was := s.degraded.Load()
+	s.degraded.Store(on)
+	switch {
+	case on && !was:
+		s.degSince = time.Now()
+	case !on && was:
+		s.degTotal += time.Since(s.degSince)
+		s.degSince = time.Time{}
+	}
+}
+
+// degradedTotal returns cumulative time spent degraded, including the
+// currently open window.
+func (s *Server) degradedTotal() time.Duration {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	total := s.degTotal
+	if !s.degSince.IsZero() {
+		total += time.Since(s.degSince)
+	}
+	return total
 }
 
 // QueueDepth returns a point-in-time estimate of queued (not yet running)
@@ -277,7 +347,8 @@ func (s *Server) Close() error {
 	return s.Drain(context.Background())
 }
 
-// Handler returns the daemon's HTTP API.
+// Handler returns the daemon's HTTP API, wrapped with request-ID
+// propagation and access logging (see requestlog.go).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /runs", s.handleSubmit)
@@ -287,7 +358,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /compare", s.handleCompare)
-	return mux
+	return s.withTelemetry(mux)
 }
 
 // observeLatency folds one job's repetition times into its series

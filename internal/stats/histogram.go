@@ -94,11 +94,16 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if h.n == 0 {
 		return 0
 	}
-	if q < 0 || math.IsNaN(q) {
-		q = 0
+	// The extremes are tracked exactly, so answer them exactly: p0 is the
+	// observed minimum and p100 the observed maximum, with no in-bucket
+	// interpolation (which would otherwise drift above the min when the
+	// bottom bucket holds several values, and can land below the max in
+	// the top buckets where float64 cannot represent the bounds).
+	if q <= 0 || math.IsNaN(q) {
+		return h.min
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		return h.max
 	}
 	rank := int64(math.Ceil(q * float64(h.n)))
 	if rank < 1 {

@@ -217,3 +217,69 @@ func TestHistogramQuickQuantileBucketAccuracy(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHistogramQuantileEdgeCases pins the quantile contract at its
+// boundaries: out-of-range and NaN q clamp to the extremes, p0/p100 are
+// exactly the observed min/max regardless of bucket layout, and a
+// population confined to one bucket still answers every quantile from
+// inside that bucket's observed range.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := stats.NewHistogram()
+	for _, v := range []int64{3, 900, 70000, 1 << 40} {
+		h.Add(v)
+	}
+	// Out-of-range and NaN q clamp instead of panicking or extrapolating.
+	if got := h.Quantile(-0.5); got != 3 {
+		t.Errorf("Quantile(-0.5) = %d, want observed min 3", got)
+	}
+	if got := h.Quantile(1.5); got != 1<<40 {
+		t.Errorf("Quantile(1.5) = %d, want observed max", got)
+	}
+	if got := h.Quantile(math.NaN()); got != 3 {
+		t.Errorf("Quantile(NaN) = %d, want observed min 3", got)
+	}
+	// p0 and p100 are exact even though interior quantiles are bucket
+	// estimates.
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Errorf("p0/p100 = %d/%d, want min/max %d/%d",
+			h.Quantile(0), h.Quantile(1), h.Min(), h.Max())
+	}
+
+	// Many distinct values inside one log bucket: every quantile answer
+	// must stay within the observed [min, max] of that bucket.
+	one := stats.NewHistogram()
+	for v := int64(1024); v < 1024+400; v++ {
+		one.Add(v)
+	}
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		got := one.Quantile(q)
+		if got < 1024 || got > 1423 {
+			t.Errorf("single-bucket Quantile(%g) = %d, outside observed [1024, 1423]", q, got)
+		}
+	}
+	if one.Quantile(0) != 1024 || one.Quantile(1) != 1423 {
+		t.Errorf("single-bucket extremes = %d/%d, want 1024/1423",
+			one.Quantile(0), one.Quantile(1))
+	}
+
+	// Quantiles are monotone in q even across the clamped edges.
+	prev := h.Quantile(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Errorf("Quantile(%g) = %d < previous %d; not monotone", q, cur, prev)
+		}
+		prev = cur
+	}
+
+	// The top of the int64 range must not overflow the interpolation.
+	big := stats.NewHistogram()
+	big.Add(math.MaxInt64)
+	big.Add(math.MaxInt64 - 1)
+	if got := big.Quantile(0.5); got < math.MaxInt64-1 {
+		t.Errorf("near-overflow Quantile(0.5) = %d, want >= MaxInt64-1", got)
+	}
+	if got := big.Quantile(1); got != math.MaxInt64 {
+		t.Errorf("near-overflow p100 = %d, want MaxInt64", got)
+	}
+}

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// AccessLog is a structured JSONL log of service activity. Two entry kinds
+// share the stream, distinguished by their "kind" field:
+//
+//	{"kind":"http","ts":...,"request_id":...,"method":...,"path":...,
+//	 "status":...,"dur_ns":...,"bytes":...}
+//	{"kind":"job","ts":...,"request_id":...,"job_id":...,"workload":...,
+//	 "kit":...,"status":...,"wall_ns":...,"spans":[{...},...]}
+//
+// An "http" line is written when a request's response completes; a "job"
+// line when an accepted job reaches its terminal state, carrying the full
+// lifecycle span chain so the access log alone reconstructs where every
+// nanosecond of the job went. Lines are rendered into a buffer that the
+// log reuses across entries, under one mutex, so concurrent handlers
+// interleave whole lines, never bytes.
+//
+// Field order inside a line is fixed (the encoder is hand-rolled, not
+// map-based), which keeps the log diffable and greppable.
+type AccessLog struct {
+	mu   sync.Mutex
+	w    *bufio.Writer
+	c    io.Closer
+	buf  []byte
+	errs int // write errors, surfaced by Err
+	err  error
+}
+
+// NewAccessLog logs to w. The caller retains ownership of w; Close only
+// flushes.
+func NewAccessLog(w io.Writer) *AccessLog {
+	return &AccessLog{w: bufio.NewWriterSize(w, 32*1024), buf: make([]byte, 0, 1024)}
+}
+
+// OpenAccessLog appends to the JSONL file at path, creating it if needed.
+func OpenAccessLog(path string) (*AccessLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: opening access log: %w", err)
+	}
+	l := NewAccessLog(f)
+	l.c = f
+	return l, nil
+}
+
+// HTTPEntry is one completed HTTP exchange.
+type HTTPEntry struct {
+	Time      time.Time
+	RequestID string
+	Method    string
+	Path      string
+	Status    int
+	DurNS     int64
+	Bytes     int64
+}
+
+// JobEntry is one terminal job with its lifecycle span chain.
+type JobEntry struct {
+	Time      time.Time
+	RequestID string
+	JobID     string
+	Workload  string
+	Kit       string
+	Status    string // "done" or "error"
+	WallNS    int64
+	Spans     []Span
+}
+
+// HTTP appends one http line. Write errors are counted, not returned: the
+// access log is diagnostics and must never fail a request.
+func (l *AccessLog) HTTP(e HTTPEntry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	b := l.buf[:0]
+	b = append(b, `{"kind":"http","ts":`...)
+	b = appendQuotedTime(b, e.Time)
+	b = append(b, `,"request_id":`...)
+	b = strconv.AppendQuote(b, e.RequestID)
+	b = append(b, `,"method":`...)
+	b = strconv.AppendQuote(b, e.Method)
+	b = append(b, `,"path":`...)
+	b = strconv.AppendQuote(b, e.Path)
+	b = append(b, `,"status":`...)
+	b = strconv.AppendInt(b, int64(e.Status), 10)
+	b = append(b, `,"dur_ns":`...)
+	b = strconv.AppendInt(b, e.DurNS, 10)
+	b = append(b, `,"bytes":`...)
+	b = strconv.AppendInt(b, e.Bytes, 10)
+	b = append(b, '}', '\n')
+	l.write(b)
+	l.buf = b[:0]
+	l.mu.Unlock()
+}
+
+// Job appends one job line.
+func (l *AccessLog) Job(e JobEntry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	b := l.buf[:0]
+	b = append(b, `{"kind":"job","ts":`...)
+	b = appendQuotedTime(b, e.Time)
+	b = append(b, `,"request_id":`...)
+	b = strconv.AppendQuote(b, e.RequestID)
+	b = append(b, `,"job_id":`...)
+	b = strconv.AppendQuote(b, e.JobID)
+	b = append(b, `,"workload":`...)
+	b = strconv.AppendQuote(b, e.Workload)
+	b = append(b, `,"kit":`...)
+	b = strconv.AppendQuote(b, e.Kit)
+	b = append(b, `,"status":`...)
+	b = strconv.AppendQuote(b, e.Status)
+	b = append(b, `,"wall_ns":`...)
+	b = strconv.AppendInt(b, e.WallNS, 10)
+	b = append(b, `,"spans":[`...)
+	for i, s := range e.Spans {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendSpanJSON(b, s)
+	}
+	b = append(b, ']', '}', '\n')
+	l.write(b)
+	l.buf = b[:0]
+	l.mu.Unlock()
+}
+
+// appendSpanJSON renders one span exactly like Span.MarshalJSON.
+func appendSpanJSON(b []byte, s Span) []byte {
+	b = append(b, `{"phase":`...)
+	b = strconv.AppendQuote(b, s.Phase.String())
+	if s.Phase == PhaseRep {
+		b = append(b, `,"rep":`...)
+		b = strconv.AppendInt(b, int64(s.Rep), 10)
+	}
+	b = append(b, `,"start_ns":`...)
+	b = strconv.AppendInt(b, s.Start, 10)
+	b = append(b, `,"end_ns":`...)
+	b = strconv.AppendInt(b, s.End, 10)
+	if s.TraceEvents != 0 {
+		b = append(b, `,"trace_events":`...)
+		b = strconv.AppendInt(b, s.TraceEvents, 10)
+	}
+	if s.BlockedNS != 0 {
+		b = append(b, `,"blocked_ns":`...)
+		b = strconv.AppendInt(b, s.BlockedNS, 10)
+	}
+	return append(b, '}')
+}
+
+// appendQuotedTime renders t as a quoted RFC3339Nano UTC timestamp.
+func appendQuotedTime(b []byte, t time.Time) []byte {
+	b = append(b, '"')
+	b = t.UTC().AppendFormat(b, time.RFC3339Nano)
+	return append(b, '"')
+}
+
+// write sends one rendered line. Caller holds mu.
+func (l *AccessLog) write(line []byte) {
+	if _, err := l.w.Write(line); err != nil {
+		l.errs++
+		l.err = err
+	}
+}
+
+// Err returns the most recent write error and how many writes failed.
+func (l *AccessLog) Err() (int, error) {
+	if l == nil {
+		return 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.errs, l.err
+}
+
+// Flush forces buffered lines to the underlying writer.
+func (l *AccessLog) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Flush()
+}
+
+// Close flushes and, when the log owns its sink (OpenAccessLog), closes it.
+func (l *AccessLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.w.Flush()
+	if l.c != nil {
+		if cerr := l.c.Close(); err == nil {
+			err = cerr
+		}
+		l.c = nil
+	}
+	return err
+}

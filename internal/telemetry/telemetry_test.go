@@ -1,0 +1,290 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanSetTiling: boundary-marked spans tile the chain perfectly — no
+// gaps, no overlaps, sum equals the final boundary.
+func TestSpanSetTiling(t *testing.T) {
+	ss := NewSpanSet(time.Now(), 3)
+	ss.Mark(PhaseAdmission, 0)
+	ss.Mark(PhaseDedup, 0)
+	ss.Mark(PhaseQueue, 0)
+	for rep := 0; rep < 3; rep++ {
+		time.Sleep(time.Millisecond)
+		ss.Mark(PhaseRep, rep)
+	}
+	ss.Mark(PhaseJournal, 0)
+	ss.Mark(PhasePublish, 0)
+
+	spans := ss.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("got %d spans, want 8", len(spans))
+	}
+	gap, overlap := ChainDefect(spans)
+	if gap != 0 || overlap != 0 {
+		t.Fatalf("gap=%d overlap=%d, want 0/0", gap, overlap)
+	}
+	if err := ChainPhases(spans); err != nil {
+		t.Fatalf("chain incomplete: %v", err)
+	}
+	if got, want := ss.SumNS(), spans[len(spans)-1].End; got != want {
+		t.Fatalf("SumNS=%d, want final boundary %d", got, want)
+	}
+	if spans[0].Start != 0 {
+		t.Fatalf("first span starts at %d, want 0 (the epoch)", spans[0].Start)
+	}
+	for i, s := range spans {
+		if s.Phase == PhaseRep {
+			if s.Rep != i-3 {
+				t.Errorf("rep span %d has Rep=%d, want %d", i, s.Rep, i-3)
+			}
+		} else if s.Rep != -1 {
+			t.Errorf("non-rep span %d has Rep=%d, want -1", i, s.Rep)
+		}
+	}
+	if ss.Dropped() != 0 {
+		t.Fatalf("dropped=%d, want 0", ss.Dropped())
+	}
+}
+
+// TestSpanSetDropBeyondCapacity: marks past the preallocated chain are
+// counted, never grown.
+func TestSpanSetDropBeyondCapacity(t *testing.T) {
+	ss := NewSpanSet(time.Now(), 0)
+	for i := 0; i < NumPhases+5; i++ {
+		ss.Mark(PhaseQueue, 0)
+	}
+	if got := len(ss.Spans()); got != NumPhases {
+		t.Fatalf("recorded %d spans, want capacity %d", got, NumPhases)
+	}
+	if got := ss.Dropped(); got != 5 {
+		t.Fatalf("dropped=%d, want 5", got)
+	}
+}
+
+// TestSpanSetNil: a nil SpanSet is inert on every method.
+func TestSpanSetNil(t *testing.T) {
+	var ss *SpanSet
+	ss.Mark(PhaseAdmission, 0)
+	ss.Annotate(1, 2)
+	if ss.Spans() != nil || ss.SumNS() != 0 || ss.Dropped() != 0 {
+		t.Fatal("nil SpanSet is not inert")
+	}
+	if !ss.Epoch().IsZero() {
+		t.Fatal("nil SpanSet epoch not zero")
+	}
+}
+
+// TestSpanSetAnnotate attaches trace cross-links to the last closed span.
+func TestSpanSetAnnotate(t *testing.T) {
+	ss := NewSpanSet(time.Now(), 1)
+	ss.Mark(PhaseRep, 0)
+	ss.Annotate(42, 1000)
+	s := ss.Spans()[0]
+	if s.TraceEvents != 42 || s.BlockedNS != 1000 {
+		t.Fatalf("annotate: got events=%d blocked=%d", s.TraceEvents, s.BlockedNS)
+	}
+}
+
+// TestMarkZeroAlloc pins the //sync4:zeroalloc claim dynamically; the
+// allocgate module test probes the same path via its registry.
+func TestMarkZeroAlloc(t *testing.T) {
+	ss := NewSpanSet(time.Now(), 0)
+	// Capacity exhausted after NumPhases marks; both the append path and
+	// the drop path must stay allocation-free.
+	if avg := testing.AllocsPerRun(100, func() { ss.Mark(PhaseQueue, 0) }); avg != 0 {
+		t.Fatalf("Mark allocates %.1f per op", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { ss.Annotate(1, 2) }); avg != 0 {
+		t.Fatalf("Annotate allocates %.1f per op", avg)
+	}
+	r := NewRegistry()
+	if avg := testing.AllocsPerRun(100, func() { r.Observe(PhaseRep, 123) }); avg != 0 {
+		t.Fatalf("Observe allocates %.1f per op", avg)
+	}
+}
+
+// TestSpanJSONRoundTrip: the wire form uses phase names and survives a
+// marshal/unmarshal round trip.
+func TestSpanJSONRoundTrip(t *testing.T) {
+	in := []Span{
+		{Phase: PhaseAdmission, Rep: -1, Start: 0, End: 10},
+		{Phase: PhaseRep, Rep: 2, Start: 10, End: 400, TraceEvents: 7, BlockedNS: 55},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"phase":"rep"`) || !strings.Contains(string(data), `"rep":2`) {
+		t.Fatalf("wire form lacks phase name or rep index: %s", data)
+	}
+	var out []Span
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	var bad Span
+	if err := json.Unmarshal([]byte(`{"phase":"nope","start_ns":0,"end_ns":1}`), &bad); err == nil {
+		t.Fatal("unknown phase name unmarshaled without error")
+	}
+}
+
+// TestChainDefect measures gaps and overlaps on hand-built chains.
+func TestChainDefect(t *testing.T) {
+	gap, overlap := ChainDefect([]Span{{Start: 0, End: 10}, {Start: 15, End: 20}, {Start: 18, End: 30}})
+	if gap != 5 || overlap != 2 {
+		t.Fatalf("gap=%d overlap=%d, want 5/2", gap, overlap)
+	}
+}
+
+// TestChainPhases rejects incomplete and out-of-order chains.
+func TestChainPhases(t *testing.T) {
+	full := []Span{
+		{Phase: PhaseAdmission}, {Phase: PhaseDedup}, {Phase: PhaseQueue},
+		{Phase: PhaseRep}, {Phase: PhaseJournal}, {Phase: PhasePublish},
+	}
+	if err := ChainPhases(full); err != nil {
+		t.Fatalf("complete chain rejected: %v", err)
+	}
+	if err := ChainPhases(full[1:]); err == nil {
+		t.Fatal("chain missing admission accepted")
+	}
+	swapped := append([]Span{}, full...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if err := ChainPhases(swapped); err == nil {
+		t.Fatal("out-of-order chain accepted")
+	}
+}
+
+// TestRegistry aggregates phase durations into per-phase histograms.
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveSpans([]Span{
+		{Phase: PhaseQueue, Start: 0, End: 100},
+		{Phase: PhaseQueue, Start: 100, End: 300},
+		{Phase: PhaseRep, Start: 300, End: 1000},
+	})
+	if n := r.Snapshot(PhaseQueue).N(); n != 2 {
+		t.Fatalf("queue histogram n=%d, want 2", n)
+	}
+	if n := r.Snapshot(PhaseRep).N(); n != 1 {
+		t.Fatalf("rep histogram n=%d, want 1", n)
+	}
+	if n := r.Snapshot(PhaseJournal).N(); n != 0 {
+		t.Fatalf("journal histogram n=%d, want 0", n)
+	}
+}
+
+// TestAccessLogLines: every line is standalone JSON with the fixed schema,
+// and both entry kinds coexist in one stream.
+func TestAccessLogLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLog(&buf)
+	ts := time.Date(2026, 8, 8, 12, 0, 0, 123456789, time.UTC)
+	l.HTTP(HTTPEntry{Time: ts, RequestID: "req-1", Method: "POST", Path: "/runs",
+		Status: 202, DurNS: 12345, Bytes: 99})
+	l.Job(JobEntry{Time: ts, RequestID: "req-1", JobID: "r-1", Workload: "fft",
+		Kit: "lockfree", Status: "done", WallNS: 5000,
+		Spans: []Span{{Phase: PhaseAdmission, Rep: -1, Start: 0, End: 10},
+			{Phase: PhaseRep, Rep: 0, Start: 10, End: 5000, TraceEvents: 3}}})
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var httpLine map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &httpLine); err != nil {
+		t.Fatalf("http line is not JSON: %v\n%s", err, lines[0])
+	}
+	for k, want := range map[string]any{
+		"kind": "http", "request_id": "req-1", "method": "POST", "path": "/runs",
+		"status": float64(202), "dur_ns": float64(12345), "bytes": float64(99),
+	} {
+		if httpLine[k] != want {
+			t.Errorf("http line %s = %v, want %v", k, httpLine[k], want)
+		}
+	}
+	var jobLine struct {
+		Kind      string `json:"kind"`
+		RequestID string `json:"request_id"`
+		JobID     string `json:"job_id"`
+		Spans     []Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &jobLine); err != nil {
+		t.Fatalf("job line is not JSON: %v\n%s", err, lines[1])
+	}
+	if jobLine.Kind != "job" || jobLine.RequestID != "req-1" || jobLine.JobID != "r-1" {
+		t.Fatalf("job line fields wrong: %+v", jobLine)
+	}
+	if len(jobLine.Spans) != 2 || jobLine.Spans[1].TraceEvents != 3 {
+		t.Fatalf("job line spans wrong: %+v", jobLine.Spans)
+	}
+	if n, err := l.Err(); n != 0 || err != nil {
+		t.Fatalf("unexpected write errors: %d %v", n, err)
+	}
+}
+
+// TestAccessLogConcurrent: concurrent writers interleave whole lines.
+func TestAccessLogConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLog(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.HTTP(HTTPEntry{Time: time.Now(), RequestID: "r", Method: "GET",
+					Path: "/metrics", Status: 200, DurNS: 1, Bytes: 2})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for i, line := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("line %d torn: %v\n%s", i, err, line)
+		}
+	}
+}
+
+// TestOpenAccessLog appends across reopen.
+func TestOpenAccessLog(t *testing.T) {
+	path := t.TempDir() + "/access.jsonl"
+	for i := 0; i < 2; i++ {
+		l, err := OpenAccessLog(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.HTTP(HTTPEntry{Time: time.Now(), RequestID: "x", Method: "GET", Path: "/healthz", Status: 200})
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(data, []byte("\n")); got != 2 {
+		t.Fatalf("reopened log has %d lines, want 2", got)
+	}
+}
