@@ -15,13 +15,16 @@
 #                     splash4d (retry contract end to end), then the
 #                     pinned-seed deterministic sim that writes the
 #                     byte-stable BENCH_traffic.json artifact
+#   make cluster-smoke boot a 3-node loopback cluster and drive routing,
+#                     journal shipping, work stealing, node kill with
+#                     reclaim, and cluster-wide /compare census identity
 
 GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)
 CHAOS_SEED ?= 42
 TRAFFIC_SEED ?= 42
 
-.PHONY: check vet allocs-gate race test build bench trace-smoke serve-smoke chaos traffic-gate
+.PHONY: check vet allocs-gate race test build bench trace-smoke serve-smoke chaos traffic-gate cluster-smoke
 
 check: build
 	$(GO) vet ./...
@@ -94,3 +97,14 @@ traffic-gate:
 	$(GO) run ./cmd/splash4-loadgen -mode live -seed $(TRAFFIC_SEED) -out BENCH_traffic_live.json
 	$(GO) run ./cmd/splash4-loadgen -mode sim -seed $(TRAFFIC_SEED) -out BENCH_traffic.json
 	@echo "traffic-gate: ok"
+
+# cluster-smoke boots a 3-node splash4d cluster on loopback sockets and
+# drives every clustered behavior in order: consistent-hash routing (same
+# spec → same owner from any entry node), journal shipping to lag zero with
+# byte-identical /compare on all three nodes, work stealing off a pinned
+# backlog, a mid-theft node kill with health-probe reclaim and zero lost
+# accepted jobs, re-routing around the dead node, and stolen-job access-log
+# lines naming both nodes. The summary lands in BENCH_cluster.json.
+cluster-smoke:
+	$(GO) run ./cmd/splash4d -cluster-smoke -out BENCH_cluster.json
+	@echo "cluster-smoke: ok"

@@ -12,8 +12,10 @@
 // of the daemon's admission pipeline (bounded ring, worker pool,
 // singleflight dedup, adaptive Retry-After): the same seed always produces
 // byte-identical report output, so the gate artifact is diffable across
-// CI runs. Live mode drives real HTTP traffic — against -target, or
-// against a self-hosted loopback splash4d when -target is empty — and
+// CI runs. Live mode drives real HTTP traffic — against -target (a
+// comma-separated list round-robins submissions across cluster nodes;
+// each job is polled on the node that accepted it), or against a
+// self-hosted loopback splash4d when -target is empty — and
 // verifies the client retry contract end to end: 429s carry an in-range
 // Retry-After that the client honors, dedup-hostile clumps are answered by
 // singleflight (200 deduped), and (self-hosted only) an injected journal
@@ -52,7 +54,7 @@ func main() {
 		queueCap  = flag.Int("queue", 8, "modeled admission ring capacity (sim)")
 		serviceMS = flag.Int("service-ms", 200, "mean modeled job service time (sim)")
 		retries   = flag.Int("retries", 3, "client retry budget after a 429/503 bounce")
-		target    = flag.String("target", "", "live target base URL; empty self-hosts a loopback splash4d")
+		target    = flag.String("target", "", "live target base URL(s), comma-separated to round-robin across cluster nodes; empty self-hosts a loopback splash4d")
 		loop      = flag.String("loop", "open", "live generator discipline: open or closed")
 		liveReqs  = flag.Int("live-requests", 32, "requests per shape (live)")
 		// The self-hosted live daemon is deliberately tiny — one worker over
@@ -73,7 +75,7 @@ func main() {
 	case "live":
 		err = runLive(liveParams{seed: *seed, out: *out, requests: *liveReqs,
 			workers: *liveWorkers, queueCap: *liveQueue, retries: *retries,
-			target: *target, loop: *loop})
+			targets: splitTargets(*target), loop: *loop})
 	default:
 		err = fmt.Errorf("unknown mode %q (want sim or live)", *mode)
 	}
@@ -138,8 +140,20 @@ type liveParams struct {
 	requests          int
 	workers, queueCap int
 	retries           int
-	target            string
+	targets           []string
 	loop              string
+}
+
+// splitTargets parses the comma-separated -target list into base URLs.
+func splitTargets(raw string) []string {
+	var out []string
+	for _, t := range strings.Split(raw, ",") {
+		t = strings.TrimSuffix(strings.TrimSpace(t), "/")
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // runLive drives real traffic. With no -target it self-hosts a loopback
@@ -147,9 +161,10 @@ type liveParams struct {
 // the only configuration where the degraded-503 leg of the retry contract
 // can be verified non-destructively.
 func runLive(p liveParams) error {
-	base := p.target
+	targets := p.targets
+	var base string // self-hosted base, for the degraded-contract leg
 	var faults *resultstore.Faults
-	if base == "" {
+	if len(targets) == 0 {
 		var cleanup func()
 		var err error
 		base, faults, cleanup, err = selfHost(p.workers, p.queueCap)
@@ -157,6 +172,7 @@ func runLive(p liveParams) error {
 			return err
 		}
 		defer cleanup()
+		targets = []string{base}
 	}
 
 	rep := &loadgen.Report{Mode: "live", Seed: p.seed, Workers: p.workers,
@@ -177,7 +193,7 @@ func runLive(p liveParams) error {
 			return err
 		}
 		res, err := loadgen.RunLive(loadgen.LiveConfig{
-			Target:          base,
+			Targets:         targets,
 			Loop:            p.loop,
 			Concurrency:     16,
 			MaxRetries:      p.retries,

@@ -1,0 +1,587 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/resultstore"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// The cluster smoke: a 3-node splash4d cluster on loopback sockets, driven
+// through every clustered behavior the design promises, in order:
+//
+//  1. Routing — specs submitted to different nodes agree on one owner
+//     (consistent hash), and the keyspace spreads across nodes.
+//  2. Replication — journal shipping catches up (lag 0 everywhere) and
+//     GET /compare answers byte-identically from all three nodes.
+//  3. Stealing — load pinned onto one single-worker node induces
+//     imbalance; an idle peer's splash4d_jobs_stolen_total goes positive.
+//  4. Node death — the stealing peer is killed mid-theft; the victim's
+//     health probe flips it down, reclaim re-queues the stolen jobs, and
+//     every accepted job still reaches "done". Zero lost jobs.
+//  5. Re-routing — a spec owned by the dead node re-routes to a survivor.
+//  6. After the kill, the two survivors still answer /compare identically,
+//     and the victim's access log names both nodes on stolen job lines.
+//
+// Node b's stealer is disabled (huge interval) so node c is the only
+// thief — which makes the kill-and-reclaim phase deterministic.
+
+// smokeNode bundles one in-process cluster node.
+type smokeNode struct {
+	id    string
+	base  string
+	ln    net.Listener
+	hs    *http.Server
+	srv   *server.Server
+	store *resultstore.Store
+	al    *telemetry.AccessLog
+	cl    *cluster.Cluster
+}
+
+func runClusterSmoke(outPath string, cfg server.Config, drainTimeout time.Duration) error {
+	dir, err := os.MkdirTemp("", "splash4d-cluster-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	ids := []string{"a", "b", "c"}
+	nodes := make(map[string]*smokeNode, len(ids))
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		nodes[id] = &smokeNode{id: id, ln: ln, base: "http://" + ln.Addr().String()}
+	}
+	defer func() {
+		for _, n := range nodes {
+			if n.hs != nil {
+				n.hs.Close()
+			}
+			if n.store != nil {
+				n.store.Close()
+			}
+		}
+	}()
+
+	for _, id := range ids {
+		n := nodes[id]
+		ncfg := cfg
+		ncfg.NodeID = id
+		// Node a is the imbalance target: one worker, so pinned load piles
+		// up in its admission ring for peers to steal.
+		ncfg.Workers = 2
+		if id == "a" {
+			ncfg.Workers = 1
+		}
+		srv, store, al, err := newServer(
+			filepath.Join(dir, id+".jsonl"), filepath.Join(dir, id+".access.jsonl"), ncfg)
+		if err != nil {
+			return fmt.Errorf("node %s: %w", id, err)
+		}
+		n.srv, n.store, n.al = srv, store, al
+
+		peers := make(map[string]string, len(ids)-1)
+		for _, other := range ids {
+			if other != id {
+				peers[other] = nodes[other].base
+			}
+		}
+		ccfg := cluster.Config{
+			Self:           id,
+			Peers:          peers,
+			Server:         srv,
+			HealthInterval: 50 * time.Millisecond,
+			ShipInterval:   25 * time.Millisecond,
+			StealInterval:  25 * time.Millisecond,
+			StealBatch:     3,
+			ReclaimAfter:   5 * time.Second,
+			HTTPTimeout:    2 * time.Second,
+			Logf:           log.Printf,
+		}
+		if id == "b" {
+			ccfg.StealInterval = time.Hour // only c steals; see package comment
+		}
+		cl, err := cluster.New(ccfg)
+		if err != nil {
+			return fmt.Errorf("node %s cluster: %w", id, err)
+		}
+		n.cl = cl
+		n.hs = &http.Server{Handler: cl.Handler()}
+		go n.hs.Serve(n.ln)
+		cl.Start()
+	}
+	a, b, cNode := nodes["a"], nodes["b"], nodes["c"]
+
+	// Every node must see both peers up before routing means anything.
+	for _, n := range nodes {
+		if err := waitMetric(n.base, `splash4d_peer_up{peer=`, 2, 5*time.Second, metricSum); err != nil {
+			return fmt.Errorf("node %s never saw both peers up: %w", n.id, err)
+		}
+	}
+	log.Printf("cluster-smoke: 3 nodes up (a=%s b=%s c=%s)", a.base, b.base, cNode.base)
+
+	// Phase 1: routing. The same spec submitted to two different nodes must
+	// land on the same owner; distinct specs must spread across owners.
+	owners := make(map[int64]string) // seed → owning node
+	var allIDs []string
+	for _, kit := range []string{"classic", "lockfree"} {
+		for seed := int64(1); seed <= 4; seed++ {
+			spec := fmt.Sprintf(`{"workload":"fft","kit":%q,"threads":2,"scale":"test","reps":2,"seed":%d}`, kit, seed)
+			idA, err := submitRun(a.base, spec)
+			if err != nil {
+				return fmt.Errorf("routing submit via a: %w", err)
+			}
+			idB, err := submitRunAny(b.base, spec)
+			if err != nil {
+				return fmt.Errorf("routing submit via b: %w", err)
+			}
+			oA, oB := nodeOfJobID(idA), nodeOfJobID(idB)
+			if oA == "" || oA != oB {
+				return fmt.Errorf("routing disagreement: %q (via a) owned by %q, %q (via b) owned by %q", idA, oA, idB, oB)
+			}
+			if kit == "classic" {
+				owners[seed] = oA
+			}
+			allIDs = append(allIDs, idA)
+			if idB != idA {
+				allIDs = append(allIDs, idB)
+			}
+		}
+	}
+	distinct := make(map[string]bool)
+	for _, o := range owners {
+		distinct[o] = true
+	}
+	if len(distinct) < 2 {
+		return fmt.Errorf("consistent hashing routed every spec to one node (%v); want spread", owners)
+	}
+	for _, id := range allIDs {
+		if _, err := pollDone(a.base, id, time.Minute); err != nil {
+			return fmt.Errorf("routing job %s: %w", id, err)
+		}
+	}
+	log.Printf("cluster-smoke: routing OK, owners per seed %v", owners)
+
+	// Phase 2: replication. The ship-lag gauge measures against the durable
+	// size the follower saw on its *last* round, so it can read zero while
+	// an append the follower hasn't polled for yet is still in flight —
+	// wait on the replica record counts instead, which only converge once
+	// every journaled line has actually arrived. Every unique job ID from
+	// phase 1 is exactly one journal line on its owner.
+	owned := make(map[string]int)
+	for _, id := range allIDs {
+		owned[nodeOfJobID(id)]++
+	}
+	total := len(allIDs)
+	for _, n := range nodes {
+		want := float64(total - owned[n.id])
+		if err := waitMetric(n.base, `splash4d_journal_replica_records{peer=`, want, 15*time.Second, metricSum); err != nil {
+			return fmt.Errorf("node %s journal shipping never caught up (want %v replica records): %w", n.id, want, err)
+		}
+	}
+	compareURL := "/compare?workload=fft&threads=2&scale=test&seed=42&resamples=500"
+	bodyA, err := getRaw(a.base + compareURL)
+	if err != nil {
+		return fmt.Errorf("compare via a: %w", err)
+	}
+	for _, n := range []*smokeNode{b, cNode} {
+		body, err := getRaw(n.base + compareURL)
+		if err != nil {
+			return fmt.Errorf("compare via %s: %w", n.id, err)
+		}
+		if string(body) != string(bodyA) {
+			return fmt.Errorf("census identity broken: /compare differs between a and %s:\n%s\nvs\n%s", n.id, bodyA, body)
+		}
+	}
+	log.Printf("cluster-smoke: /compare byte-identical across all 3 nodes (%d bytes)", len(bodyA))
+
+	// Phase 3: stealing under induced imbalance. Pin slow jobs straight
+	// onto a's single worker (the hop-guard header forces local admission);
+	// idle c must pull from a's ring.
+	var pinned []string
+	for seed := int64(100); seed < 112; seed++ {
+		spec := fmt.Sprintf(`{"workload":"fft","kit":"lockfree","threads":2,"scale":"small","reps":4,"seed":%d}`, seed)
+		id, err := submitPinned(a.base, spec)
+		if err != nil {
+			return fmt.Errorf("pinned submit: %w", err)
+		}
+		pinned = append(pinned, id)
+	}
+	for _, id := range pinned {
+		if _, err := pollDone(a.base, id, 2*time.Minute); err != nil {
+			return fmt.Errorf("pinned job %s: %w", id, err)
+		}
+	}
+	stolen, err := metricValue(cNode.base, "splash4d_jobs_stolen_total")
+	if err != nil {
+		return err
+	}
+	donated, err := metricValue(a.base, "splash4d_jobs_donated_total")
+	if err != nil {
+		return err
+	}
+	if stolen <= 0 || donated <= 0 {
+		return fmt.Errorf("no stealing under imbalance: c stole %v, a donated %v", stolen, donated)
+	}
+	log.Printf("cluster-smoke: work stealing OK (a donated %v, c stole %v)", donated, stolen)
+
+	// Phase 4: kill the thief mid-theft. Pin another batch, wait until c
+	// owes a at least one outcome, then crash c. a's prober must flip c
+	// down, reclaim the loans, and finish every job locally — none lost.
+	var killBatch []string
+	for seed := int64(200); seed < 208; seed++ {
+		spec := fmt.Sprintf(`{"workload":"fft","kit":"lockfree","threads":2,"scale":"small","reps":4,"seed":%d}`, seed)
+		id, err := submitPinned(a.base, spec)
+		if err != nil {
+			return fmt.Errorf("kill-batch submit: %w", err)
+		}
+		killBatch = append(killBatch, id)
+	}
+	if err := waitMetric(a.base, "splash4d_jobs_stolen_outstanding", 1, 15*time.Second, metricMax); err != nil {
+		return fmt.Errorf("c never stole from the kill batch: %w", err)
+	}
+	cNode.cl.Kill()
+	cNode.hs.Close()
+	log.Printf("cluster-smoke: killed node c mid-theft")
+	for _, id := range killBatch {
+		view, err := pollDone(a.base, id, 2*time.Minute)
+		if err != nil {
+			return fmt.Errorf("lost job %s after killing c: %w", id, err)
+		}
+		if view["status"] != "done" {
+			return fmt.Errorf("job %s not done after killing c: %v", id, view["status"])
+		}
+	}
+	reclaimed, err := metricValue(a.base, "splash4d_jobs_reclaimed_total")
+	if err != nil {
+		return err
+	}
+	if reclaimed <= 0 {
+		return fmt.Errorf("killing c mid-theft reclaimed nothing")
+	}
+	if err := waitMetric(a.base, `splash4d_peer_up{peer="c"}`, 0, 5*time.Second, metricMax); err != nil {
+		return fmt.Errorf("a still thinks c is up: %w", err)
+	}
+	log.Printf("cluster-smoke: node death OK (all %d jobs done, %v reclaimed)", len(killBatch), reclaimed)
+
+	// Phase 5: re-routing. A spec the dead node owns must re-route to a
+	// survivor via rendezvous fallback and complete there.
+	reroutedOwner := ""
+	for seed, owner := range owners {
+		if owner != "c" {
+			continue
+		}
+		spec := fmt.Sprintf(`{"workload":"fft","kit":"classic","threads":2,"scale":"test","reps":2,"seed":%d}`, seed)
+		id, err := submitRunAny(a.base, spec)
+		if err != nil {
+			return fmt.Errorf("re-route submit: %w", err)
+		}
+		reroutedOwner = nodeOfJobID(id)
+		if reroutedOwner == "c" {
+			return fmt.Errorf("spec owned by dead node c was still routed to it (%s)", id)
+		}
+		if _, err := pollDone(a.base, id, time.Minute); err != nil {
+			return fmt.Errorf("re-routed job %s: %w", id, err)
+		}
+		break
+	}
+	if reroutedOwner == "" {
+		log.Printf("cluster-smoke: no probe seed owned by c; skipping re-route assertion")
+	} else {
+		log.Printf("cluster-smoke: re-routing OK (c's keyspace served by %s)", reroutedOwner)
+	}
+
+	// Phase 6: the survivors still agree. Same replica-count wait as phase
+	// 2 (the lag gauge can be stale-zero): the pinned and kill batches all
+	// journaled on a — stolen completions and reclaimed reruns land on the
+	// victim — and the re-routed job on its stand-in owner. c's journal is
+	// frozen since phase 2, so the survivors' c-replicas are already whole.
+	owned["a"] += len(pinned) + len(killBatch)
+	total += len(pinned) + len(killBatch)
+	if reroutedOwner != "" {
+		owned[reroutedOwner]++
+		total++
+	}
+	for _, n := range []*smokeNode{a, b} {
+		want := float64(total - owned[n.id])
+		if err := waitMetric(n.base, `splash4d_journal_replica_records{peer=`, want, 15*time.Second, metricSum); err != nil {
+			return fmt.Errorf("node %s shipping never settled after kill (want %v replica records): %w", n.id, want, err)
+		}
+	}
+	bodyA2, err := getRaw(a.base + compareURL)
+	if err != nil {
+		return err
+	}
+	bodyB2, err := getRaw(b.base + compareURL)
+	if err != nil {
+		return err
+	}
+	if string(bodyA2) != string(bodyB2) {
+		return fmt.Errorf("census identity broken after kill:\n%s\nvs\n%s", bodyA2, bodyB2)
+	}
+
+	// Drain the survivors and verify the victim's access log names both
+	// nodes on stolen-job lines.
+	for _, n := range []*smokeNode{a, b} {
+		n.cl.Stop()
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		err := n.srv.Drain(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("node %s drain: %w", n.id, err)
+		}
+		n.hs.Shutdown(context.Background())
+		if err := n.al.Flush(); err != nil {
+			return err
+		}
+	}
+	if err := checkStolenJobLines(filepath.Join(dir, "a.access.jsonl")); err != nil {
+		return err
+	}
+
+	summary := map[string]any{
+		"bench":             "cluster-smoke",
+		"nodes":             ids,
+		"owners_by_seed":    ownersView(owners),
+		"jobs_total":        len(allIDs) + len(pinned) + len(killBatch),
+		"jobs_lost":         0,
+		"donated":           donated,
+		"stolen":            stolen,
+		"reclaimed":         reclaimed,
+		"compare_identical": true,
+		"compare":           json.RawMessage(bodyA2),
+		"generated":         time.Now().UTC().Format(time.RFC3339),
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("cluster-smoke: PASS, wrote %s", outPath)
+	return nil
+}
+
+// ownersView renders the seed→owner map with string keys for JSON.
+func ownersView(owners map[int64]string) map[string]string {
+	out := make(map[string]string, len(owners))
+	for seed, o := range owners {
+		out[fmt.Sprintf("seed-%d", seed)] = o
+	}
+	return out
+}
+
+// nodeOfJobID extracts the owner from a clustered job ID "r-<node>-<seq>".
+func nodeOfJobID(id string) string {
+	if !strings.HasPrefix(id, "r-") {
+		return ""
+	}
+	rest := id[len("r-"):]
+	i := strings.LastIndexByte(rest, '-')
+	if i <= 0 {
+		return ""
+	}
+	return rest[:i]
+}
+
+// submitRunAny POSTs one spec and accepts both 202 (fresh) and 200
+// (singleflight dedup), returning the job ID either way.
+func submitRunAny(base, spec string) (string, error) {
+	resp, err := http.Post(base+"/runs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return "", err
+	}
+	body, err := decodeBody(resp)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("POST /runs = %d: %v", resp.StatusCode, body["error"])
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		return "", fmt.Errorf("POST /runs returned no job id")
+	}
+	return id, nil
+}
+
+// submitPinned POSTs one spec with the hop-guard header set, forcing local
+// admission on the addressed node regardless of ring ownership — the
+// smoke's tool for piling load onto one node.
+func submitPinned(base, spec string) (string, error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/runs", strings.NewReader(spec))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Splash4d-Forwarded-By", "smoke-pin")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	body, err := decodeBody(resp)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("pinned POST /runs = %d: %v", resp.StatusCode, body["error"])
+	}
+	id, _ := body["id"].(string)
+	return id, nil
+}
+
+// getRaw fetches one URL and returns the raw body, insisting on 200.
+func getRaw(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// Metric scrape helpers. metricValue returns the single sample whose line
+// starts with name (label-less series); waitMetric polls until fold over
+// every sample matching prefix reaches want.
+
+func metricValue(base, name string) (float64, error) {
+	text, err := getRaw(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	samples := scrapeSamples(string(text), name)
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("metric %s not found on %s", name, base)
+	}
+	return samples[0], nil
+}
+
+// scrapeSamples returns the values of every sample line whose series name
+// (with any label set) starts with prefix.
+func scrapeSamples(text, prefix string) []float64 {
+	var out []float64
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[1], "%g", &v); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func metricSum(samples []float64) float64 {
+	var s float64
+	for _, v := range samples {
+		s += v
+	}
+	return s
+}
+
+func metricMax(samples []float64) float64 {
+	var m float64
+	for _, v := range samples {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// waitMetric polls base's /metrics until fold(samples matching prefix)
+// reaches want — equality for want 0 ("all lags zero"), >= otherwise.
+func waitMetric(base, prefix string, want float64, timeout time.Duration, fold func([]float64) float64) error {
+	deadline := time.Now().Add(timeout)
+	var last float64
+	var seen bool
+	for {
+		text, err := getRaw(base + "/metrics")
+		if err == nil {
+			samples := scrapeSamples(string(text), prefix)
+			if len(samples) > 0 {
+				seen = true
+				last = fold(samples)
+				if (want == 0 && last == 0) || (want > 0 && last >= want) {
+					return nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			if !seen {
+				return fmt.Errorf("metric %s never appeared within %v", prefix, timeout)
+			}
+			return fmt.Errorf("metric %s stuck at %v (want %v) after %v", prefix, last, want, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// checkStolenJobLines asserts the victim's access log holds at least one
+// kind:job line naming both the owning node and the executing peer.
+func checkStolenJobLines(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	nodesSeen := map[string]bool{}
+	stolenLines := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" || !strings.Contains(line, `"kind":"job"`) {
+			continue
+		}
+		var entry struct {
+			Node  string           `json:"node"`
+			RanOn string           `json:"ran_on"`
+			Spans []telemetry.Span `json:"spans"`
+		}
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			return fmt.Errorf("access log line %q: %w", line, err)
+		}
+		if entry.Node == "" {
+			return fmt.Errorf("clustered job line without node annotation: %s", line)
+		}
+		if entry.RanOn != "" && entry.RanOn != entry.Node {
+			stolenLines++
+			nodesSeen[entry.RanOn] = true
+		}
+	}
+	if stolenLines == 0 {
+		return fmt.Errorf("access log %s has no stolen-job lines naming both nodes", path)
+	}
+	peers := make([]string, 0, len(nodesSeen))
+	for n := range nodesSeen {
+		peers = append(peers, n)
+	}
+	sort.Strings(peers)
+	log.Printf("cluster-smoke: access log names thief nodes %v on %d stolen job lines", peers, stolenLines)
+	return nil
+}

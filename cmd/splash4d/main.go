@@ -16,6 +16,19 @@
 // HTTP API (submit, poll, compare, metrics), drains it, and writes the
 // result summary to -out. `make serve-smoke` runs this as the service's
 // end-to-end gate.
+//
+// With -node-id and -peers the daemon joins a cluster (internal/cluster):
+// job specs route to their consistent-hash owner, idle nodes steal queued
+// work from busy peers, and every node replicates the others' result
+// journals so reads answer cluster-wide. See docs/CLUSTER.md.
+//
+//	splash4d -addr :8724 -node-id a -peers b=http://h2:8724,c=http://h3:8724
+//
+// With -cluster-smoke the binary runs a self-contained 3-node loopback
+// cluster through routing, stealing, a node kill with reclaim, and
+// cluster-wide /compare identity, writing a summary to -out
+// (BENCH_cluster.json). `make cluster-smoke` runs this as the cluster's
+// end-to-end gate.
 package main
 
 import (
@@ -34,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/resultstore"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -49,9 +63,12 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job execution budget; a job exceeding it fails instead of wedging its worker")
 		repTimeout   = flag.Duration("rep-timeout", 0, "per-repetition watchdog deadline (0 means the job timeout)")
 		smoke        = flag.Bool("smoke", false, "run the self-contained smoke sequence and exit")
-		out          = flag.String("out", "BENCH_serve.json", "smoke result path (with -smoke)")
+		out          = flag.String("out", "", "smoke result path (default BENCH_serve.json, or BENCH_cluster.json with -cluster-smoke)")
 		accessLog    = flag.String("access-log", "", "structured JSONL access log path (request + job lifecycle lines); empty disables")
 		debugAddr    = flag.String("debug-addr", "", "separate listener for net/http/pprof; empty disables")
+		nodeID       = flag.String("node-id", "", "this node's cluster name; empty runs single-node")
+		peers        = flag.String("peers", "", "comma-separated peer list, id=http://host:port pairs (requires -node-id)")
+		clusterSmoke = flag.Bool("cluster-smoke", false, "run the 3-node in-process cluster smoke and exit")
 	)
 	flag.Parse()
 
@@ -60,6 +77,19 @@ func main() {
 		Workers:       *workers,
 		JobTimeout:    *jobTimeout,
 		RepTimeout:    *repTimeout,
+		NodeID:        *nodeID,
+	}
+	if *clusterSmoke {
+		if *out == "" {
+			*out = "BENCH_cluster.json"
+		}
+		if err := runClusterSmoke(*out, cfg, *drainTimeout); err != nil {
+			log.Fatalf("splash4d cluster smoke: %v", err)
+		}
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_serve.json"
 	}
 	if *smoke {
 		if err := runSmoke(*storePath, *out, *accessLog, cfg, *drainTimeout); err != nil {
@@ -67,9 +97,32 @@ func main() {
 		}
 		return
 	}
-	if err := serve(*addr, *storePath, *accessLog, *debugAddr, cfg, *drainTimeout); err != nil {
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
 		log.Fatalf("splash4d: %v", err)
 	}
+	if len(peerMap) > 0 && *nodeID == "" {
+		log.Fatalf("splash4d: -peers requires -node-id")
+	}
+	if err := serve(*addr, *storePath, *accessLog, *debugAddr, cfg, *drainTimeout, peerMap); err != nil {
+		log.Fatalf("splash4d: %v", err)
+	}
+}
+
+// parsePeers splits "-peers b=http://h:1,c=http://h:2" into a map.
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		id, base, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || base == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", pair)
+		}
+		out[id] = strings.TrimSuffix(base, "/")
+	}
+	return out, nil
 }
 
 // newServer opens the store and builds the pipeline; the caller owns all
@@ -124,7 +177,7 @@ func startDebug(addr string) (*http.Server, string, error) {
 	return hs, "http://" + ln.Addr().String(), nil
 }
 
-func serve(addr, storePath, accessLogPath, debugAddr string, cfg server.Config, drainTimeout time.Duration) error {
+func serve(addr, storePath, accessLogPath, debugAddr string, cfg server.Config, drainTimeout time.Duration, peers map[string]string) error {
 	srv, store, al, err := newServer(storePath, accessLogPath, cfg)
 	if err != nil {
 		return err
@@ -143,7 +196,27 @@ func serve(addr, storePath, accessLogPath, debugAddr string, cfg server.Config, 
 		log.Printf("debug (pprof) listening on %s", dbgBase)
 	}
 
-	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	// Clustered: wrap the API with the routing/peer layer and start the
+	// background loops (health probes, journal shipping, work stealing).
+	handler := srv.Handler()
+	var cl *cluster.Cluster
+	if len(peers) > 0 {
+		cl, err = cluster.New(cluster.Config{
+			Self:   cfg.NodeID,
+			Peers:  peers,
+			Server: srv,
+			Logf:   log.Printf,
+		})
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		handler = cl.Handler()
+		cl.Start()
+		log.Printf("cluster: node %s with %d peer(s)", cfg.NodeID, len(peers))
+	}
+
+	hs := &http.Server{Addr: addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
 		err := hs.ListenAndServe()
@@ -163,6 +236,11 @@ func serve(addr, storePath, accessLogPath, debugAddr string, cfg server.Config, 
 		log.Printf("%s: draining (timeout %v)", sig, drainTimeout)
 	}
 
+	// Cluster loops stop before the drain so nothing donates or ships
+	// against a draining pipeline.
+	if cl != nil {
+		cl.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	drainErr := srv.Drain(ctx)

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+)
+
+// writeMetrics is the ClusterHooks.Metrics implementation: cluster metric
+// families appended to the node's /metrics exposition. Peer-labeled series
+// iterate c.order so scrape output is stable.
+func (c *Cluster) writeMetrics(w io.Writer) {
+	fmt.Fprintf(w, "# HELP splash4d_peer_up 1 while the peer's last health probe succeeded and it reported ready.\n# TYPE splash4d_peer_up gauge\n")
+	for _, id := range c.order {
+		if id == c.cfg.Self {
+			continue
+		}
+		up := 0
+		if c.peers[id].up.Load() {
+			up = 1
+		}
+		fmt.Fprintf(w, "splash4d_peer_up{peer=%q} %d\n", id, up)
+	}
+
+	fmt.Fprintf(w, "# HELP splash4d_journal_ship_lag Durable bytes of the peer's journal not yet replicated here.\n# TYPE splash4d_journal_ship_lag gauge\n")
+	for _, id := range c.order {
+		if id == c.cfg.Self {
+			continue
+		}
+		fmt.Fprintf(w, "splash4d_journal_ship_lag{peer=%q} %d\n", id, c.peers[id].shipLag())
+	}
+
+	fmt.Fprintf(w, "# HELP splash4d_journal_replica_records Records replicated from the peer's journal.\n# TYPE splash4d_journal_replica_records gauge\n")
+	for _, id := range c.order {
+		if id == c.cfg.Self {
+			continue
+		}
+		fmt.Fprintf(w, "splash4d_journal_replica_records{peer=%q} %d\n", id, c.peers[id].replica.Len())
+	}
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("splash4d_jobs_stolen_total", "Jobs this node stole from peers and completed back to their owner.", c.stolenTotal.Load())
+	counter("splash4d_steal_errors_total", "Steal or completion round trips that failed.", c.stealErrors.Load())
+	counter("splash4d_forwarded_total", "Requests proxied to their owning node.", c.forwardedTotal.Load())
+	counter("splash4d_forward_errors_total", "Forward hops that failed and fell back to local service.", c.forwardErrors.Load())
+	counter("splash4d_journal_ship_rounds_total", "Successful journal tail rounds across all peers.", c.shipRounds.Load())
+	counter("splash4d_journal_ship_errors_total", "Journal tail rounds that failed.", c.shipErrors.Load())
+	counter("splash4d_journal_ship_skipped_total", "Shipped journal lines skipped as malformed.", c.skippedTotal())
+}
+
+// skippedTotal sums malformed-line skips across peers.
+func (c *Cluster) skippedTotal() int64 {
+	var n int64
+	for _, p := range c.peers {
+		n += p.skipped.Load()
+	}
+	return n
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/server"
+)
+
+// The peer-to-peer API. Four endpoints under /peer/, mounted by Handler in
+// front of the wrapped server's public API:
+//
+//	GET  /peer/health    node ID, readiness, queue depth, durable journal size
+//	POST /peer/steal     {"thief":"b","max":2} → {"jobs":[{"id","spec"},...]}
+//	POST /peer/complete  {"id":"r-a-7","result":{...}} → 200 / 410
+//	GET  /peer/journal?offset=N → raw journal bytes from N, clamped to the
+//	                     durable watermark; X-Splash4d-Journal-Size carries it
+//
+// Peer calls carry X-Request-ID like any other request (the wrapped
+// telemetry middleware logs them), and the steal/complete pair carries the
+// stealing node's ID so a stolen job's trail names both nodes.
+
+// healthView is the /peer/health body. Status mirrors /healthz ("ok",
+// "draining", "degraded"); Ready folds in the /readyz verdict so the
+// prober needs one round trip.
+type healthView struct {
+	Node        string `json:"node"`
+	Status      string `json:"status"`
+	Ready       bool   `json:"ready"`
+	QueueDepth  int    `json:"queue_depth"`
+	DurableSize int64  `json:"durable_size"`
+}
+
+// handlePeerHealth is GET /peer/health.
+func (c *Cluster) handlePeerHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	ready := true
+	switch {
+	case c.srv.Draining():
+		status, ready = "draining", false
+	case c.srv.Degraded():
+		status, ready = "degraded", false
+	}
+	writeJSON(w, http.StatusOK, healthView{
+		Node:        c.cfg.Self,
+		Status:      status,
+		Ready:       ready,
+		QueueDepth:  c.srv.QueueDepth(),
+		DurableSize: c.srv.Store().DurableSize(),
+	})
+}
+
+// stealRequest is the POST /peer/steal body.
+type stealRequest struct {
+	Thief string `json:"thief"`
+	Max   int    `json:"max"`
+}
+
+// handlePeerSteal is POST /peer/steal: donate queued jobs to the thief.
+func (c *Cluster) handlePeerSteal(w http.ResponseWriter, r *http.Request) {
+	var req stealRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<12)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding steal request: %v", err)
+		return
+	}
+	if req.Thief == "" || req.Thief == c.cfg.Self {
+		writeError(w, http.StatusBadRequest, "steal request needs a thief != self")
+		return
+	}
+	jobs := c.srv.Donate(req.Max, req.Thief)
+	if len(jobs) > 0 {
+		c.cfg.Logf("cluster: %s donated %d job(s) to %s", c.cfg.Self, len(jobs), req.Thief)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+}
+
+// completeRequest is the POST /peer/complete body.
+type completeRequest struct {
+	ID     string              `json:"id"`
+	Result server.RemoteResult `json:"result"`
+}
+
+// handlePeerComplete is POST /peer/complete: land a thief's outcome. 410
+// tells the thief the job was reclaimed meanwhile; its work is discarded.
+func (c *Cluster) handlePeerComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding completion: %v", err)
+		return
+	}
+	if err := c.srv.CompleteStolen(req.ID, req.Result); err != nil {
+		writeError(w, http.StatusGone, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "landed": true})
+}
+
+// journalChunk caps one /peer/journal response body.
+const journalChunk = 256 << 10
+
+// journalSizeHeader carries the origin's durable journal size on every
+// /peer/journal response, so followers can compute ship lag even from an
+// empty (caught-up) read.
+const journalSizeHeader = "X-Splash4d-Journal-Size"
+
+// handlePeerJournal is GET /peer/journal?offset=N.
+func (c *Cluster) handlePeerJournal(w http.ResponseWriter, r *http.Request) {
+	off, err := strconv.ParseInt(r.URL.Query().Get("offset"), 10, 64)
+	if err != nil || off < 0 {
+		writeError(w, http.StatusBadRequest, "bad offset")
+		return
+	}
+	buf := make([]byte, journalChunk)
+	n, durable, err := c.srv.Store().ReadJournal(buf, off)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading journal: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(journalSizeHeader, strconv.FormatInt(durable, 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf[:n])
+}
+
+// probeLoop polls one peer's /peer/health. An up→down transition reclaims
+// every job donated to that peer immediately — waiting out the deadline
+// sweep would hold the victim's jobs hostage to a dead thief.
+func (c *Cluster) probeLoop(p *peer) {
+	defer c.wg.Done()
+	for {
+		hv, err := c.fetchHealth(p)
+		was := p.up.Load()
+		now := err == nil && hv.Ready
+		p.up.Store(now)
+		if err == nil {
+			p.queueDepth.Store(int64(hv.QueueDepth))
+			p.durable.Store(hv.DurableSize)
+		} else {
+			p.queueDepth.Store(0)
+		}
+		switch {
+		case was && !now:
+			c.cfg.Logf("cluster: peer %s down (%v)", p.id, err)
+			if n := c.srv.ReclaimStolenFrom(p.id); n > 0 {
+				c.cfg.Logf("cluster: reclaimed %d job(s) stolen by dead peer %s", n, p.id)
+			}
+		case !was && now:
+			c.cfg.Logf("cluster: peer %s up", p.id)
+		}
+		if !c.sleep(c.cfg.HealthInterval) {
+			return
+		}
+	}
+}
+
+// fetchHealth performs one health probe round trip.
+func (c *Cluster) fetchHealth(p *peer) (healthView, error) {
+	var hv healthView
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, p.base+"/peer/health", nil)
+	if err != nil {
+		return hv, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return hv, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return hv, fmt.Errorf("peer health: %s", resp.Status)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<12)).Decode(&hv); err != nil {
+		return hv, err
+	}
+	return hv, nil
+}
+
+// writeJSON and writeError mirror the server's API helpers; the peer API
+// speaks the same JSON error envelope.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
+}

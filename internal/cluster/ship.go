@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/resultstore"
+)
+
+// Journal shipping: each node tails every peer's result journal into a
+// local read-only resultstore.Index, so reads answer cluster-wide without
+// a scatter-gather per query.
+//
+// The protocol is a byte-offset tail of an append-only file. The origin
+// clamps reads to its durable watermark (bytes whose append was
+// acknowledged), so a follower never sees a line the origin might not
+// re-acknowledge after a crash — offsets stay valid across origin
+// restarts, and a follower resumes exactly where it left off. Two
+// tolerances mirror the origin's own replay-on-open: a chunk boundary may
+// split a line (buffered in p.tail until the rest arrives), and a torn
+// fragment from an origin write fault may glue onto the next good line
+// (skipped and counted, exactly as the origin's replay skips it — both
+// sides converge on the same record set).
+
+// shipLoop tails one peer's journal.
+func (c *Cluster) shipLoop(p *peer) {
+	defer c.wg.Done()
+	for {
+		if !c.sleep(c.cfg.ShipInterval) {
+			return
+		}
+		if !p.up.Load() {
+			continue
+		}
+		if err := c.shipOnce(p); err != nil {
+			c.shipErrors.Add(1)
+			continue
+		}
+		c.shipRounds.Add(1)
+	}
+}
+
+// shipOnce fetches one chunk from the peer's journal and folds its
+// complete lines into the replica index.
+func (c *Cluster) shipOnce(p *peer) error {
+	off := p.offset.Load()
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet,
+		fmt.Sprintf("%s/peer/journal?offset=%d", p.base, off), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("journal from %s: %s", p.id, resp.Status)
+	}
+	if durable, err := strconv.ParseInt(resp.Header.Get(journalSizeHeader), 10, 64); err == nil {
+		p.durable.Store(durable)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, journalChunk+1))
+	if err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		return nil // caught up
+	}
+	p.ingest(body)
+	p.offset.Store(off + int64(len(body)))
+	return nil
+}
+
+// ingest folds shipped bytes into the replica: complete lines parse into
+// records, the trailing partial line waits in p.tail for the next chunk.
+func (p *peer) ingest(chunk []byte) {
+	p.tailMu.Lock()
+	defer p.tailMu.Unlock()
+	data := chunk
+	if len(p.tail) > 0 {
+		data = append(p.tail, chunk...)
+	}
+	for {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			break
+		}
+		line := data[:i]
+		data = data[i+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec resultstore.Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" {
+			p.skipped.Add(1) // torn fragment glued to a good write; origin replay skips it too
+			continue
+		}
+		p.replica.Add(rec)
+	}
+	p.tail = append(p.tail[:0], data...)
+}
+
+// shipLag returns how many durable bytes of the peer's journal this node
+// has not yet shipped. Probe data may momentarily lag the shipper, so the
+// value clamps at zero.
+func (p *peer) shipLag() int64 {
+	lag := p.durable.Load() - p.offset.Load()
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}

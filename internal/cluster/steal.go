@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/server"
+)
+
+// The thief side of work stealing. An idle node — empty admission ring,
+// spare worker capacity — asks the busiest healthy peer to donate queued
+// jobs, executes each spec on its own engine, and ships the outcome back
+// to the victim, which journals it. The loop is pull-based and paced by
+// StealInterval: no coordinator, no push fan-out, and a node under load
+// simply never asks.
+
+// stealLoop is the background stealer.
+func (c *Cluster) stealLoop() {
+	defer c.wg.Done()
+	for {
+		if !c.sleep(c.cfg.StealInterval) {
+			return
+		}
+		if c.srv.Draining() || c.srv.Degraded() {
+			continue
+		}
+		// Idle means nothing queued and at least one worker free; steal at
+		// most the spare capacity, capped by StealBatch.
+		spare := c.srv.Workers() - int(c.srv.Inflight())
+		if c.srv.QueueDepth() > 0 || spare <= 0 {
+			continue
+		}
+		victim := c.busiestPeer()
+		if victim == nil {
+			continue
+		}
+		max := min(spare, c.cfg.StealBatch)
+		jobs, err := c.stealFrom(victim, max)
+		if err != nil {
+			c.stealErrors.Add(1)
+			continue
+		}
+		for _, sj := range jobs {
+			c.runStolen(victim, sj)
+		}
+	}
+}
+
+// busiestPeer returns the healthy peer with the deepest queue, nil when no
+// peer has queued work. Depths come from the health prober's last probe —
+// slightly stale, which only costs an occasional empty steal request.
+func (c *Cluster) busiestPeer() *peer {
+	var best *peer
+	var bestDepth int64
+	for _, id := range c.order {
+		if id == c.cfg.Self {
+			continue
+		}
+		p := c.peers[id]
+		if !p.up.Load() {
+			continue
+		}
+		if d := p.queueDepth.Load(); d > bestDepth {
+			best, bestDepth = p, d
+		}
+	}
+	return best
+}
+
+// stealFrom asks victim to donate up to max queued jobs.
+func (c *Cluster) stealFrom(victim *peer, max int) ([]server.StolenJob, error) {
+	body, _ := json.Marshal(stealRequest{Thief: c.cfg.Self, Max: max})
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost,
+		victim.base+"/peer/steal", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("steal from %s: %s", victim.id, resp.Status)
+	}
+	var out struct {
+		Jobs []server.StolenJob `json:"jobs"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// runStolen executes one donated job and returns the outcome to its owner.
+// Execution errors travel inside the RemoteResult; only the completion
+// callback's transport failure is counted here — the victim's reclaim
+// sweep covers a result that never lands.
+func (c *Cluster) runStolen(victim *peer, sj server.StolenJob) {
+	res := c.srv.ExecuteSpec(c.ctx, sj.Spec)
+	if c.killed.Load() {
+		return // crashed mid-steal: the victim's reclaim owns the job now
+	}
+	body, _ := json.Marshal(completeRequest{ID: sj.ID, Result: res})
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost,
+		victim.base+"/peer/complete", bytes.NewReader(body))
+	if err != nil {
+		c.stealErrors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		c.stealErrors.Add(1)
+		c.cfg.Logf("cluster: completing stolen %s on %s failed: %v", sj.ID, victim.id, err)
+		return
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		c.stolenTotal.Add(1)
+	case http.StatusGone:
+		// Reclaimed while we ran it; the victim re-executed (or will). Our
+		// measurement is discarded — correct, since the victim's journal
+		// must hold exactly one outcome per job.
+		c.cfg.Logf("cluster: stolen %s was reclaimed by %s before completion", sj.ID, victim.id)
+	default:
+		c.stealErrors.Add(1)
+	}
+}
+
+// reclaimLoop sweeps donated jobs whose outcome has been owed longer than
+// ReclaimAfter back onto the local ring. Dead peers are additionally
+// reclaimed-from immediately by the health prober's down transition.
+func (c *Cluster) reclaimLoop() {
+	defer c.wg.Done()
+	for {
+		if !c.sleep(c.cfg.ReclaimAfter / 4) {
+			return
+		}
+		if n := c.srv.ReclaimStolen(c.cfg.ReclaimAfter); n > 0 {
+			c.cfg.Logf("cluster: reclaimed %d overdue stolen job(s)", n)
+		}
+	}
+}

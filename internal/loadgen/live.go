@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
@@ -21,7 +22,13 @@ import (
 // daemon advertised.
 type LiveConfig struct {
 	Target string // base URL, e.g. http://127.0.0.1:8080
-	Client *http.Client
+	// Targets, when set, supersedes Target: submissions round-robin across
+	// the listed base URLs (a clustered splash4d accepts a spec on any node
+	// and routes it to its owner). Polling always goes to the node that
+	// accepted the submission, so reads follow the redirect-free job view.
+	// A single-element Targets behaves identically to Target.
+	Targets []string
+	Client  *http.Client
 	// Loop selects the generator discipline: "open" replays the schedule's
 	// arrival times (offered load independent of completions), "closed"
 	// runs Concurrency workers back to back (offered load throttled by
@@ -50,6 +57,7 @@ type LiveResult struct {
 	mu          sync.Mutex
 	Latency     *stats.Histogram
 	Submit      *stats.Histogram
+	rr          atomic.Int64 // round-robin cursor over LiveConfig.Targets
 	Accepted    int
 	Deduped     int
 	Rejected429 int
@@ -108,7 +116,10 @@ func (r *LiveResult) violate(format string, args ...any) {
 
 // RunLive replays one schedule against a live daemon.
 func RunLive(cfg LiveConfig, schedule []Request) (*LiveResult, error) {
-	if cfg.Target == "" || cfg.SpecFor == nil {
+	if len(cfg.Targets) == 0 && cfg.Target != "" {
+		cfg.Targets = []string{cfg.Target}
+	}
+	if len(cfg.Targets) == 0 || cfg.SpecFor == nil {
 		return nil, fmt.Errorf("live run needs a target and a spec renderer")
 	}
 	if cfg.Client == nil {
@@ -179,8 +190,11 @@ func (r *LiveResult) drive(cfg LiveConfig, req Request) {
 	first := time.Now()
 	body := cfg.SpecFor(req)
 	for attempt := 0; ; attempt++ {
+		// Each attempt takes the next target in rotation, so retries after a
+		// bounce land on a different node when more than one is offered.
+		target := cfg.Targets[r.rr.Add(1)%int64(len(cfg.Targets))]
 		t0 := time.Now()
-		resp, err := cfg.Client.Post(cfg.Target+"/runs", "application/json", bytes.NewReader(body))
+		resp, err := cfg.Client.Post(target+"/runs", "application/json", bytes.NewReader(body))
 		if err != nil {
 			r.violate("POST /runs transport error: %v", err)
 			r.countError()
@@ -205,7 +219,7 @@ func (r *LiveResult) drive(cfg LiveConfig, req Request) {
 			if resp.StatusCode == http.StatusOK && !view.Deduped {
 				r.violate("200 submission not marked deduped")
 			}
-			if r.await(cfg, view.ID) {
+			if r.await(cfg, target, view.ID) {
 				r.countDone(deduped, time.Since(first))
 			} else {
 				r.countError()
@@ -246,11 +260,12 @@ func (r *LiveResult) checkRetryAfter(resp *http.Response) (int, bool) {
 	return secs, true
 }
 
-// await polls the job to a terminal state; true means done.
-func (r *LiveResult) await(cfg LiveConfig, id string) bool {
+// await polls the job to a terminal state on the node that accepted it;
+// true means done.
+func (r *LiveResult) await(cfg LiveConfig, target, id string) bool {
 	deadline := time.Now().Add(cfg.JobTimeout)
 	for time.Now().Before(deadline) {
-		resp, err := cfg.Client.Get(cfg.Target + "/runs/" + id)
+		resp, err := cfg.Client.Get(target + "/runs/" + id)
 		if err != nil {
 			r.violate("GET /runs/%s transport error: %v", id, err)
 			return false

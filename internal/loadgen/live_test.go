@@ -163,6 +163,64 @@ func TestRunLiveClosedLoopDedup(t *testing.T) {
 	}
 }
 
+func TestRunLiveMultiTargetRoundRobin(t *testing.T) {
+	a, b := newStubDaemon(64), newStubDaemon(64)
+	tsA := httptest.NewServer(a.handler())
+	defer tsA.Close()
+	tsB := httptest.NewServer(b.handler())
+	defer tsB.Close()
+
+	cfg := liveConfig("")
+	cfg.Target = ""
+	cfg.Targets = []string{tsA.URL, tsB.URL}
+	cfg.Loop = "closed"
+	sched := mustSchedule(t, ScheduleConfig{Shape: ShapeSteady, Requests: 40, SpanNS: 1e9, Seed: 11})
+	res, err := RunLive(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	accepted, deduped, _, _, errors := res.Counts()
+	if accepted+deduped+errors != 40 || errors != 0 {
+		t.Fatalf("outcomes accepted=%d deduped=%d errors=%d don't cover 40 clean requests",
+			accepted, deduped, errors)
+	}
+	// Round-robin must spread submissions across both stubs. Admission
+	// counts are tracked per daemon; each must have seen real work.
+	for name, d := range map[string]*stubDaemon{"a": a, "b": b} {
+		d.mu.Lock()
+		n := d.nextID
+		d.mu.Unlock()
+		if n == 0 {
+			t.Errorf("target %s admitted no jobs; round-robin did not reach it", name)
+		}
+	}
+}
+
+func TestRunLiveSingleTargetFieldCompat(t *testing.T) {
+	// The legacy single-string Target field must keep working untouched —
+	// RunLive promotes it into a one-element rotation.
+	daemon := newStubDaemon(64)
+	ts := httptest.NewServer(daemon.handler())
+	defer ts.Close()
+
+	cfg := liveConfig(ts.URL)
+	if len(cfg.Targets) != 0 {
+		t.Fatal("test wants the legacy Target-only configuration")
+	}
+	sched := mustSchedule(t, ScheduleConfig{Shape: ShapeSteady, Requests: 12, SpanNS: 1e9, Seed: 3})
+	res, err := RunLive(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted, deduped, _, _, errors := res.Counts()
+	if accepted+deduped != 12 || errors != 0 {
+		t.Fatalf("accepted=%d deduped=%d errors=%d, want 12 clean outcomes", accepted, deduped, errors)
+	}
+}
+
 func TestRunLiveFlagsMissingRetryAfter(t *testing.T) {
 	daemon := newStubDaemon(1)
 	daemon.sabotage = true

@@ -1,0 +1,92 @@
+package resultstore
+
+import "sync"
+
+// Index is the queryable in-memory view of a result journal: records in
+// journal order plus a by-population lookup. The Store embeds one for its
+// own journal, and cluster followers (internal/cluster) build one per
+// shipped peer journal, so a node answers /compare and /jobs queries over
+// replicated data through exactly the same code path it uses for its own.
+// All methods are safe for concurrent use.
+type Index struct {
+	mu    sync.Mutex
+	recs  []Record
+	byKey map[Key][]int // indices into recs
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{byKey: make(map[Key][]int)}
+}
+
+// Add appends r in journal order.
+func (ix *Index) Add(r Record) {
+	ix.mu.Lock()
+	ix.add(r)
+	ix.mu.Unlock()
+}
+
+// add appends r. Caller holds mu.
+func (ix *Index) add(r Record) {
+	ix.recs = append(ix.recs, r)
+	ix.byKey[r.Key()] = append(ix.byKey[r.Key()], len(ix.recs)-1)
+}
+
+// Len returns the number of indexed records.
+func (ix *Index) Len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.recs)
+}
+
+// All returns a copy of every record in journal order.
+func (ix *Index) All() []Record {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	out := make([]Record, len(ix.recs))
+	copy(out, ix.recs)
+	return out
+}
+
+// ByID returns the most recent record with the given id.
+func (ix *Index) ByID(id string) (Record, bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for i := len(ix.recs) - 1; i >= 0; i-- {
+		if ix.recs[i].ID == id {
+			return ix.recs[i], true
+		}
+	}
+	return Record{}, false
+}
+
+// ByKey returns every record of one measurement population, in journal
+// order.
+func (ix *Index) ByKey(k Key) []Record {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	idxs := ix.byKey[k]
+	out := make([]Record, len(idxs))
+	for i, idx := range idxs {
+		out[i] = ix.recs[idx]
+	}
+	return out
+}
+
+// TimesNS pools the repetition times of every successful record of one
+// population, in journal order — the sample /compare feeds to the
+// bootstrap. Journal order is what makes the pool deterministic: two
+// indexes built from the same journal bytes return identical slices.
+func (ix *Index) TimesNS(k Key) []int64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var out []int64
+	for _, idx := range ix.byKey[k] {
+		r := ix.recs[idx]
+		if r.Status != "ok" {
+			continue
+		}
+		out = append(out, r.TimesNS...)
+	}
+	return out
+}

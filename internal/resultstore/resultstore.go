@@ -137,6 +137,11 @@ type Record struct {
 	Seed     int64  `json:"seed"`
 	Reps     int    `json:"reps"`
 
+	// Node is the cluster node that owns (journaled) this record; empty
+	// for single-node deployments. Shipped journal lines carry it, so a
+	// replicated record self-describes its origin.
+	Node string `json:"node,omitempty"`
+
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started"`
 	Finished  time.Time `json:"finished"`
@@ -190,9 +195,18 @@ type Store struct {
 	f       *os.File
 	opts    Options
 	closed  bool
-	recs    []Record
-	byKey   map[Key][]int // indices into recs
-	skipped int           // malformed journal lines ignored at Open
+	ix      *Index
+	skipped int // malformed journal lines ignored at Open
+
+	// size is the journal file's current end offset, advanced by every
+	// write that lands bytes (including torn fragments). durable is the
+	// acknowledged watermark: the end offset after the last append that
+	// completed its full durability protocol (write, plus fsync under
+	// SyncAlways). ReadJournal serves bytes only up to durable, so a
+	// follower shipping this journal never reads a line the store has not
+	// acknowledged — the fsync-respecting half of the shipping contract.
+	size    int64
+	durable int64
 }
 
 // Open reads (or creates) the journal at path with the default options
@@ -210,7 +224,7 @@ func OpenWithOptions(path string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("resultstore: %w", err)
 	}
-	s := &Store{f: f, opts: opts, byKey: make(map[Key][]int)}
+	s := &Store{f: f, opts: opts, ix: NewIndex()}
 	if err := s.replay(); err != nil {
 		f.Close()
 		return nil, err
@@ -235,8 +249,10 @@ func OpenWithOptions(path string, opts Options) (*Store, error) {
 				f.Close()
 				return nil, fmt.Errorf("resultstore: %w", err)
 			}
+			end++
 		}
 	}
+	s.size, s.durable = end, end
 	return s, nil
 }
 
@@ -254,19 +270,12 @@ func (s *Store) replay() error {
 			s.skipped++
 			continue
 		}
-		s.index(r)
+		s.ix.Add(r)
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("resultstore: reading journal: %w", err)
 	}
 	return nil
-}
-
-// index appends r to the in-memory state. Caller holds mu (or is Open's
-// single-threaded replay).
-func (s *Store) index(r Record) {
-	s.recs = append(s.recs, r)
-	s.byKey[r.Key()] = append(s.byKey[r.Key()], len(s.recs)-1)
 }
 
 // Append journals and indexes one record. The full line reaches the OS —
@@ -299,7 +308,13 @@ func (s *Store) Append(r Record) error {
 			return fmt.Errorf("resultstore: sync before index: %w", err)
 		}
 	}
-	s.index(r)
+	// Acknowledged: advance the shipping watermark to the current end.
+	// Bytes a failed earlier append left behind (a fragment, or a synced
+	// line that missed its ack) ride along under the watermark; followers
+	// treat them exactly like replay-on-open does — a malformed glued line
+	// is skipped, never fatal.
+	s.durable = s.size
+	s.ix.Add(r)
 	return nil
 }
 
@@ -313,11 +328,13 @@ func (s *Store) write(line []byte) error {
 			if torn > len(line) {
 				torn = len(line)
 			}
-			s.f.Write(line[:torn]) // best effort: the crash leaves a fragment
+			n, _ := s.f.Write(line[:torn]) // best effort: the crash leaves a fragment
+			s.size += int64(n)
 		}
 		return err
 	}
-	_, err = s.f.Write(line)
+	n, err := s.f.Write(line)
+	s.size += int64(n)
 	return err
 }
 
@@ -349,11 +366,7 @@ func (s *Store) Probe() error {
 }
 
 // Len returns the number of indexed records.
-func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.recs)
-}
+func (s *Store) Len() int { return s.ix.Len() }
 
 // Skipped returns how many malformed journal lines Open ignored.
 func (s *Store) Skipped() int {
@@ -362,54 +375,62 @@ func (s *Store) Skipped() int {
 	return s.skipped
 }
 
+// Index returns the store's live in-memory index.
+func (s *Store) Index() *Index { return s.ix }
+
 // All returns a copy of every record in journal order.
-func (s *Store) All() []Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]Record, len(s.recs))
-	copy(out, s.recs)
-	return out
-}
+func (s *Store) All() []Record { return s.ix.All() }
 
 // ByID returns the most recent record with the given id.
-func (s *Store) ByID(id string) (Record, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := len(s.recs) - 1; i >= 0; i-- {
-		if s.recs[i].ID == id {
-			return s.recs[i], true
-		}
-	}
-	return Record{}, false
-}
+func (s *Store) ByID(id string) (Record, bool) { return s.ix.ByID(id) }
 
 // ByKey returns every record of one measurement population, in journal
 // order.
-func (s *Store) ByKey(k Key) []Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	idxs := s.byKey[k]
-	out := make([]Record, len(idxs))
-	for i, idx := range idxs {
-		out[i] = s.recs[idx]
-	}
-	return out
-}
+func (s *Store) ByKey(k Key) []Record { return s.ix.ByKey(k) }
 
 // TimesNS pools the repetition times of every successful record of one
 // population — the sample /compare feeds to the bootstrap.
-func (s *Store) TimesNS(k Key) []int64 {
+func (s *Store) TimesNS(k Key) []int64 { return s.ix.TimesNS(k) }
+
+// DurableSize returns the acknowledged journal watermark in bytes: every
+// byte below it belongs to an append that completed its durability
+// protocol (or to replayed history). This is the offset space journal
+// shipping resumes in.
+func (s *Store) DurableSize() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []int64
-	for _, idx := range s.byKey[k] {
-		r := s.recs[idx]
-		if r.Status != "ok" {
-			continue
-		}
-		out = append(out, r.TimesNS...)
+	return s.durable
+}
+
+// ReadJournal fills p with raw journal bytes starting at offset off,
+// clamped to the durable watermark, and returns the byte count plus the
+// current watermark. A follower tails the journal by calling this with its
+// next offset until n == 0; offsets remain valid across store reopens
+// because the journal is append-only. Reading past the watermark is not an
+// error — it returns n == 0, the "caught up" signal.
+func (s *Store) ReadJournal(p []byte, off int64) (n int, durable int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, s.durable, fmt.Errorf("resultstore: store is closed")
 	}
-	return out
+	if off < 0 {
+		return 0, s.durable, fmt.Errorf("resultstore: negative journal offset %d", off)
+	}
+	if off >= s.durable || len(p) == 0 {
+		return 0, s.durable, nil
+	}
+	if max := s.durable - off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err = s.f.ReadAt(p, off)
+	if err == io.EOF && int64(n) == s.durable-off {
+		err = nil
+	}
+	if err != nil {
+		return n, s.durable, fmt.Errorf("resultstore: reading journal at %d: %w", off, err)
+	}
+	return n, s.durable, nil
 }
 
 // Flush forces journal bytes to the OS. Appends write through to the OS

@@ -213,3 +213,88 @@ func TestAppendRequiresID(t *testing.T) {
 		t.Fatal("accepted record without ID")
 	}
 }
+
+func TestReadJournalTailsToDurableWatermark(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append(rec("r1", "fft", "classic", 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("r2", "fft", "lockfree", 100)); err != nil {
+		t.Fatal(err)
+	}
+	durable := s.DurableSize()
+	if durable <= 0 {
+		t.Fatalf("durable watermark %d after two appends", durable)
+	}
+
+	// A follower tails in small chunks: concatenated reads reproduce the
+	// journal bytes exactly, and reaching the watermark yields n == 0.
+	var tailed []byte
+	buf := make([]byte, 7)
+	off := int64(0)
+	for {
+		n, d, err := s.ReadJournal(buf, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != durable {
+			t.Fatalf("watermark moved %d→%d during an idle tail", durable, d)
+		}
+		if n == 0 {
+			break
+		}
+		tailed = append(tailed, buf[:n]...)
+		off += int64(n)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tailed) != string(raw) {
+		t.Fatalf("tailed %d bytes != journal's %d on disk", len(tailed), len(raw))
+	}
+	if off != durable {
+		t.Fatalf("tail stopped at %d, watermark %d", off, durable)
+	}
+
+	// Past-the-end and negative offsets: caught-up and error, respectively.
+	if n, _, err := s.ReadJournal(buf, durable+100); n != 0 || err != nil {
+		t.Fatalf("read past watermark = (%d, %v), want (0, nil)", n, err)
+	}
+	if _, _, err := s.ReadJournal(buf, -1); err == nil {
+		t.Fatal("negative offset did not error")
+	}
+}
+
+func TestIndexPoolsInJournalOrder(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(rec("r1", "fft", "classic", 200, 210))
+	ix.Add(rec("r2", "fft", "classic", 300))
+	if ix.Len() != 2 {
+		t.Fatalf("index holds %d, want 2", ix.Len())
+	}
+	// The index mirrors journal semantics: a re-shipped line appends in
+	// journal order and ByID answers with the most recent version — the
+	// same answer a replayed origin journal gives.
+	ix.Add(rec("r2", "fft", "classic", 305))
+	if ix.Len() != 3 {
+		t.Fatalf("index holds %d after a re-shipped line, want 3 (journal order)", ix.Len())
+	}
+	r, ok := ix.ByID("r2")
+	if !ok || r.TimesNS[0] != 305 {
+		t.Fatalf("ByID(r2) = %+v, %v; want the latest journal line", r, ok)
+	}
+	k := Key{Workload: "fft", Kit: "classic", Threads: 2, Scale: "test"}
+	times := ix.TimesNS(k)
+	if len(times) != 4 || times[0] != 200 || times[3] != 305 {
+		t.Fatalf("pooled times %v, want [200 210 300 305]", times)
+	}
+	if got := len(ix.ByKey(k)); got != 3 {
+		t.Fatalf("ByKey found %d records, want 3", got)
+	}
+}

@@ -115,6 +115,12 @@ func (s *Server) jobView(j *Job, deduped bool) map[string]any {
 		"submitted":  j.Submitted.UTC().Format(time.RFC3339Nano),
 		"request_id": j.RequestID,
 	}
+	if s.cfg.NodeID != "" {
+		v["node"] = s.cfg.NodeID
+	}
+	if j.ranOn != "" {
+		v["ran_on"] = j.ranOn
+	}
 	if deduped {
 		v["deduped"] = true
 	}

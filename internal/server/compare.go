@@ -62,8 +62,10 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 
 	baseKey := resultstore.Key{Workload: workload, Kit: baseKit, Threads: threads, Scale: scale}
 	targetKey := resultstore.Key{Workload: workload, Kit: targetKit, Threads: threads, Scale: scale}
-	baseNS := s.store.TimesNS(baseKey)
-	targetNS := s.store.TimesNS(targetKey)
+	// Cluster hooks pool the population across every node's replicated
+	// journal in canonical order; single-node servers read their own.
+	baseNS := s.timesFor(baseKey)
+	targetNS := s.timesFor(targetKey)
 	if len(baseNS) == 0 || len(targetNS) == 0 {
 		writeError(w, http.StatusNotFound,
 			"no stored results for %s t=%d %s under both kits (base %s: %d reps, target %s: %d reps); submit runs first",

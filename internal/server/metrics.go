@@ -51,6 +51,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("splash4d_jobs_deduped_total", "Submissions answered by an already-active identical job.", s.deduped.Load())
 	counter("splash4d_append_retries_total", "Journal appends that failed and were retried.", s.appendRetries.Load())
 
+	// Work-stealing flow (clustered deployments; all zero single-node).
+	gauge("splash4d_jobs_stolen_outstanding", "Donated jobs whose outcome a peer still owes.", s.StolenCount())
+	counter("splash4d_jobs_donated_total", "Queued jobs handed to stealing peers.", s.donated.Load())
+	counter("splash4d_jobs_reclaimed_total", "Donated jobs taken back after the thief went quiet.", s.reclaimed.Load())
+
 	// Rejections split by cause: ring_full is the 429 backpressure path,
 	// degraded and draining are the 503 paths.
 	fmt.Fprintf(&b, "# HELP %[1]s Submissions refused, by cause (ring_full=429, degraded/draining=503).\n# TYPE %[1]s counter\n", "splash4d_jobs_rejected_total")
@@ -66,6 +71,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.writeHTTPCounters(&b)
 	s.writePhaseHistograms(&b)
 	s.writeHistograms(&b)
+	// Cluster metric families (peer health, steal counts, ship lag), when
+	// this node is clustered.
+	if h := s.hooks.Load(); h != nil && h.Metrics != nil {
+		h.Metrics(&b)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -10,14 +10,11 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/harness"
 	"repro/internal/resultstore"
-	"repro/internal/stats"
 	"repro/internal/sync4"
 	"repro/internal/sync4/classic"
 	"repro/internal/sync4/lockfree"
 	"repro/internal/telemetry"
-	"repro/internal/trace"
 )
 
 // Spec is one measurement request, as submitted to POST /runs.
@@ -31,9 +28,12 @@ type Spec struct {
 	Warmup   int    `json:"warmup"`
 }
 
-// key is the singleflight identity: two submissions with equal keys measure
+// Key is the singleflight identity: two submissions with equal keys measure
 // the same thing, so while one is queued or running the other rides along.
-func (sp Spec) key() string {
+// It is also the consistent-hash routing key — internal/cluster hashes it
+// to pick the owning node, so identical specs land on (and dedup at) the
+// same node regardless of which node the client hit.
+func (sp Spec) Key() string {
 	return fmt.Sprintf("%s|%s|%d|%s|%d|%d|%d",
 		sp.Workload, sp.Kit, sp.Threads, sp.Scale, sp.Seed, sp.Reps, sp.Warmup)
 }
@@ -124,6 +124,7 @@ type Job struct {
 	finished time.Time
 	errMsg   string
 	stall    string // watchdog diagnosis summary, when a repetition stalled
+	ranOn    string // executing node, when a peer stole the job
 	record   *resultstore.Record
 	events   []Event
 	subs     []chan Event
@@ -241,14 +242,14 @@ func (s *Server) submit(sp Spec, reqID string, ss *telemetry.SpanSet) (job *Job,
 		return nil, false, errDegraded
 	}
 	s.mu.Lock()
-	if existing := s.active[sp.key()]; existing != nil {
+	if existing := s.active[sp.Key()]; existing != nil {
 		s.mu.Unlock()
 		s.deduped.Inc()
 		return existing, false, nil
 	}
 	s.seq++
 	j := &Job{
-		ID:        fmt.Sprintf("r-%d", s.seq),
+		ID:        s.jobID(s.seq),
 		Seq:       s.seq,
 		Spec:      sp,
 		Submitted: time.Now(),
@@ -265,7 +266,7 @@ func (s *Server) submit(sp Spec, reqID string, ss *telemetry.SpanSet) (job *Job,
 	}
 	s.jobs[j.ID] = j
 	s.bySeq[j.Seq] = j
-	s.active[sp.key()] = j
+	s.active[sp.Key()] = j
 	s.jobsWG.Add(1)
 	s.mu.Unlock()
 
@@ -300,8 +301,8 @@ func (s *Server) jobByID(id string) (*Job, bool) {
 func (s *Server) release(j *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.active[j.Spec.key()] == j {
-		delete(s.active, j.Spec.key())
+	if s.active[j.Spec.Key()] == j {
+		delete(s.active, j.Spec.Key())
 	}
 }
 
@@ -333,11 +334,11 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one accepted job end to end: repetitions through
-// harness.RunContext with tracing and instrumentation on, a progress event
-// per repetition, then a journal line and the latency histograms. Every
-// accepted job reaches a terminal state and a journal line, even when
-// canceled by a forced drain.
+// runJob executes one accepted job end to end on the local engine:
+// repetitions through harness.RunContext with tracing and instrumentation
+// on, a progress event per repetition, then a journal line and the latency
+// histograms. Every accepted job reaches a terminal state and a journal
+// line, even when canceled by a forced drain.
 func (s *Server) runJob(j *Job) {
 	defer s.jobsWG.Done()
 	s.inflight.Inc()
@@ -351,93 +352,65 @@ func (s *Server) runJob(j *Job) {
 	j.mu.Unlock()
 	j.emit("started", map[string]any{"threads": sp.Threads, "scale": sp.Scale, "reps": sp.Reps})
 
-	bench, err := s.cfg.Resolver(sp.Workload)
-	if err == nil {
-		err = s.measure(j, bench)
-	}
-	if err != nil {
+	if err := s.measure(j); err != nil {
 		s.finishJob(j, StateFailed, err)
 		return
 	}
 	s.finishJob(j, StateDone, nil)
 }
 
-// measure runs the job's repetitions one at a time so each one yields a
-// live progress event carrying that repetition's wall time and trace-census
-// summary from the synchronization event recorder. Two failure guards are
-// armed: the job as a whole runs under Config.JobTimeout, and every
-// repetition runs under the harness watchdog (Config.RepTimeout), so a
-// deadlocked or livelocked workload fails with a structured diagnosis
-// instead of wedging its worker forever.
-func (s *Server) measure(j *Job, bench core.Benchmark) error {
+// jobObserver adapts one local job to the execution engine's progress
+// callbacks: repetition spans, SSE events, and the stall diagnosis.
+type jobObserver struct{ j *Job }
+
+func (o jobObserver) repMarked(rep int) { o.j.spans.Mark(telemetry.PhaseRep, rep) }
+
+func (o jobObserver) repDone(rep int, wall time.Duration, traceEvents, traceDropped, syncOps, blockedNS int64) {
+	o.j.spans.Annotate(traceEvents, blockedNS)
+	o.j.emit("rep", map[string]any{
+		"rep":           rep,
+		"wall_ns":       wall.Nanoseconds(),
+		"trace_events":  traceEvents,
+		"trace_dropped": traceDropped,
+		"sync_ops":      syncOps,
+	})
+}
+
+func (o jobObserver) repStalled(rep int, kind, brief string) {
+	o.j.mu.Lock()
+	o.j.stall = brief
+	o.j.mu.Unlock()
+	o.j.emit("stall", map[string]any{
+		"rep":       rep,
+		"kind":      kind,
+		"diagnosis": brief,
+	})
+}
+
+// measure runs the job's repetitions through the execution engine (see
+// exec.go) and captures the result record. Two failure guards are armed:
+// the job as a whole runs under Config.JobTimeout, and every repetition
+// runs under the harness watchdog (Config.RepTimeout), so a deadlocked or
+// livelocked workload fails with a structured diagnosis instead of wedging
+// its worker forever.
+func (s *Server) measure(j *Job) error {
 	sp := j.Spec
-	kit, err := sp.kit()
-	if err != nil {
-		return err
-	}
-	sc, err := sp.scale()
-	if err != nil {
-		return err
-	}
 	ctx, cancel := context.WithTimeout(s.jobCtx, s.cfg.JobTimeout)
 	defer cancel()
-	rec := trace.NewRecorder(2*sp.Threads+2, s.cfg.TraceCapacity)
-	sample := &stats.Sample{}
-	var traceEvents, syncOps int64
-	for rep := 0; rep < sp.Reps; rep++ {
-		if err := ctx.Err(); err != nil {
-			return s.decorateTimeout(err)
-		}
-		opt := harness.Options{
-			Reps: 1, Verify: true, Instrument: true, Trace: rec,
-			RepTimeout: s.cfg.RepTimeout,
-		}
-		if rep == 0 {
-			opt.Warmup = sp.Warmup
-		}
-		res, err := harness.RunContext(ctx, bench, core.Config{
-			Threads: sp.Threads, Kit: kit, Scale: sc, Seed: sp.Seed,
-		}, opt)
-		// The repetition span closes whether the rep succeeded or not, so
-		// the chain stays contiguous into the journal phase. Successful
-		// reps get the trace cross-link (event count + blocked time).
-		j.spans.Mark(telemetry.PhaseRep, rep)
-		if err != nil {
-			if res.Stall != nil {
-				j.mu.Lock()
-				j.stall = res.Stall.Brief()
-				j.mu.Unlock()
-				j.emit("stall", map[string]any{
-					"rep":       rep,
-					"kind":      string(res.Stall.Kind),
-					"diagnosis": res.Stall.Brief(),
-				})
-			}
-			return s.decorateTimeout(err)
-		}
-		d := res.Times.Mean()
-		sample.Add(d)
-		traceEvents = int64(res.Trace.Events())
-		syncOps = res.Sync.Total()
-		j.spans.Annotate(traceEvents, trace.Blocked(res.Trace).Total.Sum())
-		j.emit("rep", map[string]any{
-			"rep":           rep,
-			"wall_ns":       d.Nanoseconds(),
-			"trace_events":  res.Trace.Events(),
-			"trace_dropped": res.Trace.TotalDropped(),
-			"sync_ops":      syncOps,
-		})
+	out, err := s.executeSpec(ctx, sp, jobObserver{j: j})
+	if err != nil {
+		return err
 	}
 	j.mu.Lock()
 	j.record = &resultstore.Record{
 		ID: j.ID, Workload: sp.Workload, Kit: sp.Kit, Threads: sp.Threads,
-		Scale: sp.Scale, Seed: sp.Seed, Reps: sp.Reps,
+		Scale: sp.Scale, Seed: sp.Seed, Reps: sp.Reps, Node: s.cfg.NodeID,
 		Submitted: j.Submitted, Started: j.started,
-		TimesNS: durationsNS(sample.Durations()), MeanNS: sample.Mean().Nanoseconds(),
-		TraceEvents: traceEvents, SyncOps: syncOps,
+		TimesNS: durationsNS(out.Sample.Durations()), MeanNS: out.Sample.Mean().Nanoseconds(),
+		TraceEvents: out.TraceEvents, SyncOps: out.SyncOps,
 	}
 	j.mu.Unlock()
-	s.observeLatency(sp.Workload, sp.Kit, sample.Durations())
+	s.observeLatency(sp.Workload, sp.Kit, out.Sample.Durations())
 	return nil
 }
 
@@ -494,7 +467,8 @@ func (s *Server) finishJob(j *Job, st State, cause error) {
 		rec = &resultstore.Record{
 			ID: j.ID, Workload: j.Spec.Workload, Kit: j.Spec.Kit,
 			Threads: j.Spec.Threads, Scale: j.Spec.Scale, Seed: j.Spec.Seed,
-			Reps: j.Spec.Reps, Submitted: j.Submitted, Started: j.started,
+			Reps: j.Spec.Reps, Node: s.cfg.NodeID,
+			Submitted: j.Submitted, Started: j.started,
 		}
 		j.record = rec
 	}
@@ -553,12 +527,17 @@ func (s *Server) publishTelemetry(j *Job, st State, finished time.Time) {
 		return
 	}
 	s.phases.ObserveSpans(spans)
+	j.mu.Lock()
+	ranOn := j.ranOn
+	j.mu.Unlock()
 	s.accessLog.Job(telemetry.JobEntry{
 		Time:      finished,
 		RequestID: j.RequestID,
 		JobID:     j.ID,
 		Workload:  j.Spec.Workload,
 		Kit:       j.Spec.Kit,
+		Node:      s.cfg.NodeID,
+		RanOn:     ranOn,
 		Status:    st.String(),
 		WallNS:    finished.Sub(j.Submitted).Nanoseconds(),
 		Spans:     spans,

@@ -46,6 +46,12 @@ import (
 type Config struct {
 	// Store persists results; required.
 	Store *resultstore.Store
+	// NodeID names this node in a cluster. Empty (the default) keeps the
+	// single-node behavior everywhere it shows: job IDs stay "r-<seq>",
+	// journal records and access-log lines carry no node fields. Non-empty,
+	// job IDs become "r-<node>-<seq>" so any cluster node can route a
+	// GET /runs/{id} to the owner, and records name their origin.
+	NodeID string
 	// QueueCapacity bounds the admission ring. Submissions beyond it get
 	// 429. Defaults to 64. The lock-free ring rounds it up to a power of
 	// two, and the server honors the rounded capacity.
@@ -136,6 +142,12 @@ type Server struct {
 	jobs   map[string]*Job // by public ID
 	bySeq  map[int64]*Job  // by ring payload
 	active map[string]*Job // singleflight: queued/running jobs by spec key
+	// stolen tracks queued jobs a cluster peer has taken (steal.go): the
+	// job left the admission ring but its terminal state is owed by the
+	// thief's /peer/complete callback — or by reclaim, if that never comes.
+	// Map membership under mu is the arbiter of the complete-vs-reclaim
+	// race: whoever removes the entry owns the job's remaining lifecycle.
+	stolen map[string]*stolenEntry // by public ID
 
 	// Job-flow gauges, on the suite's own lock-free counters. Rejections
 	// are split by cause: ring full (429), degraded journal (503),
@@ -148,6 +160,10 @@ type Server struct {
 	rejectedDraining sync4.Counter
 	deduped          sync4.Counter
 	inflight         sync4.Counter
+	// donated counts queued jobs handed to stealing peers; reclaimed counts
+	// the ones taken back after the thief went quiet.
+	donated   sync4.Counter
+	reclaimed sync4.Counter
 
 	histMu sync.Mutex
 	hists  map[histKey]*stats.Histogram
@@ -196,6 +212,10 @@ type Server struct {
 
 	jobCtx     context.Context // canceled to abort jobs between repetitions
 	cancelJobs context.CancelFunc
+
+	// hooks, when set, extend reads (compare pooling, job listings,
+	// metrics) with cluster-replicated data. See cluster.go.
+	hooks atomic.Pointer[ClusterHooks]
 }
 
 // New builds the server and starts its worker pool.
@@ -222,6 +242,7 @@ func New(cfg Config) (*Server, error) {
 		jobs:             make(map[string]*Job),
 		bySeq:            make(map[int64]*Job),
 		active:           make(map[string]*Job),
+		stolen:           make(map[string]*stolenEntry),
 		accepted:         kit.NewCounter(),
 		completed:        kit.NewCounter(),
 		failed:           kit.NewCounter(),
@@ -230,6 +251,8 @@ func New(cfg Config) (*Server, error) {
 		rejectedDraining: kit.NewCounter(),
 		deduped:          kit.NewCounter(),
 		inflight:         kit.NewCounter(),
+		donated:          kit.NewCounter(),
+		reclaimed:        kit.NewCounter(),
 		appendRetries:    kit.NewCounter(),
 		hists:            make(map[histKey]*stats.Histogram),
 		phases:           telemetry.NewRegistry(),
@@ -324,6 +347,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		forced = ctx.Err()
 		s.cancelJobs()
+		// Stolen jobs are executing on a peer, out of reach of jobCtx; a
+		// forced drain fails them locally so every accepted job still
+		// reaches a terminal state and a journal line before Drain returns.
+		s.failStolen(fmt.Errorf("server: drain deadline passed while job was stolen by a peer: %w", forced))
 		// Cancellation reaches every job at its next repetition boundary
 		// (or before it starts), so this second wait is bounded by one
 		// repetition of the slowest in-flight workload.
@@ -358,7 +385,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /compare", s.handleCompare)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
 	return s.withTelemetry(mux)
+}
+
+// jobID renders a job's public ID. Single-node servers keep the historic
+// "r-<seq>" form; clustered nodes embed their NodeID so IDs are unique
+// cluster-wide and name their owner for request routing.
+func (s *Server) jobID(seq int64) string {
+	if s.cfg.NodeID == "" {
+		return fmt.Sprintf("r-%d", seq)
+	}
+	return fmt.Sprintf("r-%s-%d", s.cfg.NodeID, seq)
 }
 
 // observeLatency folds one job's repetition times into its series

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stealTestServer: one worker behind a wedge-capable resolver, clustered
+// node ID "v" (the victim). The wedge job occupies the worker so free jobs
+// pile up on the admission ring, ready to donate.
+func stealTestServer(t *testing.T, gate chan struct{}) (*Server, *httptest.Server) {
+	t.Helper()
+	s, _ := newTestServer(t, Config{
+		Workers: 1, QueueCapacity: 8, NodeID: "v",
+		JobTimeout: time.Hour, RepTimeout: time.Hour,
+		Resolver: wedgeOrFreeResolver(gate),
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// backlog submits one wedge job (waits until it runs) plus n free jobs
+// that stay queued behind it, returning the free jobs' IDs.
+func backlog(t *testing.T, s *Server, ts *httptest.Server, n int) []string {
+	t.Helper()
+	_, body := postRun(t, ts, `{"workload":"wedge","kit":"lockfree","threads":1}`)
+	waitStatus(t, ts, body["id"].(string), "running")
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		_, b := postRun(t, ts, fmt.Sprintf(`{"workload":"free","kit":"lockfree","threads":1,"seed":%d}`, i))
+		ids = append(ids, b["id"].(string))
+	}
+	return ids
+}
+
+func TestDonateAndCompleteStolen(t *testing.T) {
+	gate := make(chan struct{})
+	t.Cleanup(func() { close(gate) })
+	s, ts := stealTestServer(t, gate)
+	ids := backlog(t, s, ts, 3)
+
+	jobs := s.Donate(2, "thief")
+	if len(jobs) != 2 {
+		t.Fatalf("donated %d jobs, want 2", len(jobs))
+	}
+	if got := s.StolenCount(); got != 2 {
+		t.Fatalf("stolen count %d, want 2", got)
+	}
+	for i, sj := range jobs {
+		if sj.ID != ids[i] {
+			t.Fatalf("donation order: got %s at %d, want %s (FIFO off the ring)", sj.ID, i, ids[i])
+		}
+		if !strings.HasPrefix(sj.ID, "r-v-") {
+			t.Fatalf("donated ID %q lacks the clustered r-v- form", sj.ID)
+		}
+		view := waitStatus(t, ts, sj.ID, "running")
+		if view["ran_on"] != "thief" {
+			t.Fatalf("stolen job view ran_on = %v, want thief", view["ran_on"])
+		}
+	}
+
+	// A good outcome journals on the victim under its own node ID.
+	ok := RemoteResult{Status: "ok", TimesNS: []int64{50, 60}, MeanNS: 55}
+	if err := s.CompleteStolen(jobs[0].ID, ok); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, ts, jobs[0].ID, "done")
+	rec, found := s.Store().ByID(jobs[0].ID)
+	if !found {
+		t.Fatalf("no journal record for completed stolen job %s", jobs[0].ID)
+	}
+	if rec.Node != "v" || rec.MeanNS != 55 || len(rec.TimesNS) != 2 {
+		t.Fatalf("journaled record %+v does not carry the remote outcome under node v", rec)
+	}
+
+	// Completing the same job twice must refuse: the first completion
+	// consumed the loan.
+	if err := s.CompleteStolen(jobs[0].ID, ok); !errors.Is(err, ErrNotStolen) {
+		t.Fatalf("double completion error = %v, want ErrNotStolen", err)
+	}
+
+	// A remote failure fails the job and names the thief.
+	bad := RemoteResult{Status: "error", Error: "bench exploded"}
+	if err := s.CompleteStolen(jobs[1].ID, bad); err != nil {
+		t.Fatal(err)
+	}
+	view := waitStatus(t, ts, jobs[1].ID, "error")
+	msg, _ := view["error"].(string)
+	if !strings.Contains(msg, "thief") || !strings.Contains(msg, "bench exploded") {
+		t.Fatalf("failure %q does not name the thief and its error", msg)
+	}
+}
+
+func TestReclaimStolenRequeuesAndRefusesLateCompletion(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := stealTestServer(t, gate)
+	ids := backlog(t, s, ts, 2)
+
+	jobs := s.Donate(2, "thief")
+	if len(jobs) != 2 {
+		t.Fatalf("donated %d jobs, want 2", len(jobs))
+	}
+	// Nothing is old enough yet; the deadline sweep must take nothing.
+	if n := s.ReclaimStolen(time.Hour); n != 0 {
+		t.Fatalf("reclaimed %d fresh loans, want 0", n)
+	}
+	if n := s.ReclaimStolen(0); n != 2 {
+		t.Fatalf("reclaimed %d, want 2", n)
+	}
+	if got := s.StolenCount(); got != 0 {
+		t.Fatalf("stolen count %d after reclaim, want 0", got)
+	}
+	// The thief's outcome arrives too late: the reclaim owns the jobs now.
+	late := RemoteResult{Status: "ok", TimesNS: []int64{1}, MeanNS: 1}
+	if err := s.CompleteStolen(jobs[0].ID, late); !errors.Is(err, ErrNotStolen) {
+		t.Fatalf("late completion error = %v, want ErrNotStolen", err)
+	}
+	// Release the worker; the reclaimed jobs run locally to completion and
+	// shed the thief's name from their views.
+	close(gate)
+	for _, id := range ids {
+		view := waitStatus(t, ts, id, "done")
+		if ranOn, set := view["ran_on"]; set {
+			t.Fatalf("locally rerun job %s still claims ran_on=%v", id, ranOn)
+		}
+		rec, found := s.Store().ByID(id)
+		if !found || rec.Node != "v" {
+			t.Fatalf("reclaimed job %s not journaled locally (found=%v rec=%+v)", id, found, rec)
+		}
+	}
+}
+
+func TestReclaimStolenFromTakesOnlyThatThief(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := stealTestServer(t, gate)
+	backlog(t, s, ts, 2)
+
+	first := s.Donate(1, "t1")
+	second := s.Donate(1, "t2")
+	if len(first) != 1 || len(second) != 1 {
+		t.Fatalf("donations: %d to t1, %d to t2, want 1 each", len(first), len(second))
+	}
+	if n := s.ReclaimStolenFrom("t1"); n != 1 {
+		t.Fatalf("reclaimed %d from t1, want 1", n)
+	}
+	if got := s.StolenCount(); got != 1 {
+		t.Fatalf("stolen count %d, want t2's loan to survive", got)
+	}
+	// t2's completion still lands; t1's job reruns locally.
+	if err := s.CompleteStolen(second[0].ID, RemoteResult{Status: "ok", TimesNS: []int64{9}, MeanNS: 9}); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	waitStatus(t, ts, first[0].ID, "done")
+	waitStatus(t, ts, second[0].ID, "done")
+}
+
+func TestDonateRefusesBadInput(t *testing.T) {
+	gate := make(chan struct{})
+	t.Cleanup(func() { close(gate) })
+	s, ts := stealTestServer(t, gate)
+	backlog(t, s, ts, 1)
+	if jobs := s.Donate(0, "thief"); jobs != nil {
+		t.Fatalf("Donate(0) = %v, want nil", jobs)
+	}
+	if jobs := s.Donate(1, ""); jobs != nil {
+		t.Fatalf("anonymous thief got %v, want nil", jobs)
+	}
+}

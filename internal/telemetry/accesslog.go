@@ -16,7 +16,12 @@ import (
 //	{"kind":"http","ts":...,"request_id":...,"method":...,"path":...,
 //	 "status":...,"dur_ns":...,"bytes":...}
 //	{"kind":"job","ts":...,"request_id":...,"job_id":...,"workload":...,
-//	 "kit":...,"status":...,"wall_ns":...,"spans":[{...},...]}
+//	 "kit":...,["node":...,]["ran_on":...,]"status":...,"wall_ns":...,
+//	 "spans":[{...},...]}
+//
+// The optional node/ran_on fields appear on clustered deployments: node is
+// the job's owning node, ran_on the executing node when work stealing moved
+// the repetitions to a peer (see docs/CLUSTER.md).
 //
 // An "http" line is written when a request's response completes; a "job"
 // line when an accepted job reaches its terminal state, carrying the full
@@ -71,9 +76,15 @@ type JobEntry struct {
 	JobID     string
 	Workload  string
 	Kit       string
-	Status    string // "done" or "error"
-	WallNS    int64
-	Spans     []Span
+	// Node is the cluster node that owns the job (journaled its record);
+	// RanOn is the node that executed it when work stealing moved the
+	// repetitions elsewhere. Both empty on single-node deployments; a
+	// stolen job's line names both nodes.
+	Node   string
+	RanOn  string
+	Status string // "done" or "error"
+	WallNS int64
+	Spans  []Span
 }
 
 // HTTP appends one http line. Write errors are counted, not returned: the
@@ -121,6 +132,14 @@ func (l *AccessLog) Job(e JobEntry) {
 	b = strconv.AppendQuote(b, e.Workload)
 	b = append(b, `,"kit":`...)
 	b = strconv.AppendQuote(b, e.Kit)
+	if e.Node != "" {
+		b = append(b, `,"node":`...)
+		b = strconv.AppendQuote(b, e.Node)
+	}
+	if e.RanOn != "" {
+		b = append(b, `,"ran_on":`...)
+		b = strconv.AppendQuote(b, e.RanOn)
+	}
 	b = append(b, `,"status":`...)
 	b = strconv.AppendQuote(b, e.Status)
 	b = append(b, `,"wall_ns":`...)

@@ -236,6 +236,47 @@ func TestAccessLogLines(t *testing.T) {
 	}
 }
 
+// TestAccessLogJobNodeFields: clustered job lines name the owning node
+// and, for stolen jobs, the executing node; single-node lines carry
+// neither key, so pre-cluster log consumers see byte-identical output.
+func TestAccessLogJobNodeFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLog(&buf)
+	ts := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	l.Job(JobEntry{Time: ts, JobID: "r-1", Workload: "fft", Kit: "classic", Status: "done"})
+	l.Job(JobEntry{Time: ts, JobID: "r-a-2", Workload: "fft", Kit: "classic",
+		Node: "a", Status: "done"})
+	l.Job(JobEntry{Time: ts, JobID: "r-a-3", Workload: "fft", Kit: "classic",
+		Node: "a", RanOn: "b", Status: "done"})
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	views := make([]map[string]any, 3)
+	for i, line := range lines {
+		if err := json.Unmarshal([]byte(line), &views[i]); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+	}
+	for _, k := range []string{"node", "ran_on"} {
+		if _, present := views[0][k]; present {
+			t.Errorf("single-node job line grew a %q key: %s", k, lines[0])
+		}
+	}
+	if views[1]["node"] != "a" {
+		t.Errorf("owned job line node = %v, want a", views[1]["node"])
+	}
+	if _, present := views[1]["ran_on"]; present {
+		t.Errorf("locally-run job line has ran_on: %s", lines[1])
+	}
+	if views[2]["node"] != "a" || views[2]["ran_on"] != "b" {
+		t.Errorf("stolen job line names %v/%v, want a/b", views[2]["node"], views[2]["ran_on"])
+	}
+}
+
 // TestAccessLogConcurrent: concurrent writers interleave whole lines.
 func TestAccessLogConcurrent(t *testing.T) {
 	var buf bytes.Buffer
