@@ -18,17 +18,22 @@
 #   make cluster-smoke boot a 3-node loopback cluster and drive routing,
 #                     journal shipping, work stealing, node kill with
 #                     reclaim, and cluster-wide /compare census identity
+#   make conformance  verify docs/CONFORMANCE.md matches the tree's
+#                     //sync4:req tags byte for byte and every MUST-level
+#                     requirement has a covering conformance test
+#   make conformance-gen regenerate docs/CONFORMANCE.md after tag edits
 
 GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)
 CHAOS_SEED ?= 42
 TRAFFIC_SEED ?= 42
 
-.PHONY: check vet allocs-gate race test build bench trace-smoke serve-smoke chaos traffic-gate cluster-smoke
+.PHONY: check vet allocs-gate race test build bench trace-smoke serve-smoke chaos traffic-gate cluster-smoke conformance conformance-gen
 
 check: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/splash4-vet ./...
+	$(MAKE) conformance
 	$(GO) test ./...
 	$(MAKE) allocs-gate
 	$(MAKE) trace-smoke
@@ -108,3 +113,16 @@ traffic-gate:
 cluster-smoke:
 	$(GO) run ./cmd/splash4d -cluster-smoke -out BENCH_cluster.json
 	@echo "cluster-smoke: ok"
+
+# conformance is the spec drift gate: regenerate the conformance document
+# in memory from the tree's //sync4:req tags and fail on any byte of
+# difference from the committed docs/CONFORMANCE.md, or on any MUST-level
+# requirement whose coverage proof no longer goes through.
+conformance:
+	$(GO) run ./cmd/splash4-vet -conformance-check docs/CONFORMANCE.md ./...
+	@echo "conformance: ok"
+
+# conformance-gen rewrites docs/CONFORMANCE.md; run after adding, editing,
+# or re-covering //sync4:req requirements, and commit the result.
+conformance-gen:
+	$(GO) run ./cmd/splash4-vet -conformance docs/CONFORMANCE.md ./...

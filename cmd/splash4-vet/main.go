@@ -13,6 +13,8 @@
 //	splash4-vet -run kit-bypass,naked-spin ./...
 //	splash4-vet -json ./...           # machine-readable diagnostics
 //	splash4-vet -sarif vet.sarif ./...  # SARIF 2.1.0 for CI annotation
+//	splash4-vet -conformance docs/CONFORMANCE.md ./...        # (re)generate the spec
+//	splash4-vet -conformance-check docs/CONFORMANCE.md ./...  # fail on drift
 //
 // Exit status: 0 when no unsuppressed diagnostics were found, 1 when at
 // least one was, 2 on usage or load errors. Diagnostics are suppressed, with
@@ -22,6 +24,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,13 +41,25 @@ func main() {
 		run      = flag.String("run", "", "comma-separated analyzer subset (default: all)")
 		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array")
 		sarifOut = flag.String("sarif", "", "write diagnostics as SARIF 2.1.0 to this file ('-' for stdout)")
+		confOut  = flag.String("conformance", "", "generate the conformance document to this file ('-' for stdout) and exit")
+		confChk  = flag.String("conformance-check", "", "regenerate the conformance document and fail on drift against this file")
 		quiet    = flag.Bool("q", false, "suppress the trailing summary line")
 	)
 	flag.Parse()
 
 	if *list {
+		byFamily := make(map[string][]*analysis.Analyzer)
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+			byFamily[a.Family] = append(byFamily[a.Family], a)
+		}
+		for _, family := range analysis.Families() {
+			if len(byFamily[family]) == 0 {
+				continue
+			}
+			fmt.Printf("%s:\n", family)
+			for _, a := range byFamily[family] {
+				fmt.Printf("  %-18s %s\n", a.Name, a.Doc)
+			}
 		}
 		return
 	}
@@ -105,6 +120,11 @@ func main() {
 		}
 	}
 
+	if *confOut != "" || *confChk != "" {
+		runConformance(pkgs, *confOut, *confChk)
+		return
+	}
+
 	diags, suppressed := analysis.RunAnalyzers(pkgs, analyzers)
 	if *sarifOut != "" {
 		cwd, _ := os.Getwd()
@@ -137,6 +157,45 @@ func main() {
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// runConformance generates the conformance document and either writes it
+// (out) or compares it byte-for-byte against the committed copy (check).
+// Exit status: 1 on drift or on any uncovered MUST-level requirement, 2 on
+// generation errors (invalid tags in the tree).
+func runConformance(pkgs []*analysis.Package, out, check string) {
+	res, err := analysis.Conformance(pkgs)
+	if err != nil {
+		fatal(err)
+	}
+	failed := false
+	if len(res.Uncovered) > 0 {
+		fmt.Fprintf(os.Stderr, "splash4-vet: %d MUST-level requirement(s) without a proven covering test: %s\n",
+			len(res.Uncovered), strings.Join(res.Uncovered, ", "))
+		failed = true
+	}
+	if out != "" {
+		if out == "-" {
+			os.Stdout.Write(res.Doc)
+		} else if err := os.WriteFile(out, res.Doc, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if check != "" {
+		committed, err := os.ReadFile(check)
+		if err != nil {
+			fatal(err)
+		}
+		if !bytes.Equal(committed, res.Doc) {
+			fmt.Fprintf(os.Stderr, "splash4-vet: %s is stale: regenerate with `make conformance-gen` (the committed document differs from the tree's //sync4:req tags)\n", check)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "splash4-vet: conformance document v%d: %d requirement(s), all MUST-level requirements covered\n",
+		res.Version, res.Total)
 }
 
 func fatal(err error) {

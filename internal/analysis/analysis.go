@@ -51,9 +51,24 @@ func (d Diagnostic) String() string {
 // Analyzer is one check. Run inspects a type-checked package through the
 // Pass and reports findings via Pass.Report.
 type Analyzer struct {
-	Name string // short kebab-case identifier used in output and suppressions
-	Doc  string // one-line description for -list output
-	Run  func(*Pass)
+	Name   string // short kebab-case identifier used in output and suppressions
+	Doc    string // one-line description for -list output
+	Family string // analyzer family, used to group -list output
+	Run    func(*Pass)
+}
+
+// Analyzer families, in the order -list presents them.
+const (
+	FamilySyntactic       = "syntactic"       // single-file shape checks (PR 1)
+	FamilyInterprocedural = "interprocedural" // call-graph dataflow verifiers (PR 4)
+	FamilyPerformance     = "performance"     // allocation and memory-layout contracts (PR 6)
+	FamilyConformance     = "conformance"     // requirement tagging and coverage (PR 9)
+	FamilyMeta            = "meta"            // checks about the checks
+)
+
+// Families lists the analyzer families in presentation order.
+func Families() []string {
+	return []string{FamilySyntactic, FamilyInterprocedural, FamilyPerformance, FamilyConformance, FamilyMeta}
 }
 
 // Pass gives one analyzer a view of one package and collects its findings.
@@ -103,9 +118,10 @@ func (p *Pass) report(pos token.Pos, fix, format string, args ...any) {
 // has no Run of its own: RunAnalyzers' suppression bookkeeping produces the
 // findings after every other analyzer has had its chance to be suppressed.
 var UnusedSuppression = &Analyzer{
-	Name: "unused-suppression",
-	Doc:  "flag //lint:ignore sync4vet-* directives that suppress nothing",
-	Run:  func(*Pass) {},
+	Name:   "unused-suppression",
+	Doc:    "flag //lint:ignore sync4vet-* directives that suppress nothing",
+	Family: FamilyMeta,
+	Run:    func(*Pass) {},
 }
 
 // Analyzers returns the full suite in stable order.
@@ -122,6 +138,9 @@ func Analyzers() []*Analyzer {
 		ZeroAlloc,
 		AtomicLayout,
 		PlainAtomicMix,
+		ReqCoverage,
+		ReqUntagged,
+		ReqStale,
 		UnusedSuppression,
 	}
 }
@@ -146,6 +165,11 @@ func ByName(name string) (*Analyzer, error) {
 // that cross package boundaries.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) (diags []Diagnostic, suppressed int) {
 	graph := BuildCallGraph(pkgs)
+	// The conformance analyzers report at positions inside _test.go files,
+	// which the loader does not type-check. Building the overlay up front
+	// registers those files' ownership (so Pass.Owns claims the findings)
+	// and exposes their lint:ignore directives to the suppression scan.
+	overlay := overlayOf(graph)
 	ran := make(map[string]bool, len(analyzers))
 	judgeUnused := false
 	for _, a := range analyzers {
@@ -169,7 +193,11 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) (diags []Diagnostic, s
 			}
 			a.Run(pass)
 		}
-		sup := suppressions(pkg.Fset, pkg.Files)
+		files := pkg.Files
+		if tf := overlay.filesForDir(pkg.Dir); len(tf) > 0 {
+			files = append(append([]*ast.File{}, files...), tf...)
+		}
+		sup := suppressions(pkg.Fset, files)
 		for _, d := range raw {
 			if sup.covers(d) {
 				suppressed++

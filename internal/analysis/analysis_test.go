@@ -165,6 +165,18 @@ func TestFixtures(t *testing.T) {
 		{"plainatomicmix/bad", "repro/internal/analysis/pmfixbad", 0},
 		{"plainatomicmix/good", "repro/internal/analysis/pmfixgood", 0},
 		{"plainatomicmix/suppressed", "repro/internal/analysis/pmfixsup", 1},
+		// Conformance fixtures: the bad coverage fixture fails the proof
+		// three ways (no carrier, undriven carrier, one-kit drive), the
+		// untagged fixture sits under a spec-scoped sync4 path so the
+		// keyword police are armed, and the stale fixture collects every
+		// tag corruption the generator refuses to render.
+		{"reqcoverage/bad", "repro/internal/analysis/rcfixbad", 0},
+		{"reqcoverage/good", "repro/internal/analysis/rcfixgood", 0},
+		{"reqcoverage/suppressed", "repro/internal/analysis/rcfixsup", 1},
+		{"requntagged/bad", "repro/internal/sync4/rufixbad", 0},
+		{"requntagged/good", "repro/internal/sync4/rufixgood", 0},
+		{"reqstale/bad", "repro/internal/analysis/rsfixbad", 0},
+		{"reqstale/good", "repro/internal/analysis/rsfixgood", 0},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -32,7 +32,8 @@ var AtomicLayout = &Analyzer{
 	Name: "atomic-layout",
 	Doc: "flag unaligned 64-bit atomics and independently-contended atomic " +
 		"fields sharing a cache line without padding",
-	Run: runAtomicLayout,
+	Family: FamilyPerformance,
+	Run:    runAtomicLayout,
 }
 
 func runAtomicLayout(pass *Pass) {

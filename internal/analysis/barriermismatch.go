@@ -15,9 +15,10 @@ import (
 // both counts resolve to compile-time constants, so it cannot produce false
 // positives on counts that flow in through core.Config.
 var BarrierMismatch = &Analyzer{
-	Name: "barrier-mismatch",
-	Doc:  "flags NewBarrier(n) where n provably differs from the same function's goroutine fan-out",
-	Run:  runBarrierMismatch,
+	Name:   "barrier-mismatch",
+	Doc:    "flags NewBarrier(n) where n provably differs from the same function's goroutine fan-out",
+	Family: FamilySyntactic,
+	Run:    runBarrierMismatch,
 }
 
 // fanOut is one observed source of parallelism inside a function.

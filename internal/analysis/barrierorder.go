@@ -33,7 +33,8 @@ var BarrierOrder = &Analyzer{
 	Name: "barrier-order",
 	Doc: "report barrier wait sequences that can diverge across the " +
 		"goroutines of one core.Parallel group",
-	Run: runBarrierOrder,
+	Family: FamilyInterprocedural,
+	Run:    runBarrierOrder,
 }
 
 func runBarrierOrder(pass *Pass) {

@@ -26,7 +26,8 @@ var CASShape = &Analyzer{
 	Name: "cas-shape",
 	Doc: "check CompareAndSwap retry loops for stale expected values, " +
 		"retry-path side effects, and ABA-prone pointer reuse",
-	Run: runCASShape,
+	Family: FamilyInterprocedural,
+	Run:    runCASShape,
 }
 
 func runCASShape(pass *Pass) {

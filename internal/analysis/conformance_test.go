@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadWholeModule type-checks the full module with a fresh loader, so two
+// calls share nothing — not even a FileSet.
+func loadWholeModule(t *testing.T) []*Package {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// TestConformanceDeterministic generates the document twice from fully
+// independent loads: the bytes must match, every MUST must be covered, and
+// the spec must have reached the size the suite promises.
+func TestConformanceDeterministic(t *testing.T) {
+	r1, err := Conformance(loadWholeModule(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Conformance(loadWholeModule(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1.Doc, r2.Doc) {
+		t.Fatal("two independent generations produced different documents; the renderer is not deterministic")
+	}
+	if len(r1.Uncovered) > 0 {
+		t.Fatalf("uncovered MUST-level requirements in the module: %v", r1.Uncovered)
+	}
+	if r1.Total < 40 {
+		t.Fatalf("conformance document holds %d requirements; the spec floor is 40", r1.Total)
+	}
+	if r1.Version < 1 {
+		t.Fatalf("resolved spec version %d; want >= 1", r1.Version)
+	}
+}
+
+// TestConformanceDocCommitted is the drift gate in test form: the committed
+// docs/CONFORMANCE.md must be byte-identical to what the tree generates.
+func TestConformanceDocCommitted(t *testing.T) {
+	res, err := Conformance(loadWholeModule(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("..", "..", "docs", "CONFORMANCE.md")
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading committed conformance document: %v", err)
+	}
+	if !bytes.Equal(committed, res.Doc) {
+		t.Fatalf("%s is stale; regenerate with `make conformance-gen`", path)
+	}
+}
+
+// TestConformanceRecordsUncoveredMusts renders the bad coverage fixture:
+// generation succeeds (the tags are well-formed), but all three broken MUSTs
+// are recorded and marked in the document, while the advisory SHOULD is not.
+func TestConformanceRecordsUncoveredMusts(t *testing.T) {
+	pkg := loadFixture(t, "reqcoverage/bad", "repro/internal/analysis/rcfixbadgen")
+	res, err := Conformance([]*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SYNC4-RCA-001", "SYNC4-RCA-002", "SYNC4-RCA-003"}
+	if len(res.Uncovered) != len(want) {
+		t.Fatalf("uncovered = %v; want %v", res.Uncovered, want)
+	}
+	for i, id := range want {
+		if res.Uncovered[i] != id {
+			t.Fatalf("uncovered = %v; want %v", res.Uncovered, want)
+		}
+	}
+	doc := string(res.Doc)
+	if strings.Count(doc, "**UNCOVERED**") != 3 {
+		t.Fatalf("document marks %d requirements UNCOVERED; want 3", strings.Count(doc, "**UNCOVERED**"))
+	}
+	if !strings.Contains(doc, "advisory level, not required") {
+		t.Fatal("uncovered SHOULD-level requirement lost its advisory coverage line")
+	}
+}
+
+// TestConformanceRefusesStaleTags points the generator at the stale-tag
+// fixture: it must refuse to render rather than publish a corrupted spec.
+func TestConformanceRefusesStaleTags(t *testing.T) {
+	pkg := loadFixture(t, "reqstale/bad", "repro/internal/analysis/rsfixbadgen")
+	if _, err := Conformance([]*Package{pkg}); err == nil {
+		t.Fatal("generator accepted a tree with invalid requirement tags")
+	} else if !strings.Contains(err.Error(), "invalid requirement tag") {
+		t.Fatalf("unexpected refusal message: %v", err)
+	}
+}
+
+// TestReqParseEdgeCases drives the directive parser over shapes the golden
+// fixtures cannot carry (a trailing want comment would become part of the
+// directive text): truncated directives, a keyword with no sentence, and an
+// empty covers list.
+func TestReqParseEdgeCases(t *testing.T) {
+	cases := []struct {
+		text   string
+		substr string
+	}{
+		{"//sync4:req SYNC4-X-001", "malformed"},
+		{"//sync4:req SYNC4-X-001 v1 MUST", "needs a requirement sentence"},
+		{"//sync4:req SYNC4-X-002 v1 MUST NOT", "needs a requirement sentence"},
+		{"//sync4:covers", "empty"},
+	}
+	for _, tc := range cases {
+		f := &reqFacts{byID: make(map[string]*Requirement), version: 1}
+		c := &ast.Comment{Slash: token.Pos(1), Text: tc.text}
+		at := attachment{declName: "edge.Case"}
+		if strings.HasPrefix(tc.text, coversDirective) {
+			f.parseCovers(c, tc.text, at)
+		} else {
+			f.parseReq(c, tc.text, at)
+		}
+		if len(f.stale) != 1 || !strings.Contains(f.stale[0].msg, tc.substr) {
+			t.Errorf("%q: stale = %v; want one entry containing %q", tc.text, f.stale, tc.substr)
+		}
+		if len(f.reqs) != 0 || len(f.covers) != 0 {
+			t.Errorf("%q: malformed directive was recorded as a fact", tc.text)
+		}
+	}
+}

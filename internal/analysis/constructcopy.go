@@ -13,9 +13,10 @@ import (
 // Splash-3 authors found shipped in Splash-2 for twenty years. Constructs
 // carrying such state must be shared by pointer.
 var ConstructCopy = &Analyzer{
-	Name: "construct-copy",
-	Doc:  "flags by-value copies (assignment, call, range, receiver) of types holding atomics or locks",
-	Run:  runConstructCopy,
+	Name:   "construct-copy",
+	Doc:    "flags by-value copies (assignment, call, range, receiver) of types holding atomics or locks",
+	Family: FamilySyntactic,
+	Run:    runConstructCopy,
 }
 
 // atomicStructs are the sync/atomic types whose value identity matters.

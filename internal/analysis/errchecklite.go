@@ -11,9 +11,10 @@ import (
 // a benchmark silently produced no (or partial) data — the table still
 // renders and the bogus comparison looks legitimate.
 var ErrcheckLite = &Analyzer{
-	Name: "errcheck-lite",
-	Doc:  "flags dropped error returns from harness/report/results APIs",
-	Run:  runErrcheckLite,
+	Name:   "errcheck-lite",
+	Doc:    "flags dropped error returns from harness/report/results APIs",
+	Family: FamilySyntactic,
+	Run:    runErrcheckLite,
 }
 
 // monitoredSuffixes are the packages whose error returns must not be

@@ -93,6 +93,42 @@ single-thread gated spans (tid == 0), and lock-held accesses (guarded-by's
 jurisdiction). Fix: use atomic access everywhere, or migrate the field to
 a typed atomic so plain access becomes a compile error.`,
 
+	"req-coverage": `Every MUST-level requirement in the sync4 conformance spec needs a
+statically proven covering test. A requirement declared //sync4:req on a
+test-shaped function covers itself; any other conformance test claims it
+with //sync4:covers <ID>. The analyzer then walks the module call graph,
+extended with a syntactic overlay of the _test.go files, and demands that
+at least one covering function be reachable from a Test* driver — and,
+when every covering function is kit-parametric (takes a sync4.Kit), that
+the drivers exercise it under both the classic and the lockfree kit,
+because "same spec, two kits" is the whole Splash-4 bet. SHOULD and MAY
+requirements are advisory and never flagged. Fix: add a //sync4:covers tag
+to the test that already exercises the requirement, write the missing
+test, add the missing kit driver, or demote the requirement to SHOULD if
+it is genuinely advisory.`,
+
+	"req-untagged": `An uppercase RFC2119 keyword (MUST, SHALL, SHOULD, MAY...) in a doc
+comment on the spec surface — the sync4 kit layer and the splash4d
+server — reads like a promise, but without a //sync4:req tag it cannot be
+cited by ID, claimed by a covering test, or certified against: it is a
+requirement that exists only until the comment is next edited, which is
+exactly the implicit-contract rot the conformance document was built to
+end. Fix: promote the sentence to a numbered requirement
+(//sync4:req SYNC4-<AREA>-<NNN> v<N> MUST ...), or demote the keyword to
+lowercase if the sentence is explanation rather than contract.`,
+
+	"req-stale": `Requirement tags that no longer mean what they say corrupt the generated
+conformance document silently, so they are hard errors: a malformed
+//sync4:req (ID not matching SYNC4-<AREA>-<NNN>, bad v<N> since-version,
+missing RFC2119 keyword or sentence), a duplicate ID, a //sync4:covers
+naming a requirement nobody declares, a since-version newer than
+kittest.SpecVersion (version drift — bump the spec version before
+publishing new requirements), or a directive floating outside any
+declaration's doc comment, where the extractor cannot see it. The
+generator (splash4-vet -conformance) refuses to run while any of these
+exist. Fix: repair the tag, renumber the duplicate, delete the dangling
+reference, or bump SpecVersion.`,
+
 	"unused-suppression": `A //lint:ignore sync4vet-<rule> directive that silences nothing is stale:
 the code it excused has been fixed or moved, and the waiver now only hides
 future regressions. Delete it, or — during a migration — waive the

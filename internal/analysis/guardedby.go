@@ -31,7 +31,8 @@ var GuardedBy = &Analyzer{
 	Name: "guarded-by",
 	Doc: "flag writes to lock-guarded shared fields that escape the " +
 		"inferred guard on paths reachable from core.Parallel workers",
-	Run: runGuardedBy,
+	Family: FamilyInterprocedural,
+	Run:    runGuardedBy,
 }
 
 // writeSite is one field write observed in parallel-reachable code.

@@ -13,9 +13,10 @@ import (
 // lockfree kit (Splash-4 semantics). A raw mutex or bare atomic executes
 // identically under both kits and silently corrupts the comparison.
 var KitBypass = &Analyzer{
-	Name: "kit-bypass",
-	Doc:  "flags raw sync/atomic primitives in workload packages that must use sync4.Kit",
-	Run:  runKitBypass,
+	Name:   "kit-bypass",
+	Doc:    "flags raw sync/atomic primitives in workload packages that must use sync4.Kit",
+	Family: FamilySyntactic,
+	Run:    runKitBypass,
 }
 
 // kitFixes maps a bypassed primitive to the construct that should replace

@@ -22,9 +22,10 @@ import (
 //     single-return accessor over plain memory — the call hides the racy
 //     load but does not synchronize anything.
 var NakedSpin = &Analyzer{
-	Name: "naked-spin",
-	Doc:  "flags busy-wait loops whose condition reads non-atomic memory the body never updates",
-	Run:  runNakedSpin,
+	Name:   "naked-spin",
+	Doc:    "flags busy-wait loops whose condition reads non-atomic memory the body never updates",
+	Family: FamilySyntactic,
+	Run:    runNakedSpin,
 }
 
 func runNakedSpin(pass *Pass) {

@@ -24,7 +24,8 @@ var PlainAtomicMix = &Analyzer{
 	Name: "plain-atomic-mix",
 	Doc: "flag fields accessed both atomically and with plain loads/stores " +
 		"outside guarded or single-thread spans",
-	Run: runPlainAtomicMix,
+	Family: FamilyPerformance,
+	Run:    runPlainAtomicMix,
 }
 
 func runPlainAtomicMix(pass *Pass) {

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// ReqCoverage proves every MUST-level requirement is exercised. A
+// requirement is covered when at least one conformance test claiming it
+// (its own tagged declaration if test-shaped, or a //sync4:covers carrier)
+// is reachable — via static call edges and the _test.go overlay — from a
+// Test* driver; kit-parametric suites must additionally be driven under
+// both the classic and the lockfree kit, or the "same spec, two kits"
+// promise is only half-checked. SHOULD/MAY requirements are advisory and
+// never flagged.
+var ReqCoverage = &Analyzer{
+	Name:   "req-coverage",
+	Doc:    "prove every MUST-level requirement has a reachable conformance test under both kits",
+	Family: FamilyConformance,
+	Run:    runReqCoverage,
+}
+
+func runReqCoverage(p *Pass) {
+	for _, ci := range reqCoverageOf(p.Graph) {
+		req := ci.req
+		if req.Keyword != "MUST" && req.Keyword != "MUST NOT" {
+			continue
+		}
+		if !p.Owns(req.pos) {
+			continue
+		}
+		if msg := coverageGap(p.Graph, ci); msg != "" {
+			p.Reportf(req.pos, "%s (%s %s): %s", req.ID, req.Keyword, req.Text, msg)
+		}
+	}
+}
+
+// coverageGap describes why a requirement's coverage proof fails, or
+// returns "" when the proof goes through.
+func coverageGap(g *CallGraph, ci *covInfo) string {
+	if len(ci.members) == 0 {
+		return "no conformance test covers it; tag a test-shaped function with //sync4:covers " + ci.req.ID +
+			" or declare the requirement on the suite that exercises it"
+	}
+	var driven []*covMember
+	for _, m := range ci.members {
+		if len(m.drivers) > 0 {
+			driven = append(driven, m)
+		}
+	}
+	if len(driven) == 0 {
+		names := make([]string, len(ci.members))
+		for i, m := range ci.members {
+			names[i] = m.display
+		}
+		return "covering function(s) " + strings.Join(names, ", ") +
+			" are not reachable from any Test* driver; the requirement is declared but never executed"
+	}
+	// Kit-parametric suites must run under both kits. Non-parametric
+	// coverage (e.g. a server e2e test) carries no kit obligation.
+	kits := make(map[string]bool)
+	parametricOnly := true
+	for _, m := range driven {
+		if !m.kitParam {
+			parametricOnly = false
+			continue
+		}
+		for _, d := range m.drivers {
+			for k := range d.kits {
+				kits[k] = true
+			}
+		}
+	}
+	if !parametricOnly {
+		return ""
+	}
+	var missing []string
+	for _, kit := range []string{"classic", "lockfree"} {
+		if !kits[kit] {
+			missing = append(missing, kit)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return "kit-parametric coverage is driven under " + kitSetString(kits) +
+			" only; missing kit(s): " + strings.Join(missing, ", ")
+	}
+	return ""
+}
+
+func kitSetString(kits map[string]bool) string {
+	if len(kits) == 0 {
+		return "no kit"
+	}
+	var names []string
+	for k := range kits {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,847 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the requirement fact layer behind the conformance pass
+// (req-coverage, req-untagged, req-stale) and the generated conformance
+// document (conformance.go). The sync4 kit contract is written down as
+// RFC2119-keyword requirements tagged in doc comments:
+//
+//	//sync4:req SYNC4-QUEUE-104 v1 MUST hand back every accepted element.
+//	func testQueueCapacityOne(t *testing.T, kit sync4.Kit) { ... }
+//
+// declares requirement SYNC4-QUEUE-104 (area QUEUE), present since spec
+// version v1, at MUST level. A declaration may sit on a package-level
+// function, an interface method, or a named type. A conformance test claims
+// to exercise requirements it does not itself declare with
+//
+//	//sync4:covers SYNC4-QUEUE-104 SYNC4-QUEUE-105
+//
+// A declaration attached to a test-shaped function (one taking *testing.T)
+// covers itself. Coverage is then proved statically: a MUST-level
+// requirement must have at least one covering function reachable — through
+// the module call graph plus a syntactic overlay of the module's _test.go
+// files — from a Test* driver; kit-parametric suites must be driven under
+// both the classic and the lockfree kit.
+
+const (
+	reqDirective    = "//sync4:req"
+	coversDirective = "//sync4:covers"
+)
+
+// reqIDPattern is the requirement ID grammar: SYNC4-<AREA>-<NNN>.
+var reqIDPattern = regexp.MustCompile(`^SYNC4-([A-Z]+)-([0-9]{3})$`)
+
+// rfc2119Keywords are the normative levels a requirement may declare,
+// longest-match first so "MUST NOT" is not parsed as "MUST" + text.
+var rfc2119Keywords = []string{"MUST NOT", "MUST", "SHOULD NOT", "SHOULD", "MAY"}
+
+// rfc2119Scan matches normative keywords in prose for the req-untagged
+// analyzer. SHALL is matched too: it is normative language this spec does
+// not use, so its appearance is always untracked.
+var rfc2119Scan = regexp.MustCompile(`\b(MUST NOT|MUST|SHALL NOT|SHALL|SHOULD NOT|SHOULD|MAY)\b`)
+
+// Requirement is one declared conformance requirement.
+type Requirement struct {
+	ID      string // SYNC4-<AREA>-<NNN>
+	Area    string // middle ID segment, the grouping key of the document
+	Since   int    // spec version the requirement first appeared in
+	Keyword string // RFC2119 level: MUST, MUST NOT, SHOULD, SHOULD NOT, MAY
+	Text    string // the requirement sentence, keyword excluded
+	Decl    string // display name of the tagged declaration
+
+	pos  token.Pos
+	fn   *types.Func  // tagged function or interface method; nil otherwise
+	test *overlayFunc // tagged _test.go function; nil otherwise
+}
+
+// coversTag is one //sync4:covers directive: the carrying function claims to
+// exercise the named requirements.
+type coversTag struct {
+	ids  []string
+	pos  token.Pos
+	fn   *types.Func
+	test *overlayFunc
+}
+
+// reqFacts is the module-wide requirement database, built once per call
+// graph and shared by the three conformance analyzers and the document
+// generator.
+type reqFacts struct {
+	overlay *testOverlay
+	reqs    []*Requirement // sorted by ID
+	byID    map[string]*Requirement
+	covers  []*coversTag
+	version int // resolved spec version (kittest.SpecVersion, default 1)
+
+	stale    []posMsg // malformed tags, duplicates, dangling refs, drift
+	untagged []posMsg // normative keywords outside any tagged doc comment
+
+	seen map[token.Pos]bool // directive comments consumed by a doc attachment
+}
+
+// reqFactsOf builds (or returns the memoized) requirement facts for g.
+func reqFactsOf(g *CallGraph) *reqFacts {
+	const memoKey = "req-facts"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.(*reqFacts)
+	}
+	f := &reqFacts{byID: make(map[string]*Requirement), overlay: overlayOf(g)}
+	f.version = specVersionOf(g.Pkgs)
+
+	// Pass 1: collect declarations and covers tags from every doc comment
+	// attachment point, non-test sources first, then the test overlay.
+	for _, pkg := range g.Pkgs {
+		for _, file := range pkg.Files {
+			f.scanFile(pkg, file)
+		}
+	}
+	for _, of := range f.overlay.funcs {
+		f.scanOverlayFunc(of)
+	}
+	for _, dirFiles := range f.overlay.files {
+		for _, file := range dirFiles {
+			f.scanLooseDirectives(file)
+		}
+	}
+	for _, pkg := range g.Pkgs {
+		for _, file := range pkg.Files {
+			f.scanLooseDirectives(file)
+		}
+	}
+
+	sort.Slice(f.reqs, func(i, j int) bool { return f.reqs[i].ID < f.reqs[j].ID })
+
+	// Pass 2: referential integrity — every covers target must exist.
+	for _, c := range f.covers {
+		for _, id := range c.ids {
+			if f.byID[id] == nil {
+				f.stale = append(f.stale, posMsg{c.pos, fmt.Sprintf(
+					"covers tag references %s, which no //sync4:req declares (stale reference or typo)", id)})
+			}
+		}
+	}
+	g.memo[memoKey] = f
+	return f
+}
+
+// scanFile collects requirement and covers tags from one non-test file's doc
+// comments: package-level functions, named types, and interface methods.
+func (f *reqFacts) scanFile(pkg *Package, file *ast.File) {
+	f.scanDocGroup(pkg, file.Doc, attachment{declName: "package " + pkg.Types.Name()})
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			at := attachment{declName: pkg.Types.Name() + "." + d.Name.Name}
+			if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+				at.fn = fn
+			}
+			f.scanDocGroup(pkg, d.Doc, at)
+		case *ast.GenDecl:
+			f.scanDocGroup(pkg, d.Doc, attachment{declName: pkg.Types.Name() + " declaration"})
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				f.scanDocGroup(pkg, ts.Doc, attachment{declName: pkg.Types.Name() + "." + ts.Name.Name})
+				iface, ok := ts.Type.(*ast.InterfaceType)
+				if !ok || iface.Methods == nil {
+					continue
+				}
+				for _, m := range iface.Methods.List {
+					if len(m.Names) == 0 {
+						continue // embedded interface
+					}
+					at := attachment{declName: pkg.Types.Name() + "." + ts.Name.Name + "." + m.Names[0].Name}
+					if fn, ok := pkg.Info.Defs[m.Names[0]].(*types.Func); ok {
+						at.fn = fn
+					}
+					f.scanDocGroup(pkg, m.Doc, at)
+				}
+			}
+		}
+	}
+}
+
+// scanOverlayFunc collects tags from one _test.go function's doc comment.
+func (f *reqFacts) scanOverlayFunc(of *overlayFunc) {
+	if of.pkg == nil {
+		return
+	}
+	f.scanDocGroup(of.pkg, of.decl.Doc, attachment{
+		declName: of.pkgName + "." + of.name,
+		test:     of,
+	})
+}
+
+// attachment names the declaration a doc comment belongs to.
+type attachment struct {
+	declName string
+	fn       *types.Func
+	test     *overlayFunc
+}
+
+// scanDocGroup parses one doc comment group: requirement declarations,
+// covers tags, and — when the group carries neither and the package is part
+// of the spec surface — untracked normative keywords.
+func (f *reqFacts) scanDocGroup(pkg *Package, doc *ast.CommentGroup, at attachment) {
+	if doc == nil {
+		return
+	}
+	tagged := false
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		switch {
+		case strings.HasPrefix(text, reqDirective):
+			tagged = true
+			f.markSeen(c.Pos())
+			f.parseReq(c, text, at)
+		case strings.HasPrefix(text, coversDirective):
+			tagged = true
+			f.markSeen(c.Pos())
+			f.parseCovers(c, text, at)
+		}
+	}
+	if tagged || !specScoped(pkg.Path) {
+		return
+	}
+	// Untagged doc comment on the spec surface: normative keywords here are
+	// requirements nobody can cite, cover, or certify against.
+	for _, c := range doc.List {
+		if loc := rfc2119Scan.FindStringIndex(c.Text); loc != nil {
+			kw := c.Text[loc[0]:loc[1]]
+			f.untagged = append(f.untagged, posMsg{c.Pos() + token.Pos(loc[0]), fmt.Sprintf(
+				"normative %q in the doc comment of %s carries no requirement ID; declare it with %s SYNC4-<AREA>-<NNN> v<N> %s ... or demote it to lowercase prose",
+				kw, at.declName, reqDirective, kw)})
+			return // one finding per doc comment is enough
+		}
+	}
+}
+
+func (f *reqFacts) markSeen(pos token.Pos) {
+	if f.seen == nil {
+		f.seen = make(map[token.Pos]bool)
+	}
+	f.seen[pos] = true
+}
+
+// stripTrailingComment cuts a trailing "// ..." comment from a directive's
+// payload, so margin notes (and the fixtures' want-annotations) never leak
+// into requirement text or covers lists.
+func stripTrailingComment(s string) string {
+	if i := strings.Index(s, " //"); i >= 0 {
+		return strings.TrimSpace(s[:i])
+	}
+	return s
+}
+
+// parseReq validates and records one //sync4:req directive.
+func (f *reqFacts) parseReq(c *ast.Comment, text string, at attachment) {
+	rest := stripTrailingComment(strings.TrimSpace(strings.TrimPrefix(text, reqDirective)))
+	fields := strings.Fields(rest)
+	if len(fields) < 3 {
+		f.stale = append(f.stale, posMsg{c.Pos(), fmt.Sprintf(
+			"malformed %s directive: want %s SYNC4-<AREA>-<NNN> v<N> <RFC2119-KEYWORD> <sentence>", reqDirective, reqDirective)})
+		return
+	}
+	id := fields[0]
+	m := reqIDPattern.FindStringSubmatch(id)
+	if m == nil {
+		f.stale = append(f.stale, posMsg{c.Pos(), fmt.Sprintf(
+			"requirement ID %q does not match SYNC4-<AREA>-<NNN> (uppercase area, three digits)", id)})
+		return
+	}
+	since, ok := parseSince(fields[1])
+	if !ok {
+		f.stale = append(f.stale, posMsg{c.Pos(), fmt.Sprintf(
+			"requirement %s: since-version %q is not of the form v<N> with N >= 1", id, fields[1])})
+		return
+	}
+	if since > f.version {
+		f.stale = append(f.stale, posMsg{c.Pos(), fmt.Sprintf(
+			"requirement %s declares since v%d but the conformance document is at v%d; bump kittest.SpecVersion before publishing new requirements", id, since, f.version)})
+		return
+	}
+	sentence := strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+	sentence = strings.TrimSpace(strings.TrimPrefix(sentence, fields[1]))
+	keyword := ""
+	for _, kw := range rfc2119Keywords {
+		if sentence == kw || strings.HasPrefix(sentence, kw+" ") {
+			keyword = kw
+			break
+		}
+	}
+	if keyword == "" {
+		f.stale = append(f.stale, posMsg{c.Pos(), fmt.Sprintf(
+			"requirement %s: sentence must open with an RFC2119 keyword (%s)", id, strings.Join(rfc2119Keywords, ", "))})
+		return
+	}
+	body := strings.TrimSpace(strings.TrimPrefix(sentence, keyword))
+	if body == "" {
+		f.stale = append(f.stale, posMsg{c.Pos(), fmt.Sprintf(
+			"requirement %s: the %s keyword needs a requirement sentence after it", id, keyword)})
+		return
+	}
+	if prev := f.byID[id]; prev != nil {
+		f.stale = append(f.stale, posMsg{c.Pos(), fmt.Sprintf(
+			"duplicate declaration of %s (first declared on %s); requirement IDs are unique module-wide", id, prev.Decl)})
+		return
+	}
+	req := &Requirement{
+		ID: id, Area: m[1], Since: since, Keyword: keyword, Text: body,
+		Decl: at.declName, pos: c.Pos(), fn: at.fn, test: at.test,
+	}
+	f.byID[id] = req
+	f.reqs = append(f.reqs, req)
+}
+
+// parseCovers validates and records one //sync4:covers directive.
+func (f *reqFacts) parseCovers(c *ast.Comment, text string, at attachment) {
+	rest := stripTrailingComment(strings.TrimSpace(strings.TrimPrefix(text, coversDirective)))
+	var ids []string
+	for _, part := range strings.FieldsFunc(rest, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' }) {
+		if !reqIDPattern.MatchString(part) {
+			f.stale = append(f.stale, posMsg{c.Pos(), fmt.Sprintf(
+				"covers tag names %q, which does not match SYNC4-<AREA>-<NNN>", part)})
+			continue
+		}
+		ids = append(ids, part)
+	}
+	if len(ids) == 0 {
+		f.stale = append(f.stale, posMsg{c.Pos(), fmt.Sprintf(
+			"empty %s directive: name at least one requirement ID", coversDirective)})
+		return
+	}
+	if at.fn == nil && at.test == nil {
+		f.stale = append(f.stale, posMsg{c.Pos(),
+			"covers tag must be attached to a function's doc comment (a conformance test or suite body)"})
+		return
+	}
+	if at.fn != nil && at.test == nil && !isConformanceFunc(at.fn) {
+		f.stale = append(f.stale, posMsg{c.Pos(), fmt.Sprintf(
+			"covers tag on %s, which is not a conformance test (no *testing.T parameter); coverage claims belong on the test that exercises the requirement", at.declName)})
+		return
+	}
+	f.covers = append(f.covers, &coversTag{ids: ids, pos: c.Pos(), fn: at.fn, test: at.test})
+}
+
+// scanLooseDirectives flags sync4:req / sync4:covers comments that no doc
+// comment attachment consumed: a tag floating in a function body or between
+// declarations silently drops out of the spec, so it is an error.
+func (f *reqFacts) scanLooseDirectives(file *ast.File) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, reqDirective) && !strings.HasPrefix(text, coversDirective) {
+				continue
+			}
+			if f.seen[c.Pos()] {
+				continue
+			}
+			f.stale = append(f.stale, posMsg{c.Pos(),
+				"requirement tag is not attached to a declaration's doc comment, so it is invisible to the conformance document; move it onto the function, method, or type it specifies"})
+		}
+	}
+}
+
+func parseSince(s string) (int, bool) {
+	rest, ok := strings.CutPrefix(s, "v")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// specScoped reports whether a package path belongs to the spec surface the
+// req-untagged analyzer polices: the sync4 kit layer and the splash4d
+// server, whose doc comments are where the contract lives.
+func specScoped(pkgPath string) bool {
+	return strings.Contains(pkgPath, "internal/sync4") || strings.Contains(pkgPath, "internal/server")
+}
+
+// specVersionOf resolves the current conformance document version: the
+// integer constant SpecVersion in a package named kittest, or in any
+// analyzed package as a fallback (fixtures declare their own), defaulting
+// to 1.
+func specVersionOf(pkgs []*Package) int {
+	fallback := 0
+	for _, pkg := range pkgs {
+		obj := pkg.Types.Scope().Lookup("SpecVersion")
+		cn, ok := obj.(*types.Const)
+		if !ok {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(cn.Val()))
+		if !ok || v < 1 {
+			continue
+		}
+		if pkg.Types.Name() == "kittest" {
+			return int(v)
+		}
+		if fallback == 0 {
+			fallback = int(v)
+		}
+	}
+	if fallback == 0 {
+		return 1
+	}
+	return fallback
+}
+
+// isConformanceFunc reports whether fn is test-shaped: some parameter is
+// *testing.T. The kittest suite bodies and the registry entries all have
+// this shape.
+func isConformanceFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isTestingT(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isTestingT(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "T" && obj.Pkg() != nil && obj.Pkg().Path() == "testing"
+}
+
+// isKitParam reports whether fn takes a sync4.Kit parameter — the mark of a
+// kit-parametric conformance suite, which must be driven under both kits.
+func isKitParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		named, ok := sig.Params().At(i).Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Kit" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/sync4") {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Test-file overlay
+//
+// The loader deliberately analyzes non-test sources only — _test.go files
+// host the harnesses and may use raw sync. But conformance coverage is
+// *about* tests, so the overlay parses every _test.go file of the analyzed
+// directories (syntax only, no type checking) and extracts the facts the
+// coverage proof needs: which Test* functions exist, which functions they
+// call, and which kits they mention.
+
+// overlayFunc is one function declared in a _test.go file.
+type overlayFunc struct {
+	name    string
+	pkgName string // package clause of the test file (e.g. "server", "sync4_test")
+	dir     string
+	decl    *ast.FuncDecl
+	pkg     *Package // the analyzed package sharing the directory
+	isTest  bool     // Test* with a *testing.T parameter
+
+	calls    map[string]bool // "pkgident.Name" for selector calls, "Name" for bare calls
+	mentions map[string]bool // kit package identifiers referenced: classic, lockfree
+}
+
+// testOverlay is the module's parsed _test.go surface.
+type testOverlay struct {
+	files map[string][]*ast.File // dir -> parsed test files
+	funcs []*overlayFunc
+	byDir map[string]map[string]*overlayFunc
+}
+
+// filesForDir returns the parsed test files of one package directory.
+func (ov *testOverlay) filesForDir(dir string) []*ast.File {
+	return ov.files[dir]
+}
+
+// overlayOf parses (memoized) the _test.go files alongside every analyzed
+// package. Files are parsed into the graph's shared FileSet and registered
+// as owned by the package sharing their directory, so diagnostics reported
+// at overlay positions are claimed — and suppressible — like any other.
+func overlayOf(g *CallGraph) *testOverlay {
+	const memoKey = "req-overlay"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.(*testOverlay)
+	}
+	ov := &testOverlay{
+		files: make(map[string][]*ast.File),
+		byDir: make(map[string]map[string]*overlayFunc),
+	}
+	for _, pkg := range g.Pkgs {
+		if _, done := ov.files[pkg.Dir]; done {
+			continue
+		}
+		ov.files[pkg.Dir] = nil
+		entries, err := os.ReadDir(pkg.Dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			if match, err := build.Default.MatchFile(pkg.Dir, name); err != nil || !match {
+				continue
+			}
+			path := filepath.Join(pkg.Dir, name)
+			file, err := parser.ParseFile(pkg.Fset, path, nil, parser.ParseComments)
+			if err != nil {
+				continue // unparseable fixtures are simply not part of the overlay
+			}
+			ov.files[pkg.Dir] = append(ov.files[pkg.Dir], file)
+			g.fileOwner[path] = pkg
+			ov.scanTestFile(pkg, file)
+		}
+	}
+	sort.Slice(ov.funcs, func(i, j int) bool {
+		if ov.funcs[i].dir != ov.funcs[j].dir {
+			return ov.funcs[i].dir < ov.funcs[j].dir
+		}
+		return ov.funcs[i].name < ov.funcs[j].name
+	})
+	g.memo[memoKey] = ov
+	return ov
+}
+
+// scanTestFile extracts the overlay facts of one parsed _test.go file.
+func (ov *testOverlay) scanTestFile(pkg *Package, file *ast.File) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || fd.Recv != nil {
+			continue
+		}
+		of := &overlayFunc{
+			name:     fd.Name.Name,
+			pkgName:  file.Name.Name,
+			dir:      pkg.Dir,
+			decl:     fd,
+			pkg:      pkg,
+			calls:    make(map[string]bool),
+			mentions: make(map[string]bool),
+		}
+		of.isTest = strings.HasPrefix(of.name, "Test") && of.name != "TestMain" && hasTestingTParam(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch fun := ast.Unparen(n.Fun).(type) {
+				case *ast.Ident:
+					of.calls[fun.Name] = true
+				case *ast.SelectorExpr:
+					if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+						of.calls[x.Name+"."+fun.Sel.Name] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if x, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if x.Name == "classic" || x.Name == "lockfree" {
+						of.mentions[x.Name] = true
+					}
+				}
+			}
+			return true
+		})
+		ov.funcs = append(ov.funcs, of)
+		byName := ov.byDir[pkg.Dir]
+		if byName == nil {
+			byName = make(map[string]*overlayFunc)
+			ov.byDir[pkg.Dir] = byName
+		}
+		byName[of.name] = of
+	}
+}
+
+// hasTestingTParam checks, syntactically, for a *testing.T parameter.
+func hasTestingTParam(fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, p := range fd.Type.Params.List {
+		star, ok := p.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := star.X.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if x, ok := sel.X.(*ast.Ident); ok && x.Name == "testing" && sel.Sel.Name == "T" {
+			return true
+		}
+	}
+	return false
+}
+
+// closure returns the overlay functions reachable from of via bare-name
+// calls within the same directory, including of itself.
+func (ov *testOverlay) closure(of *overlayFunc) map[*overlayFunc]bool {
+	seen := map[*overlayFunc]bool{of: true}
+	work := []*overlayFunc{of}
+	byName := ov.byDir[of.dir]
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for call := range cur.calls {
+			if strings.Contains(call, ".") {
+				continue
+			}
+			if next, ok := byName[call]; ok && !seen[next] {
+				seen[next] = true
+				work = append(work, next)
+			}
+		}
+	}
+	return seen
+}
+
+// ---------------------------------------------------------------------------
+// Drivers and coverage
+
+// reqDriver is one Test* function together with everything it can execute:
+// the typed entry functions it calls into analyzed code, the overlay
+// functions it reaches within its own directory, and the kits it mentions.
+type reqDriver struct {
+	test    *overlayFunc
+	name    string // display name, e.g. "sync4_test.TestFaultConformanceClassic"
+	kits    map[string]bool
+	entries []*types.Func
+	reach   map[*overlayFunc]bool
+}
+
+// drives reports whether the driver executes the typed function fn.
+func (d *reqDriver) drives(g *CallGraph, fn *types.Func) bool {
+	for _, e := range d.entries {
+		if e == fn || reachableFrom(g, e)[fn] {
+			return true
+		}
+	}
+	return false
+}
+
+// reqDrivers computes (memoized) every Test* driver in the overlay.
+func reqDrivers(g *CallGraph) []*reqDriver {
+	const memoKey = "req-drivers"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.([]*reqDriver)
+	}
+	ov := overlayOf(g)
+
+	// Index analyzed packages by package name (for qualified calls) and by
+	// directory (for bare calls from in-package test files).
+	byName := make(map[string][]*Package)
+	byDir := make(map[string]*Package)
+	for _, pkg := range g.Pkgs {
+		byName[pkg.Types.Name()] = append(byName[pkg.Types.Name()], pkg)
+		byDir[pkg.Dir] = pkg
+	}
+
+	var drivers []*reqDriver
+	for _, of := range ov.funcs {
+		if !of.isTest {
+			continue
+		}
+		d := &reqDriver{
+			test:  of,
+			name:  of.pkgName + "." + of.name,
+			kits:  make(map[string]bool),
+			reach: ov.closure(of),
+		}
+		entrySeen := make(map[*types.Func]bool)
+		addEntry := func(fn *types.Func) {
+			if fn != nil && !entrySeen[fn] {
+				entrySeen[fn] = true
+				d.entries = append(d.entries, fn)
+			}
+		}
+		for member := range d.reach {
+			for k := range member.mentions {
+				d.kits[k] = true
+			}
+			for call := range member.calls {
+				if pkgIdent, fnName, ok := strings.Cut(call, "."); ok {
+					for _, pkg := range byName[pkgIdent] {
+						addEntry(lookupFunc(pkg, fnName))
+					}
+					continue
+				}
+				if pkg := byDir[member.dir]; pkg != nil {
+					addEntry(lookupFunc(pkg, call))
+				}
+			}
+		}
+		sort.Slice(d.entries, func(i, j int) bool { return d.entries[i].FullName() < d.entries[j].FullName() })
+		drivers = append(drivers, d)
+	}
+	g.memo[memoKey] = drivers
+	return drivers
+}
+
+// lookupFunc resolves a package-level function by name.
+func lookupFunc(pkg *Package, name string) *types.Func {
+	fn, _ := pkg.Types.Scope().Lookup(name).(*types.Func)
+	return fn
+}
+
+// reachableFrom computes (memoized) the set of functions whose bodies may
+// execute when fn runs, following static call edges and descending into
+// function literals. Dynamic dispatch produces no edge — the usual
+// trade: coverage derived from resolvable calls only.
+func reachableFrom(g *CallGraph, fn *types.Func) map[*types.Func]bool {
+	const memoKey = "req-reach"
+	cache, ok := g.memo[memoKey].(map[*types.Func]map[*types.Func]bool)
+	if !ok {
+		cache = make(map[*types.Func]map[*types.Func]bool)
+		g.memo[memoKey] = cache
+	}
+	if r, ok := cache[fn]; ok {
+		return r
+	}
+	out := make(map[*types.Func]bool)
+	visited := make(map[*CGNode]bool)
+	var visit func(n *CGNode)
+	visit = func(n *CGNode) {
+		if n == nil || visited[n] {
+			return
+		}
+		visited[n] = true
+		for _, cs := range n.Calls {
+			if cs.Callee == nil {
+				continue
+			}
+			if !out[cs.Callee] {
+				out[cs.Callee] = true
+				visit(g.Nodes[cs.Callee])
+			}
+		}
+		for _, lit := range n.Lits {
+			visit(lit)
+		}
+	}
+	if n := g.Nodes[fn]; n != nil {
+		out[fn] = true
+		visit(n)
+	}
+	cache[fn] = out
+	return out
+}
+
+// covMember is one function claiming to exercise a requirement, with the
+// drivers proven to execute it.
+type covMember struct {
+	display  string
+	kitParam bool
+	drivers  []*reqDriver // sorted by name
+}
+
+// covInfo is one requirement's full coverage picture.
+type covInfo struct {
+	req     *Requirement
+	members []*covMember // sorted by display name
+}
+
+// reqCoverageOf computes (memoized) the coverage picture of every declared
+// requirement.
+func reqCoverageOf(g *CallGraph) []*covInfo {
+	const memoKey = "req-coverage-facts"
+	if v, ok := g.memo[memoKey]; ok {
+		return v.([]*covInfo)
+	}
+	f := reqFactsOf(g)
+	drivers := reqDrivers(g)
+
+	// Collect covering candidates per requirement: the declaration itself
+	// when test-shaped, plus every covers tag naming it.
+	type carrier struct {
+		fn   *types.Func
+		test *overlayFunc
+	}
+	carriers := make(map[string][]carrier)
+	addCarrier := func(id string, c carrier) {
+		for _, prev := range carriers[id] {
+			if prev.fn == c.fn && prev.test == c.test {
+				return
+			}
+		}
+		carriers[id] = append(carriers[id], c)
+	}
+	for _, req := range f.reqs {
+		if req.test != nil || (req.fn != nil && isConformanceFunc(req.fn)) {
+			addCarrier(req.ID, carrier{fn: req.fn, test: req.test})
+		}
+	}
+	for _, c := range f.covers {
+		for _, id := range c.ids {
+			if f.byID[id] != nil {
+				addCarrier(id, carrier{fn: c.fn, test: c.test})
+			}
+		}
+	}
+
+	var out []*covInfo
+	for _, req := range f.reqs {
+		ci := &covInfo{req: req}
+		for _, c := range carriers[req.ID] {
+			m := &covMember{}
+			switch {
+			case c.test != nil:
+				m.display = c.test.pkgName + "." + c.test.name
+				for _, d := range drivers {
+					if d.test == c.test || d.reach[c.test] {
+						m.drivers = append(m.drivers, d)
+					}
+				}
+			case c.fn != nil:
+				m.display = c.fn.Pkg().Name() + "." + c.fn.Name()
+				m.kitParam = isKitParam(c.fn)
+				for _, d := range drivers {
+					if d.drives(g, c.fn) {
+						m.drivers = append(m.drivers, d)
+					}
+				}
+			}
+			sort.Slice(m.drivers, func(i, j int) bool { return m.drivers[i].name < m.drivers[j].name })
+			ci.members = append(ci.members, m)
+		}
+		sort.Slice(ci.members, func(i, j int) bool { return ci.members[i].display < ci.members[j].display })
+		out = append(out, ci)
+	}
+	g.memo[memoKey] = out
+	return out
+}

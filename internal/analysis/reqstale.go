@@ -1,0 +1,23 @@
+package analysis
+
+// ReqStale flags requirement tags that no longer mean what they say:
+// malformed //sync4:req directives (bad ID grammar, bad since-version,
+// missing RFC2119 keyword or sentence), duplicate IDs, //sync4:covers
+// references to requirements nobody declares, since-versions ahead of the
+// published spec version, and directives floating outside any declaration's
+// doc comment. Each of these silently corrupts the generated conformance
+// document, so they are hard errors rather than generator warnings.
+var ReqStale = &Analyzer{
+	Name:   "req-stale",
+	Doc:    "flag malformed, duplicate, dangling, or version-drifted requirement tags",
+	Family: FamilyConformance,
+	Run:    runReqStale,
+}
+
+func runReqStale(p *Pass) {
+	for _, d := range reqFactsOf(p.Graph).stale {
+		if p.Owns(d.pos) {
+			p.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+}

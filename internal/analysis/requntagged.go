@@ -1,0 +1,21 @@
+package analysis
+
+// ReqUntagged flags normative RFC2119 language on the spec surface (the
+// sync4 kit layer and the splash4d server) that carries no requirement ID.
+// An uppercase MUST in a doc comment reads like a promise, but without a
+// //sync4:req tag it cannot be cited, covered, or certified against — it is
+// a requirement that exists only until the comment is next edited.
+var ReqUntagged = &Analyzer{
+	Name:   "req-untagged",
+	Doc:    "flag RFC2119 keywords in sync4/server doc comments that carry no requirement ID",
+	Family: FamilyConformance,
+	Run:    runReqUntagged,
+}
+
+func runReqUntagged(p *Pass) {
+	for _, d := range reqFactsOf(p.Graph).untagged {
+		if p.Owns(d.pos) {
+			p.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+}

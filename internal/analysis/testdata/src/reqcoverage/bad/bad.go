@@ -1,0 +1,46 @@
+// Package rcfixbad declares MUST-level requirements whose coverage proofs
+// fail three different ways: no covering test at all, a covering test no
+// driver reaches, and kit-parametric coverage driven under one kit only.
+// The SHOULD requirement at the bottom is advisory and must stay silent.
+package rcfixbad
+
+import (
+	"testing"
+
+	"repro/internal/sync4"
+)
+
+// Orphan is specified but nothing claims to test it.
+//
+//sync4:req SYNC4-RCA-001 v1 MUST keep its ledger balanced under concurrent deposits. // want req-coverage "no conformance test covers it"
+func Orphan(kit sync4.Kit) int64 {
+	return kit.NewCounter().Inc()
+}
+
+// Unreached is test-shaped, so it covers itself — but no Test* driver in
+// this directory ever calls it.
+//
+//sync4:req SYNC4-RCA-002 v1 MUST drain every queued element exactly once. // want req-coverage "not reachable from any Test"
+func Unreached(t *testing.T, kit sync4.Kit) {
+	if kit.NewCounter().Load() != 0 {
+		t.Fatal("fresh counter is nonzero")
+	}
+}
+
+// HalfDriven is a kit-parametric suite, but the driver below runs it under
+// the classic kit only.
+//
+//sync4:req SYNC4-RCA-003 v1 MUST observe the same counter total under every kit. // want req-coverage "missing kit"
+func HalfDriven(t *testing.T, kit sync4.Kit) {
+	if kit.NewCounter().Add(3) != 3 {
+		t.Fatal("counter lost the first add")
+	}
+}
+
+// Advisory is uncovered too, but SHOULD-level requirements carry no
+// coverage obligation.
+//
+//sync4:req SYNC4-RCA-004 v1 SHOULD prefer the uncontended fast path when no rival is present.
+func Advisory(kit sync4.Kit) int64 {
+	return kit.NewCounter().Load()
+}

@@ -1,0 +1,13 @@
+package rcfixbad
+
+import (
+	"testing"
+
+	"repro/internal/sync4/classic"
+)
+
+// TestClassicOnly drives the kit-parametric suite under one kit, leaving
+// SYNC4-RCA-003's both-kits obligation half met.
+func TestClassicOnly(t *testing.T) {
+	HalfDriven(t, classic.New())
+}

@@ -1,0 +1,15 @@
+package rcfixgood
+
+import (
+	"testing"
+
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/lockfree"
+)
+
+// TestBothKits drives the suite under the classic and the lockfree kit, so
+// every kit-parametric coverage proof in this package goes through.
+func TestBothKits(t *testing.T) {
+	Suite(t, classic.New())
+	Suite(t, lockfree.New())
+}

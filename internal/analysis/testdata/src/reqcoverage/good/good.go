@@ -1,0 +1,39 @@
+// Package rcfixgood is the covered counterpart of rcfixbad: every MUST has
+// a covering conformance test reachable from a Test* driver, the
+// kit-parametric suite runs under both kits, and the advisory SHOULD needs
+// no coverage. All analyzers must stay silent.
+package rcfixgood
+
+import (
+	"testing"
+
+	"repro/internal/sync4"
+)
+
+// Suite is the kit-parametric conformance body: it covers itself (it is
+// test-shaped) and claims the engine requirement it exercises.
+//
+//sync4:req SYNC4-RCG-001 v1 MUST report the running total its adds produced.
+//sync4:covers SYNC4-RCG-002
+func Suite(t *testing.T, kit sync4.Kit) {
+	if Engine(kit) != 2 {
+		t.Fatal("engine total diverged")
+	}
+}
+
+// Engine carries a requirement of its own, proved through the suite's
+// covers tag.
+//
+//sync4:req SYNC4-RCG-002 v1 MUST apply both increments it is handed.
+func Engine(kit sync4.Kit) int64 {
+	c := kit.NewCounter()
+	c.Inc()
+	return c.Inc()
+}
+
+// Hint is advisory; no coverage needed.
+//
+//sync4:req SYNC4-RCG-003 v1 SHOULD leave the counter readable without synchronization cost.
+func Hint(kit sync4.Kit) int64 {
+	return kit.NewCounter().Load()
+}

@@ -1,0 +1,10 @@
+// Package rcfixsup carries one deliberately uncovered MUST behind a
+// justified waiver: no diagnostics, exactly one suppression.
+package rcfixsup
+
+// Pending is specified ahead of its harness; the waiver documents the gap
+// until the covering suite lands.
+//
+//lint:ignore sync4vet-req-coverage fixture: the covering harness ships with the next spec revision
+//sync4:req SYNC4-RCS-001 v1 MUST survive a mid-episode participant crash without wedging the group.
+func Pending() {}

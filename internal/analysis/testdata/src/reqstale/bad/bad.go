@@ -1,0 +1,46 @@
+// Package rsfixbad collects requirement tags that no longer mean what they
+// say: bad ID grammar, bad and drifted since-versions, a missing keyword,
+// a duplicate ID, a dangling covers reference, a covers claim on a
+// non-test function, and a directive floating outside any doc comment.
+package rsfixbad
+
+import "testing"
+
+//sync4:req SYNC4-rsb-001 v1 MUST use an uppercase area segment. // want req-stale "does not match SYNC4-"
+func BadArea() {}
+
+//sync4:req SYNC4-RSB-002 vNext MUST parse its since-version. // want req-stale "not of the form v"
+func BadSince() {}
+
+//sync4:req SYNC4-RSB-003 v9 MUST wait for the spec to catch up. // want req-stale "bump kittest.SpecVersion"
+func Drifted() {}
+
+//sync4:req SYNC4-RSB-004 v1 NEVER open with a made-up keyword. // want req-stale "must open with an RFC2119 keyword"
+func BadKeyword() {}
+
+//sync4:req SYNC4-RSB-005 v1 SHOULD be declared exactly once.
+func First() {}
+
+//sync4:req SYNC4-RSB-005 v1 SHOULD be declared exactly once more. // want req-stale "duplicate declaration"
+func Second() {}
+
+// Claim is test-shaped, but the requirement it cites does not exist.
+//
+//sync4:covers SYNC4-RSB-999 // want req-stale "which no //sync4:req declares"
+func Claim(t *testing.T) { t.Helper() }
+
+// Plain is not a conformance test, so it cannot claim coverage.
+//
+//sync4:covers SYNC4-RSB-005 // want req-stale "coverage claims belong on the test"
+func Plain() {}
+
+// Mangled cites one bad ID next to a good one; the bad one is flagged, the
+// good one still counts.
+//
+//sync4:covers RSB-005-TYPO SYNC4-RSB-005 // want req-stale "does not match SYNC4-"
+func Mangled(t *testing.T) { t.Helper() }
+
+// Loose hides a directive where no doc comment scan will find it.
+func Loose() {
+	//sync4:req SYNC4-RSB-006 v1 SHOULD never float inside a body. // want req-stale "not attached to a declaration"
+}

@@ -1,0 +1,25 @@
+// Package rsfixgood holds well-formed requirement tags at advisory levels:
+// valid IDs, in-range since-versions, longest-match keywords, and a
+// comma-separated covers list. Everything must stay silent.
+package rsfixgood
+
+import "testing"
+
+// Order exercises longest-match keyword parsing.
+//
+//sync4:req SYNC4-RSG-001 v1 SHOULD NOT reorder elements within one drain pass.
+func Order() {}
+
+// Budget stays advisory.
+//
+//sync4:req SYNC4-RSG-002 v1 MAY batch its flushes when the queue is hot.
+func Budget() {}
+
+// Check claims both advisory requirements with a comma-separated list.
+//
+//sync4:covers SYNC4-RSG-001, SYNC4-RSG-002
+func Check(t *testing.T) {
+	t.Helper()
+	Order()
+	Budget()
+}

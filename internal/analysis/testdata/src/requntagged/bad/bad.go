@@ -1,0 +1,19 @@
+// Package rufixbad is spec surface (an internal/sync4 path) whose doc
+// comments promise behavior in normative language without declaring any
+// requirement ID. Every keyword below is a promise nobody can cite.
+package rufixbad
+
+// Reserve MUST pin its arena before the first concurrent use. // want req-untagged "carries no requirement ID"
+func Reserve() {}
+
+// A tracker SHALL NOT lose an update between episodes. // want req-untagged "carries no requirement ID"
+type Tracker struct{ n int }
+
+// Sink describes the drain side of the tracker.
+type Sink interface {
+	// Drain MAY spin while the queue refills. // want req-untagged "carries no requirement ID"
+	Drain() int
+}
+
+// quiet helpers with lowercase prose stay silent.
+func quiet(t *Tracker) int { return t.n }

@@ -1,0 +1,10 @@
+package rufixbad
+
+import "testing"
+
+// TestQuiet checks the helpers; a test doc MUST carry a tag too. // want req-untagged "carries no requirement ID"
+func TestQuiet(t *testing.T) {
+	if quiet(&Tracker{}) != 0 {
+		t.Fatal("fresh tracker is nonzero")
+	}
+}

@@ -1,0 +1,19 @@
+// Package rufixgood keeps its normative language accounted for: every
+// keyword lives inside a tagged doc comment, everything else is lowercase
+// prose. All analyzers must stay silent.
+package rufixgood
+
+// Observe reports the tracked total; the advisory requirement below keeps
+// the group exempt from the untagged check.
+//
+//sync4:req SYNC4-RUG-001 v1 SHOULD keep Observe allocation-free in steady state.
+func Observe() int { return 0 }
+
+// Fold should not reorder its inputs; the requirement is declared on the
+// tag line, so the prose can stay lowercase.
+//
+//sync4:req SYNC4-RUG-002 v1 SHOULD NOT reorder inputs within one fold episode.
+func Fold() {}
+
+// helper prose says what the code does without promising anything.
+func helper() int { return Observe() }

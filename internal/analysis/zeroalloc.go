@@ -25,7 +25,8 @@ var ZeroAlloc = &Analyzer{
 	Name: "zeroalloc",
 	Doc: "flag allocation sites statically reachable from functions " +
 		"annotated //sync4:zeroalloc",
-	Run: runZeroAlloc,
+	Family: FamilyPerformance,
+	Run:    runZeroAlloc,
 }
 
 func runZeroAlloc(pass *Pass) {

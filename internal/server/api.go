@@ -40,6 +40,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 //
 // Every 429/503 carries a Retry-After header; the client retry contract
 // is documented in docs/SERVICE.md.
+//
+//sync4:req SYNC4-SERVE-001 v1 MUST POST /runs rejects a malformed or unusable submission with 400 and a JSON error body, admitting nothing.
+//sync4:req SYNC4-SERVE-002 v1 MUST When the admission ring is full, POST /runs answers 429 with a Retry-After header instead of blocking or silently dropping the request.
+//sync4:req SYNC4-SERVE-003 v1 MUST The 429 Retry-After hint grows with the backlog, so bounced clients spread their retries instead of returning in lockstep.
+//sync4:req SYNC4-SERVE-004 v1 MUST While draining or degraded, POST /runs answers 503 with a Retry-After header; existing jobs and reads keep being served.
+//sync4:req SYNC4-SERVE-005 v1 MUST Identical in-flight submissions coalesce onto one job: the creating request gets 202, later twins get 200 with the same job marked deduped.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var sp Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -232,6 +238,8 @@ func (s *Server) retryAfterSeconds() int {
 // the process can serve HTTP — draining and degraded are reported in the
 // status field but are readiness concerns (GET /readyz), not liveness
 // ones: restarting a draining or degraded daemon would only lose work.
+//
+//sync4:req SYNC4-SERVE-006 v1 MUST GET /healthz answers 200 whenever the process can serve HTTP — including while draining or degraded; liveness never reports readiness conditions as failure.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	switch {
@@ -252,6 +260,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // while draining or degraded (with the reasons), 200 otherwise. The
 // degraded check probes the journal first, so a cleared disk fault flips
 // the daemon back to ready on the next probe without a restart.
+//
+//sync4:req SYNC4-SERVE-007 v1 MUST GET /readyz answers 503 with reasons while draining or degraded, re-probes the journal on every check, and returns to 200 on its own once the write path recovers.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	var reasons []string
 	if s.draining.Load() {

@@ -51,6 +51,8 @@ func newFaultyServer(t *testing.T, cfg Config) (*Server, *resultstore.Store, *re
 // keeps serving reads, refuses writes with 503, reports not-ready on
 // /readyz while staying alive on /healthz — and recovers by itself once
 // the fault clears.
+//
+//sync4:covers SYNC4-SERVE-004 SYNC4-SERVE-008
 func TestDegradedModeServesReadsAndRecovers(t *testing.T) {
 	bench := &gatedBench{name: "gated"} // nil gate: runs complete instantly
 	s, store, faults := newFaultyServer(t, Config{
@@ -146,6 +148,8 @@ func TestDegradedModeServesReadsAndRecovers(t *testing.T) {
 // TestReadyzRecoveryProbe: the readiness endpooint itself clears degraded
 // mode once the journal works again, so an orchestrator's health checks
 // drive recovery without any submission traffic.
+//
+//sync4:covers SYNC4-SERVE-007
 func TestReadyzRecoveryProbe(t *testing.T) {
 	bench := &gatedBench{name: "gated"}
 	s, _, faults := newFaultyServer(t, Config{
@@ -179,6 +183,8 @@ func TestReadyzRecoveryProbe(t *testing.T) {
 // with a timeout error instead of occupying its worker forever. The rep
 // watchdog is pushed out of the way so the job-level deadline is what
 // fires.
+//
+//sync4:covers SYNC4-SERVE-011
 func TestJobTimeoutFailsJob(t *testing.T) {
 	gate := make(chan struct{})
 	t.Cleanup(func() { close(gate) })
@@ -219,6 +225,8 @@ func wedgeOrFreeResolver(gate chan struct{}) func(string) (core.Benchmark, error
 // TestStalledJobEmitsDiagnosis: a repetition that wedges under the armed
 // watchdog fails the job with a stall event and a diagnosis summary in
 // the job view, and the worker moves on.
+//
+//sync4:covers SYNC4-SERVE-011
 func TestStalledJobEmitsDiagnosis(t *testing.T) {
 	gate := make(chan struct{})
 	t.Cleanup(func() { close(gate) })
@@ -254,6 +262,8 @@ func TestStalledJobEmitsDiagnosis(t *testing.T) {
 
 // TestAdaptiveRetryAfter: the 429 Retry-After hint grows with the
 // backlog instead of sitting at a constant.
+//
+//sync4:covers SYNC4-SERVE-003
 func TestAdaptiveRetryAfter(t *testing.T) {
 	gate := make(chan struct{})
 	bench := &gatedBench{name: "gated", gate: gate}
@@ -293,6 +303,8 @@ func TestAdaptiveRetryAfter(t *testing.T) {
 
 // TestHealthzLivenessDuringDrain: draining is a readiness signal, not a
 // liveness one.
+//
+//sync4:covers SYNC4-SERVE-006
 func TestHealthzLivenessDuringDrain(t *testing.T) {
 	gate := make(chan struct{})
 	bench := &gatedBench{name: "gated", gate: gate}

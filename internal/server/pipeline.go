@@ -417,6 +417,8 @@ func (s *Server) measure(j *Job) error {
 // decorateTimeout distinguishes "the job blew its execution budget" from
 // "the server is shutting down": both surface as context errors from the
 // harness, but only the former is the job's own fault.
+//
+//sync4:req SYNC4-SERVE-011 v1 MUST A job exceeding its execution budget fails with a timeout error naming the budget (and, when the watchdog fires, a structured stall diagnosis) instead of hanging a worker.
 func (s *Server) decorateTimeout(err error) error {
 	if errors.Is(err, context.DeadlineExceeded) && s.jobCtx.Err() == nil {
 		return fmt.Errorf("job exceeded its %v execution timeout: %w", s.cfg.JobTimeout, err)

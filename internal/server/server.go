@@ -282,6 +282,8 @@ func (s *Server) Degraded() bool { return s.degraded.Load() }
 // write path works again (clearing degraded mode) — called from the
 // admission path and the readiness probe so recovery needs no operator
 // action beyond fixing the disk.
+//
+//sync4:req SYNC4-SERVE-008 v1 MUST A result-journal write-path fault degrades the daemon to read-only (writes 503, reads served) and degraded mode clears itself on the next successful probe, with no restart.
 func (s *Server) probeRecovery() bool {
 	if !s.degraded.Load() {
 		return true
@@ -334,6 +336,9 @@ func (s *Server) QueueDepth() int { return s.queue.Len() }
 // each still reaches a terminal state and a journal line before Drain
 // returns. Drain is idempotent; concurrent calls all block until the
 // pipeline is quiet.
+//
+//sync4:req SYNC4-SERVE-009 v1 MUST Graceful drain stops admission, lets every accepted job finish, and flushes the journal before stopping the workers.
+//sync4:req SYNC4-SERVE-010 v1 MUST A forced drain (deadline expired) cancels in-flight jobs at a repetition boundary, and every accepted job still reaches a terminal state and a journal line before Drain returns.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan struct{})

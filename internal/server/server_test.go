@@ -249,6 +249,8 @@ func TestSSEDuringRun(t *testing.T) {
 // TestBackpressure fills the ring behind a gated worker and asserts the
 // next submission bounces with 429, then that the bounced spec succeeds
 // once the pipeline drains.
+//
+//sync4:covers SYNC4-SERVE-002
 func TestBackpressure(t *testing.T) {
 	gate := make(chan struct{})
 	bench := &gatedBench{name: "gated", gate: gate}
@@ -305,6 +307,8 @@ func TestBackpressure(t *testing.T) {
 
 // TestSingleflightDedup submits the same spec twice while the first copy is
 // still active and expects the second to ride along.
+//
+//sync4:covers SYNC4-SERVE-005
 func TestSingleflightDedup(t *testing.T) {
 	gate := make(chan struct{})
 	bench := &gatedBench{name: "gated", gate: gate}
@@ -349,6 +353,8 @@ func TestSingleflightDedup(t *testing.T) {
 // TestDrainCompletesInFlight starts a drain with one job running and one
 // queued, verifies admission flips to 503, and checks both jobs complete
 // and are journaled before Drain returns.
+//
+//sync4:covers SYNC4-SERVE-004 SYNC4-SERVE-009
 func TestDrainCompletesInFlight(t *testing.T) {
 	gate := make(chan struct{})
 	bench := &gatedBench{name: "gated", gate: gate}
@@ -405,6 +411,8 @@ func TestDrainCompletesInFlight(t *testing.T) {
 // TestForcedDrainCancels expires the drain deadline while a job is stuck
 // in-flight; cancellation must reach it at the repetition boundary, and the
 // job must still end terminal and journaled.
+//
+//sync4:covers SYNC4-SERVE-010
 func TestForcedDrainCancels(t *testing.T) {
 	gate := make(chan struct{}, 1)
 	bench := &gatedBench{name: "gated", gate: gate}
@@ -542,6 +550,8 @@ func TestMetricsExposition(t *testing.T) {
 }
 
 // TestBadRequests exercises the 400/404 surfaces.
+//
+//sync4:covers SYNC4-SERVE-001
 func TestBadRequests(t *testing.T) {
 	s, _ := newTestServer(t, Config{Workers: 1, QueueCapacity: 4})
 	ts := httptest.NewServer(s.Handler())

@@ -20,6 +20,8 @@ type Kit interface {
 	Name() string
 
 	// NewBarrier returns a barrier for n participants. n must be >= 1.
+	//
+	//sync4:req SYNC4-KIT-002 v1 MUST NewBarrier(n) returns a barrier that synchronizes exactly n participants per episode for any n >= 1.
 	NewBarrier(n int) Barrier
 
 	// NewLock returns a mutual-exclusion lock.
@@ -40,6 +42,8 @@ type Kit interface {
 
 	// NewQueue returns a FIFO task queue with the given capacity.
 	// Capacity must be >= 1; queues never grow.
+	//
+	//sync4:req SYNC4-KIT-003 v1 MAY A kit rounds a queue's requested capacity up to an implementation minimum (the lock-free ring needs two slots), provided fullness stays finitely reportable and no accepted element is dropped.
 	NewQueue(capacity int) Queue
 
 	// NewStack returns a LIFO task stack.

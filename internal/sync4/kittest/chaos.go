@@ -22,6 +22,8 @@ import (
 //
 // The same seed must pass for every kit; both kits run it in sync4's
 // tests.
+//
+//sync4:req SYNC4-FAULT-001 v1 MUST A kit satisfies the unchanged behavioral contract under any semantics-preserving fault schedule (injected delays, stragglers, spurious wakes); the same seed passes for every kit.
 func FaultConformance(t *testing.T, kit sync4.Kit, seed int64) {
 	t.Helper()
 	t.Run("MildSchedule", func(t *testing.T) {
@@ -38,6 +40,8 @@ func FaultConformance(t *testing.T, kit sync4.Kit, seed int64) {
 // testBarrierStragglers reruns the barrier round-trip contract with every
 // other arrival delayed: the worst case for a spin barrier is one worker
 // reaching the episode long after the rest are spinning on the phase.
+//
+//sync4:req SYNC4-FAULT-002 v1 MUST Barrier episode semantics survive straggler schedules: arbitrarily delayed arrivals release no participant early and lose no episode.
 func testBarrierStragglers(t *testing.T, kit sync4.Kit, seed int64) {
 	inj := faulty.New(faulty.Plan{Seed: seed, Straggler: 0.5, Delay: 0.05, SleepEvery: 8})
 	testBarrier(t, inj.Wrap(kit))
@@ -49,6 +53,8 @@ func testBarrierStragglers(t *testing.T, kit sync4.Kit, seed int64) {
 // testFlagSpuriousWake drives Flag under spurious-wakeup injection: every
 // waiter may wake, observe the flag unset, and re-block — and must still
 // only return once the flag is set.
+//
+//sync4:req SYNC4-FAULT-003 v1 MUST Flag.Wait tolerates spurious wakeups: a waiter that wakes with the flag unset re-blocks, and no Wait returns before Set even under total spurious-wake injection.
 func testFlagSpuriousWake(t *testing.T, kit sync4.Kit, seed int64) {
 	inj := faulty.New(faulty.Plan{Seed: seed, SpuriousWake: 1.0, Delay: 0.1})
 	fk := inj.Wrap(kit)
@@ -112,6 +118,8 @@ func tryGetBounded(q sync4.Queue, tries int) (int64, bool) {
 // back every accepted element in order, and report truly-empty after the
 // drain. FlapBurst bounds consecutive spurious failures, so FlapBurst+1
 // attempts distinguish a flap from the real condition.
+//
+//sync4:req SYNC4-FAULT-004 v1 MUST A capacity-1 queue under bounded Try-operation flapping still reports truly-full after finitely many accepts, hands back every accepted element in order, and reports truly-empty after the drain.
 func testQueueFlapCapacityFloor(t *testing.T, kit sync4.Kit, seed int64) {
 	plan := faulty.Aggressive(seed)
 	inj := faulty.New(plan)
@@ -148,6 +156,8 @@ func testQueueFlapCapacityFloor(t *testing.T, kit sync4.Kit, seed int64) {
 // testQueueFlapConcurrent checks that flapping consumers lose and
 // duplicate nothing: producers block in Put, consumers retry spuriously
 // empty TryGets, and the drained value set must be exact.
+//
+//sync4:req SYNC4-FAULT-005 v1 MUST Concurrent queue exchange under flapping Try operations neither loses nor duplicates elements.
 func testQueueFlapConcurrent(t *testing.T, kit sync4.Kit, seed int64) {
 	plan := faulty.Aggressive(seed)
 	inj := faulty.New(plan)
@@ -208,6 +218,8 @@ func testQueueFlapConcurrent(t *testing.T, kit sync4.Kit, seed int64) {
 // testStackFlapDrain pushes through a flapping stack and drains with
 // bounded retry: LIFO order must survive and truly-empty must be
 // distinguishable from a spurious empty.
+//
+//sync4:req SYNC4-FAULT-006 v1 MUST Stack LIFO order survives bounded Try-operation flapping, and FlapBurst+1 retries distinguish a spurious empty from a real one.
 func testStackFlapDrain(t *testing.T, kit sync4.Kit, seed int64) {
 	plan := faulty.Aggressive(seed)
 	inj := faulty.New(plan)

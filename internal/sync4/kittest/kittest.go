@@ -16,6 +16,9 @@ import (
 )
 
 // Conformance runs the full behavioral contract against kit.
+//
+//sync4:req SYNC4-KIT-001 v1 MUST A kit's constructs interoperate: any mix of barriers, counters, locks, queues and stacks obtained from one kit satisfies the full behavioral contract when used together in one workload.
+//sync4:covers SYNC4-KIT-002 SYNC4-KIT-003
 func Conformance(t *testing.T, kit sync4.Kit) {
 	t.Helper()
 	t.Run("BarrierRoundTrips", func(t *testing.T) { testBarrier(t, kit) })
@@ -40,6 +43,9 @@ func Conformance(t *testing.T, kit sync4.Kit) {
 // testBarrier checks that no participant can start episode e+1 before all
 // have finished episode e: each thread writes to a per-episode counter and
 // after the barrier asserts everyone has written.
+//
+//sync4:req SYNC4-BARRIER-001 v1 MUST A barrier for n participants releases no Wait call of episode e until all n participants of episode e have arrived.
+//sync4:req SYNC4-BARRIER-002 v1 MUST A barrier is reusable: consecutive episodes synchronize the same group again with no reinitialization.
 func testBarrier(t *testing.T, kit sync4.Kit) {
 	const threads = 8
 	const episodes = 50
@@ -72,6 +78,7 @@ func testBarrier(t *testing.T, kit sync4.Kit) {
 	}
 }
 
+//sync4:req SYNC4-BARRIER-003 v1 MUST A single-participant barrier's Wait returns immediately, every episode, without deadlock.
 func testBarrierSingle(t *testing.T, kit sync4.Kit) {
 	b := kit.NewBarrier(1)
 	for i := 0; i < 100; i++ {
@@ -79,6 +86,7 @@ func testBarrierSingle(t *testing.T, kit sync4.Kit) {
 	}
 }
 
+//sync4:req SYNC4-LOCK-001 v1 MUST A lock provides mutual exclusion: plain read-modify-write updates to shared memory performed inside Lock/Unlock lose no updates under concurrency.
 func testLock(t *testing.T, kit sync4.Kit) {
 	const threads = 8
 	const iters = 2000
@@ -102,6 +110,7 @@ func testLock(t *testing.T, kit sync4.Kit) {
 	}
 }
 
+//sync4:req SYNC4-COUNTER-001 v1 MUST Concurrent Counter.Inc calls are linearizable: n threads performing k increments each leave the counter at exactly n*k.
 func testCounter(t *testing.T, kit sync4.Kit) {
 	const threads = 8
 	const iters = 5000
@@ -122,6 +131,7 @@ func testCounter(t *testing.T, kit sync4.Kit) {
 	}
 }
 
+//sync4:req SYNC4-COUNTER-002 v1 MUST Counter.Add returns the post-update value, Inc is equivalent to Add(1), negative deltas decrement, and Load observes the value of a preceding Store.
 func testCounterSemantics(t *testing.T, kit sync4.Kit) {
 	c := kit.NewCounter()
 	if got := c.Add(5); got != 5 {
@@ -139,6 +149,7 @@ func testCounterSemantics(t *testing.T, kit sync4.Kit) {
 	}
 }
 
+//sync4:req SYNC4-ACCUM-001 v1 MUST Concurrent Accumulator.Add calls lose no contribution: the final sum equals the exact sum of every added value when all addends are equal (no rounding ambiguity).
 func testAccumulator(t *testing.T, kit sync4.Kit) {
 	const threads = 8
 	const iters = 2000
@@ -163,6 +174,8 @@ func testAccumulator(t *testing.T, kit sync4.Kit) {
 // testAccumulatorQuick property: accumulating any float slice sequentially
 // through the construct equals the plain fold (no reordering happens with a
 // single goroutine, so the result must be exact).
+//
+//sync4:req SYNC4-ACCUM-002 v1 MUST Single-goroutine accumulation is exact: folding any finite float64 sequence through Add equals the plain sequential sum bit-for-bit.
 func testAccumulatorQuick(t *testing.T, kit sync4.Kit) {
 	f := func(xs []float64) bool {
 		a := kit.NewAccumulator()
@@ -181,6 +194,7 @@ func testAccumulatorQuick(t *testing.T, kit sync4.Kit) {
 	}
 }
 
+//sync4:req SYNC4-MINMAX-001 v1 MUST Concurrent MinMax.Update calls converge to the global extrema of all submitted values, and Reset restores Min to +Inf and Max to -Inf.
 func testMinMax(t *testing.T, kit sync4.Kit) {
 	const threads = 8
 	m := kit.NewMinMax()
@@ -207,6 +221,7 @@ func testMinMax(t *testing.T, kit sync4.Kit) {
 	}
 }
 
+//sync4:req SYNC4-MINMAX-002 v1 MUST Sequential MinMax tracking is exact for any finite float64 sequence, NaN inputs excluded.
 func testMinMaxQuick(t *testing.T, kit sync4.Kit) {
 	f := func(xs []float64) bool {
 		m := kit.NewMinMax()
@@ -230,6 +245,9 @@ func testMinMaxQuick(t *testing.T, kit sync4.Kit) {
 	}
 }
 
+//sync4:req SYNC4-FLAG-001 v1 MUST A flag is created unset and IsSet reports false until Set is called.
+//sync4:req SYNC4-FLAG-002 v1 MUST Flag.Set releases every current and future waiter, and no Wait returns before Set.
+//sync4:req SYNC4-FLAG-003 v1 MUST Flag.Wait on an already-set flag returns immediately.
 func testFlag(t *testing.T, kit sync4.Kit) {
 	f := kit.NewFlag()
 	if f.IsSet() {
@@ -257,6 +275,7 @@ func testFlag(t *testing.T, kit sync4.Kit) {
 	f.Wait() // waiting on a set flag returns immediately
 }
 
+//sync4:req SYNC4-QUEUE-001 v1 MUST A queue dequeues single-threaded elements in FIFO order, Len reports the enqueued count, and TryGet on an empty queue reports false.
 func testQueueFIFO(t *testing.T, kit sync4.Kit) {
 	q := kit.NewQueue(16)
 	for i := int64(0); i < 10; i++ {
@@ -276,6 +295,7 @@ func testQueueFIFO(t *testing.T, kit sync4.Kit) {
 	}
 }
 
+//sync4:req SYNC4-QUEUE-002 v1 MUST A queue accepts at least its requested capacity, TryPut reports full after finitely many accepts, and draining recovers the space.
 func testQueueCapacity(t *testing.T, kit sync4.Kit) {
 	q := kit.NewQueue(4)
 	n := 0
@@ -304,6 +324,8 @@ func testQueueCapacity(t *testing.T, kit sync4.Kit) {
 // must still report full after finitely many accepts and must hand back
 // every element it accepted — a one-slot Vyukov ring fails the second part
 // by silently overwriting the pending element.
+//
+//sync4:req SYNC4-QUEUE-003 v1 MUST A capacity-1 queue hands back, in order, every element it accepted; rounded-up capacity never excuses overwriting a pending element.
 func testQueueCapacityOne(t *testing.T, kit sync4.Kit) {
 	q := kit.NewQueue(1)
 	var put []int64
@@ -332,6 +354,8 @@ func testQueueCapacityOne(t *testing.T, kit sync4.Kit) {
 
 // testQueuePutBlocks fills a queue, starts a producer that must block in
 // Put, then drains one slot and checks the producer's value arrives.
+//
+//sync4:req SYNC4-QUEUE-004 v1 MUST Queue.Put on a full queue blocks until space frees, then completes, and the blocked value is eventually dequeued.
 func testQueuePutBlocks(t *testing.T, kit sync4.Kit) {
 	q := kit.NewQueue(2)
 	for q.TryPut(1) {
@@ -369,6 +393,7 @@ func testQueuePutBlocks(t *testing.T, kit sync4.Kit) {
 	}
 }
 
+//sync4:req SYNC4-QUEUE-005 v1 MUST Under concurrent multi-producer multi-consumer use, a queue neither loses nor duplicates elements: the consumed multiset equals the produced multiset.
 func testQueueConcurrent(t *testing.T, kit sync4.Kit) {
 	const producers = 4
 	const consumers = 4
@@ -433,6 +458,7 @@ func testQueueConcurrent(t *testing.T, kit sync4.Kit) {
 	}
 }
 
+//sync4:req SYNC4-STACK-001 v1 MUST A stack pops single-threaded elements in LIFO order, Len reports the pushed count, and TryPop on an empty stack reports false.
 func testStackLIFO(t *testing.T, kit sync4.Kit) {
 	s := kit.NewStack()
 	for i := int64(0); i < 10; i++ {
@@ -452,6 +478,7 @@ func testStackLIFO(t *testing.T, kit sync4.Kit) {
 	}
 }
 
+//sync4:req SYNC4-STACK-002 v1 MUST Under concurrent push/pop pressure, a stack neither loses nor duplicates elements: drained values form the exact pushed set.
 func testStackConcurrent(t *testing.T, kit sync4.Kit) {
 	const threads = 8
 	const perThread = 2500

@@ -14,6 +14,8 @@ import (
 // testing.AllocsPerRun. The probes deliberately take the fast, uncontended
 // path — the zero-alloc contract is about steady state, not about proving
 // liveness (the conformance and chaos suites do that).
+//
+//sync4:req SYNC4-ALLOC-002 v1 SHOULD Construct factory methods preallocate everything their operations need, so steady-state probes can run back-to-back with no per-operation setup.
 func ZeroAllocProbes(kit sync4.Kit) map[string]func() {
 	b := kit.NewBarrier(1) // single-party barrier: Wait returns immediately
 	l := kit.NewLock()
@@ -68,6 +70,9 @@ func ZeroAllocProbes(kit sync4.Kit) map[string]func() {
 // analyzer: the analyzer proves no allocation site is statically reachable,
 // this proves the dynamic paths (interface dispatch the analyzer cannot
 // follow) allocate nothing either.
+//
+//sync4:req SYNC4-ALLOC-001 v1 MUST Steady-state fast-path construct operations (uncontended waits, counter updates, queue and stack transfers) perform zero heap allocations per operation.
+//sync4:covers SYNC4-ALLOC-002
 func ZeroAlloc(t *testing.T, kit sync4.Kit) {
 	t.Helper()
 	probes := ZeroAllocProbes(kit)

@@ -1,0 +1,37 @@
+package sync4_test
+
+import (
+	"testing"
+
+	"repro/internal/sync4"
+	"repro/internal/sync4/classic"
+	"repro/internal/sync4/kittest"
+	"repro/internal/sync4/lockfree"
+)
+
+// TestRegistryDrivesAllSuitesBothKits is the registry meta-test: every
+// suite in kittest.Suites() runs under both the classic and the lockfree
+// kit, and the baseline suites can never silently drop out of the registry.
+// Per-kit packages keep their own direct drivers; this test closes the gap
+// where a newly added suite is wired into neither.
+func TestRegistryDrivesAllSuitesBothKits(t *testing.T) {
+	baseline := map[string]bool{
+		"Conformance":      false,
+		"FaultConformance": false,
+		"ZeroAlloc":        false,
+	}
+	kits := []sync4.Kit{classic.New(), lockfree.New()}
+	for _, suite := range kittest.Suites() {
+		if _, tracked := baseline[suite.Name]; tracked {
+			baseline[suite.Name] = true
+		}
+		for _, kit := range kits {
+			t.Run(suite.Name+"/"+kit.Name(), func(t *testing.T) { suite.Run(t, kit) })
+		}
+	}
+	for name, present := range baseline {
+		if !present {
+			t.Errorf("baseline conformance suite %q is missing from kittest.Suites(); restore it so both kits keep running it", name)
+		}
+	}
+}
