@@ -18,6 +18,11 @@
 #   make cluster-smoke boot a 3-node loopback cluster and drive routing,
 #                     journal shipping, work stealing, node kill with
 #                     reclaim, and cluster-wide /compare census identity
+#   make cluster-chaos partition-tolerance gate: the 3-node cluster through
+#                     a pinned-seed fault schedule (asymmetric partition
+#                     during stealing, latency storm during shipping,
+#                     origin crash-restart mid-tail) ending with zero lost
+#                     jobs and byte-identical 3-way /compare after heal
 #   make conformance  verify docs/CONFORMANCE.md matches the tree's
 #                     //sync4:req tags byte for byte and every MUST-level
 #                     requirement has a covering conformance test
@@ -28,7 +33,7 @@ TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)
 CHAOS_SEED ?= 42
 TRAFFIC_SEED ?= 42
 
-.PHONY: check vet allocs-gate race test build bench trace-smoke serve-smoke chaos traffic-gate cluster-smoke conformance conformance-gen
+.PHONY: check vet allocs-gate race test build bench trace-smoke serve-smoke chaos traffic-gate cluster-smoke cluster-chaos conformance conformance-gen
 
 check: build
 	$(GO) vet ./...
@@ -113,6 +118,21 @@ traffic-gate:
 cluster-smoke:
 	$(GO) run ./cmd/splash4d -cluster-smoke -out BENCH_cluster.json
 	@echo "cluster-smoke: ok"
+
+# cluster-chaos is the partition-tolerance gate: a 3-node in-process cluster
+# behind seeded fault-injecting transports driven through the full failure
+# schedule — baseline census identity, an asymmetric partition during
+# stealing (completions die in transit, breaker opens, deadline reclaim
+# takes the loans home, heal closes the breaker through a half-open trial),
+# a latency storm that forces hedged journal fetches, and an origin
+# crash-restart whose truncated journal and new generation force the
+# anti-entropy resync. Zero lost jobs, breaker transitions on /metrics, and
+# a byte-identical 3-way /compare are required. The report lands in
+# BENCH_cluster_chaos.json and the per-node fault decision log in
+# cluster-chaos-decisions.jsonl; failures reproduce with the same CHAOS_SEED.
+cluster-chaos:
+	$(GO) run ./cmd/splash4-chaos -cluster -chaos-seed $(CHAOS_SEED) -out BENCH_cluster_chaos.json -decisions cluster-chaos-decisions.jsonl
+	@echo "cluster-chaos: ok"
 
 # conformance is the spec drift gate: regenerate the conformance document
 # in memory from the tree's //sync4:req tags and fail on any byte of

@@ -14,7 +14,9 @@
 // byte-identical report output, so the gate artifact is diffable across
 // CI runs. Live mode drives real HTTP traffic — against -target (a
 // comma-separated list round-robins submissions across cluster nodes;
-// each job is polled on the node that accepted it), or against a
+// each job is polled on the node that accepted it, and a connection error
+// or non-503 5xx fails the attempt over to the next node, counted in the
+// report's failovers field), or against a
 // self-hosted loopback splash4d when -target is empty — and
 // verifies the client retry contract end to end: 429s carry an in-range
 // Retry-After that the client honors, dedup-hostile clumps are answered by
@@ -212,13 +214,14 @@ func runLive(p liveParams) error {
 		accepted, deduped, rejected, unavail, errCount := res.Counts()
 		sr := loadgen.Gate(shape, p.requests, res.LatencyHist(),
 			accepted, deduped, rejected, errCount, slos[shape])
+		sr.Failovers = res.FailoverCount()
 		rep.Shapes = append(rep.Shapes, sr)
 		for _, v := range res.Violations() {
 			check(false, "%s: %s", shape, v)
 		}
-		log.Printf("live %-14s p50=%6.1fms p99=%6.1fms accepted=%d deduped=%d 429=%d 503=%d errors=%d pass=%v",
+		log.Printf("live %-14s p50=%6.1fms p99=%6.1fms accepted=%d deduped=%d 429=%d 503=%d errors=%d failovers=%d pass=%v",
 			shape, float64(sr.P50NS)/1e6, float64(sr.P99NS)/1e6,
-			accepted, deduped, rejected, unavail, errCount, sr.Pass)
+			accepted, deduped, rejected, unavail, errCount, sr.Failovers, sr.Pass)
 
 		switch shape {
 		case loadgen.ShapeBurst:

@@ -372,10 +372,12 @@ func parseSince(s string) (int, bool) {
 }
 
 // specScoped reports whether a package path belongs to the spec surface the
-// req-untagged analyzer polices: the sync4 kit layer and the splash4d
-// server, whose doc comments are where the contract lives.
+// req-untagged analyzer polices: the sync4 kit layer, the splash4d server,
+// and the cluster layer, whose doc comments are where the contract lives.
 func specScoped(pkgPath string) bool {
-	return strings.Contains(pkgPath, "internal/sync4") || strings.Contains(pkgPath, "internal/server")
+	return strings.Contains(pkgPath, "internal/sync4") ||
+		strings.Contains(pkgPath, "internal/server") ||
+		strings.Contains(pkgPath, "internal/cluster")
 }
 
 // specVersionOf resolves the current conformance document version: the

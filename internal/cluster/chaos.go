@@ -1,0 +1,705 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster/netfaulty"
+	"repro/internal/cluster/peernet"
+	"repro/internal/core"
+	"repro/internal/resultstore"
+	"repro/internal/server"
+)
+
+// The cluster chaos gate. RunChaos boots a real 3-node cluster on loopback
+// sockets, puts every peer exchange behind a netfaulty transport with a
+// pinned seed, and drives the partition-tolerance machinery through its
+// designed failure modes in order:
+//
+//	A. Baseline: routed submissions complete, journals replicate, and
+//	   /compare answers byte-identically from all three nodes.
+//	B. Asymmetric partition during stealing: node c steals node a's
+//	   backlog while every c→a data exchange is dropped and a→c still
+//	   flows. c's completions die in transit, a's reclaim deadline takes
+//	   the jobs home, c's breaker for a opens, and after the heal it walks
+//	   back to closed through a half-open trial. No job is lost.
+//	C. Latency storm on the journal tail: b's fetches of a's journal are
+//	   held past the hedge delay, so hedged second requests fire.
+//	D. Origin crash-restart mid-tail: a is killed, its journal loses its
+//	   last record, and it restarts in place under a new journal
+//	   generation. The followers' shippers park on the generation change
+//	   and the anti-entropy repair pass resyncs their replicas from offset
+//	   zero — without it (delete the resync in repair.go to try) the
+//	   survivors keep the dead generation's census and the final
+//	   three-way /compare diverges.
+//
+// The run ends with a convergence proof: every accepted job done, every
+// replica byte-caught-up, and a three-way byte-identical /compare. The
+// breaker, hedge, repair, and heal counters land in the ChaosReport
+// together with each node's netfaulty decision log, so a failure replays
+// from the seed.
+
+// ChaosConfig parameterizes one gate run.
+type ChaosConfig struct {
+	// Seed pins every node's fault schedule. Default 42.
+	Seed uint64
+	// Dir holds the node journals; a temp dir (removed afterwards) when
+	// empty.
+	Dir string
+	// Logf, when set, receives phase narration.
+	Logf func(format string, args ...any)
+}
+
+// ChaosReport is the gate's evidence: the counters the assertions checked
+// and the per-node fault decision logs.
+type ChaosReport struct {
+	Seed      uint64   `json:"seed"`
+	Nodes     []string `json:"nodes"`
+	JobsTotal int      `json:"jobs_total"`
+	JobsLost  int      `json:"jobs_lost"`
+
+	StolenByC          int64  `json:"stolen_by_c"`
+	BreakerTransitions int64  `json:"breaker_transitions_c_to_a"`
+	BreakerFinal       string `json:"breaker_final_c_to_a"`
+	HedgedOnB          int64  `json:"hedged_on_b"`
+	ResyncsOnB         int64  `json:"resyncs_on_b"`
+	ResyncsOnC         int64  `json:"resyncs_on_c"`
+	RepairBytesOnB     int64  `json:"repair_bytes_on_b"`
+	PartitionHeals     int64  `json:"partition_heals_on_c"`
+
+	CompareBytes     int  `json:"compare_bytes"`
+	CompareIdentical bool `json:"compare_identical"`
+
+	Faults map[string]netfaulty.Report `json:"faults"`
+}
+
+// chaosGate wedges a node's workers on demand: wedge() makes every
+// subsequent Run block until release().
+type chaosGate struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func (g *chaosGate) wedge() {
+	g.mu.Lock()
+	g.ch = make(chan struct{})
+	g.mu.Unlock()
+}
+
+func (g *chaosGate) release() {
+	g.mu.Lock()
+	if g.ch != nil {
+		close(g.ch)
+		g.ch = nil
+	}
+	g.mu.Unlock()
+}
+
+func (g *chaosGate) wait() {
+	g.mu.Lock()
+	ch := g.ch
+	g.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+// chaosBench is the gate's workload: instant unless its node's gate is
+// wedged. Network chaos needs controllable job timing, not real kernels.
+type chaosBench struct {
+	name string
+	gate *chaosGate
+}
+
+func (b *chaosBench) Name() string        { return b.name }
+func (b *chaosBench) Description() string { return "cluster chaos gate bench" }
+func (b *chaosBench) Prepare(core.Config) (core.Instance, error) {
+	return chaosInstance{b: b}, nil
+}
+
+type chaosInstance struct{ b *chaosBench }
+
+func (i chaosInstance) Run() error {
+	if i.b.gate != nil {
+		i.b.gate.wait()
+	}
+	return nil
+}
+func (i chaosInstance) Verify() error { return nil }
+
+// chaosNode is one in-process cluster node plus its fault transport.
+type chaosNode struct {
+	id     string
+	base   string
+	addr   string
+	ln     net.Listener
+	hs     *http.Server
+	srv    *server.Server
+	store  *resultstore.Store
+	cl     *Cluster
+	faults *netfaulty.Transport
+	gate   *chaosGate
+}
+
+func (n *chaosNode) shutdown() {
+	n.gate.release() // a failing run must not hang Close on wedged workers
+	if n.cl != nil {
+		n.cl.Kill()
+	}
+	if n.hs != nil {
+		n.hs.Close()
+	}
+	if n.srv != nil {
+		// A deadline, not Close: on a failing run jobs may still be out on
+		// loan to a partitioned thief, and only a forced drain fails those
+		// locally instead of waiting forever.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		n.srv.Drain(ctx)
+		cancel()
+	}
+	if n.store != nil {
+		n.store.Close()
+	}
+}
+
+// startChaosNode builds and starts one node on n.ln. The fault transport
+// wraps the production HTTP transport with a zero-probability plan — the
+// gate's schedule is directed rules installed at phase boundaries, so it is
+// exact rather than statistical, while every exchange still flows through
+// the fault layer and onto its decision log.
+func startChaosNode(n *chaosNode, dir string, seed uint64, peers map[string]string, logf func(string, ...any)) error {
+	store, err := resultstore.Open(filepath.Join(dir, n.id+".jsonl"))
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Store:  store,
+		NodeID: n.id,
+		Resolver: func(name string) (core.Benchmark, error) {
+			return &chaosBench{name: name, gate: n.gate}, nil
+		},
+		Workers:    chaosWorkers(n.id),
+		JobTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		store.Close()
+		return err
+	}
+	n.faults = netfaulty.New(peernet.NewHTTPTransport(2*time.Second),
+		netfaulty.Plan{Seed: seed, Record: 512})
+	ccfg := Config{
+		Self:            n.id,
+		Peers:           peers,
+		Server:          srv,
+		Transport:       n.faults,
+		HealthInterval:  25 * time.Millisecond,
+		ShipInterval:    15 * time.Millisecond,
+		StealInterval:   15 * time.Millisecond,
+		StealBatch:      4,
+		ReclaimAfter:    10 * time.Second,
+		HTTPTimeout:     2 * time.Second,
+		BreakerCooldown: 250 * time.Millisecond,
+		RetryBaseDelay:  5 * time.Millisecond,
+		HedgeAfter:      40 * time.Millisecond,
+		RepairInterval:  100 * time.Millisecond,
+		Logf:            logf,
+	}
+	switch n.id {
+	case "a":
+		// The designated victim: reclaims owed outcomes fast and never
+		// steals — its backlog is what the thief fights the partition over.
+		ccfg.ReclaimAfter = 250 * time.Millisecond
+		ccfg.StealInterval = time.Hour
+	case "b":
+		ccfg.StealInterval = time.Hour // only c steals: the partition phase is exact
+	}
+	cl, err := New(ccfg)
+	if err != nil {
+		srv.Close()
+		store.Close()
+		return err
+	}
+	n.store, n.srv, n.cl = store, srv, cl
+	n.hs = &http.Server{Handler: cl.Handler()}
+	go n.hs.Serve(n.ln)
+	cl.Start()
+	return nil
+}
+
+func chaosWorkers(id string) int {
+	if id == "a" {
+		return 1 // the backlog behind one wedged worker is what c steals
+	}
+	return 2
+}
+
+// RunChaos drives the full fault schedule and returns the evidence. Any
+// broken invariant returns an error naming the phase.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		td, err := os.MkdirTemp("", "splash4d-cluster-chaos-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(td)
+		dir = td
+	}
+
+	ids := []string{"a", "b", "c"}
+	nodes := make(map[string]*chaosNode, len(ids))
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		nodes[id] = &chaosNode{id: id, ln: ln, addr: ln.Addr().String(),
+			base: "http://" + ln.Addr().String(), gate: &chaosGate{}}
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.shutdown()
+		}
+	}()
+	for i, id := range ids {
+		peers := make(map[string]string, len(ids)-1)
+		for _, other := range ids {
+			if other != id {
+				peers[other] = nodes[other].base
+			}
+		}
+		if err := startChaosNode(nodes[id], dir, cfg.Seed+uint64(i), peers, logf); err != nil {
+			return nil, fmt.Errorf("starting node %s: %w", id, err)
+		}
+	}
+	a, b, c := nodes["a"], nodes["b"], nodes["c"]
+	rep := &ChaosReport{Seed: cfg.Seed, Nodes: ids}
+
+	if err := chaosAwaitMesh(nodes); err != nil {
+		return nil, fmt.Errorf("mesh: %w", err)
+	}
+	logf("cluster-chaos: 3 nodes up (seed %d)", cfg.Seed)
+
+	// ---- Phase A: baseline under a clean network. -------------------------
+	var baseline []string
+	entry := []*chaosNode{a, b, c}
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, kit := range []string{"classic", "lockfree"} {
+			id, err := chaosSubmit(entry[seed%3].base, chaosSpec(kit, seed), false)
+			if err != nil {
+				return nil, fmt.Errorf("phase A submit: %w", err)
+			}
+			baseline = append(baseline, id)
+		}
+	}
+	if err := chaosAwaitDone(a.base, baseline); err != nil {
+		return nil, fmt.Errorf("phase A: %w", err)
+	}
+	rep.JobsTotal += len(baseline)
+	if err := chaosAwaitReplication(nodes); err != nil {
+		return nil, fmt.Errorf("phase A replication: %w", err)
+	}
+	if _, err := chaosCompare(nodes); err != nil {
+		return nil, fmt.Errorf("phase A: %w", err)
+	}
+	logf("cluster-chaos: phase A baseline OK (%d jobs, 3-way compare identical)", len(baseline))
+
+	// ---- Phase B: asymmetric partition during stealing. -------------------
+	// Stage one drops c→a data exchanges (completion, re-probe, journal)
+	// while health and steal still flow: thefts keep happening, every
+	// completion dies in transit, and the failing gated traffic trips c's
+	// breaker for a. Health must keep flowing here — the shipper and
+	// stealer only talk to peers they believe are up.
+	c.faults.Partition("a", peernet.EndpointComplete, peernet.EndpointStolenQ, peernet.EndpointJournal)
+	a.gate.wedge()
+	var pinned []string
+	for seed := int64(100); seed < 106; seed++ {
+		id, err := chaosSubmit(a.base, chaosSpec("lockfree", seed), true)
+		if err != nil {
+			return nil, fmt.Errorf("phase B submit: %w", err)
+		}
+		pinned = append(pinned, id)
+	}
+	rep.JobsTotal += len(pinned)
+	if err := chaosPoll(10*time.Second, "c never lost a completion against the partition", func() bool {
+		return c.cl.stealErrors.Load() > 0 && a.srv.StolenCount() > 0
+	}); err != nil {
+		return nil, fmt.Errorf("phase B: %w", err)
+	}
+	if err := chaosPoll(10*time.Second, "c's breaker for a never opened", func() bool {
+		st, _ := c.cl.peers["a"].brk.snapshot()
+		return st == breakerOpen
+	}); err != nil {
+		return nil, fmt.Errorf("phase B: %w", err)
+	}
+	// Stage two: the full directed drop, health included. c must see a
+	// down while a still sees c up — the partition is asymmetric.
+	c.faults.Partition("a")
+	logf("cluster-chaos: phase B full partition installed (c→a dropped, a→c untouched)")
+	if err := chaosPoll(10*time.Second, "c never saw a down through the partition", func() bool {
+		return !c.cl.peers["a"].up.Load()
+	}); err != nil {
+		return nil, fmt.Errorf("phase B: %w", err)
+	}
+	if !a.cl.peers["c"].up.Load() {
+		return nil, fmt.Errorf("phase B: a sees c down — the partition was supposed to be asymmetric")
+	}
+	// a's reclaim deadline takes every owed loan home.
+	if err := chaosPoll(10*time.Second, "a never reclaimed its loans", func() bool {
+		return a.srv.StolenCount() == 0
+	}); err != nil {
+		return nil, fmt.Errorf("phase B: %w", err)
+	}
+	// Heal. c's prober counts the heal and the breaker walks back to
+	// closed through a half-open trial on the resuming journal traffic.
+	c.faults.Heal("a")
+	if err := chaosPoll(10*time.Second, "c's breaker for a never closed after the heal", func() bool {
+		st, _ := c.cl.peers["a"].brk.snapshot()
+		return st == breakerClosed && c.cl.peers["a"].up.Load()
+	}); err != nil {
+		return nil, fmt.Errorf("phase B: %w", err)
+	}
+	a.gate.release()
+	if err := chaosAwaitDone(a.base, pinned); err != nil {
+		return nil, fmt.Errorf("phase B (zero lost jobs): %w", err)
+	}
+	var st int32
+	st, rep.BreakerTransitions = c.cl.peers["a"].brk.snapshot()
+	rep.BreakerFinal = breakerStateName(st)
+	if rep.BreakerTransitions < 3 {
+		return nil, fmt.Errorf("phase B: breaker logged %d transitions, want the closed→open→half-open→closed walk", rep.BreakerTransitions)
+	}
+	if rep.PartitionHeals = c.cl.partitionHeals.v.Load(); rep.PartitionHeals == 0 {
+		return nil, fmt.Errorf("phase B: c counted no partition heal")
+	}
+	logf("cluster-chaos: phase B OK (%d jobs reclaimed home, breaker transitions %d)",
+		len(pinned), rep.BreakerTransitions)
+
+	// ---- Phase C: latency storm on the journal tail. ----------------------
+	b.faults.SetLatency("a", 160*time.Millisecond, peernet.EndpointJournal)
+	var stormy []string
+	for seed := int64(200); seed < 202; seed++ {
+		id, err := chaosSubmit(a.base, chaosSpec("lockfree", seed), true)
+		if err != nil {
+			return nil, fmt.Errorf("phase C submit: %w", err)
+		}
+		stormy = append(stormy, id)
+	}
+	rep.JobsTotal += len(stormy)
+	if err := chaosAwaitDone(a.base, stormy); err != nil {
+		return nil, fmt.Errorf("phase C: %w", err)
+	}
+	if err := chaosPoll(10*time.Second, "b never hedged a slow journal fetch", func() bool {
+		return b.cl.hedgedTotal.v.Load() > 0
+	}); err != nil {
+		return nil, fmt.Errorf("phase C: %w", err)
+	}
+	b.faults.Heal("a")
+	rep.HedgedOnB = b.cl.hedgedTotal.v.Load()
+	logf("cluster-chaos: phase C OK (%d hedged fetches under the latency storm)", rep.HedgedOnB)
+
+	// ---- Phase D: origin crash-restart mid-tail. --------------------------
+	// First make sure the followers fully tailed a's journal, so the
+	// record about to be truncated is one they already replicated — the
+	// resync must *remove* state, the hardest direction.
+	if err := chaosAwaitReplication(nodes); err != nil {
+		return nil, fmt.Errorf("phase D pre-kill replication: %w", err)
+	}
+	a.shutdown()
+	if err := chaosTruncateLastRecord(filepath.Join(dir, "a.jsonl")); err != nil {
+		return nil, fmt.Errorf("phase D truncate: %w", err)
+	}
+	logf("cluster-chaos: phase D killed a and truncated its journal's last record")
+	if err := chaosPoll(10*time.Second, "followers never saw a down after the kill", func() bool {
+		return !b.cl.peers["a"].up.Load() && !c.cl.peers["a"].up.Load()
+	}); err != nil {
+		return nil, fmt.Errorf("phase D: %w", err)
+	}
+	// Restart a in place: same address, same journal dir, fresh store open
+	// — which is a new journal generation by construction.
+	ln, err := chaosRebind(a.addr)
+	if err != nil {
+		return nil, fmt.Errorf("phase D rebind: %w", err)
+	}
+	restarted := &chaosNode{id: "a", ln: ln, addr: a.addr, base: a.base, gate: &chaosGate{}}
+	if err := startChaosNode(restarted, dir, cfg.Seed, map[string]string{"b": b.base, "c": c.base}, logf); err != nil {
+		return nil, fmt.Errorf("phase D restart: %w", err)
+	}
+	nodes["a"] = restarted
+	a = restarted
+	// The followers must notice the generation change and repair: their
+	// replicas drop to a's surviving record set, one record smaller than
+	// what they tailed before the crash.
+	for _, f := range []*chaosNode{b, c} {
+		f := f
+		if err := chaosPoll(15*time.Second, f.id+" never resynced a's replica after the restart", func() bool {
+			return f.cl.resyncs.v.Load() > 0 && f.cl.peers["a"].replica.Len() == len(a.srv.Store().All())
+		}); err != nil {
+			return nil, fmt.Errorf("phase D: %w", err)
+		}
+	}
+	rep.ResyncsOnB = b.cl.resyncs.v.Load()
+	rep.ResyncsOnC = c.cl.resyncs.v.Load()
+	rep.RepairBytesOnB = b.cl.repairBytes.v.Load()
+	if rep.RepairBytesOnB == 0 {
+		return nil, fmt.Errorf("phase D: repair pulled no bytes on b")
+	}
+	logf("cluster-chaos: phase D OK (resyncs b=%d c=%d, repair pulled %d bytes on b)",
+		rep.ResyncsOnB, rep.ResyncsOnC, rep.RepairBytesOnB)
+
+	// ---- Convergence proof. ----------------------------------------------
+	var final []string
+	for seed := int64(300); seed < 303; seed++ {
+		id, err := chaosSubmit(b.base, chaosSpec("lockfree", seed), false)
+		if err != nil {
+			return nil, fmt.Errorf("final submit: %w", err)
+		}
+		final = append(final, id)
+	}
+	rep.JobsTotal += len(final)
+	if err := chaosAwaitDone(b.base, final); err != nil {
+		return nil, fmt.Errorf("final jobs: %w", err)
+	}
+	if err := chaosAwaitReplication(nodes); err != nil {
+		return nil, fmt.Errorf("final replication: %w", err)
+	}
+	body, err := chaosCompare(nodes)
+	if err != nil {
+		return nil, fmt.Errorf("final census: %w", err)
+	}
+	rep.CompareBytes, rep.CompareIdentical = len(body), true
+	rep.StolenByC = c.cl.stolenTotal.Load() // informational: thefts that landed over the run
+
+	// The robustness counters must be visible on /metrics, not just in
+	// process state — the scrape and the decision log are the operator's
+	// view of the run.
+	if err := chaosCheckMetrics(c.base, []string{
+		`splash4d_peer_breaker_state{peer="a"}`,
+		`splash4d_peer_breaker_transitions_total{peer="a"}`,
+		`splash4d_peer_retries_total{endpoint=`,
+		"splash4d_journal_resyncs_total",
+		"splash4d_repair_bytes_total",
+		"splash4d_partition_heals_total",
+		"splash4d_hedged_requests_total",
+	}); err != nil {
+		return nil, fmt.Errorf("metrics exposition: %w", err)
+	}
+
+	rep.Faults = map[string]netfaulty.Report{
+		"b": b.faults.Report(), "c": c.faults.Report(),
+	}
+	logf("cluster-chaos: PASS (%d jobs, 0 lost, 3-way compare identical at %d bytes)",
+		rep.JobsTotal, rep.CompareBytes)
+	return rep, nil
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func chaosSpec(kit string, seed int64) string {
+	return fmt.Sprintf(`{"workload":"fft","kit":%q,"threads":2,"scale":"test","seed":%d,"reps":2}`, kit, seed)
+}
+
+// chaosSubmit POSTs one spec; pin forces local admission via the hop guard.
+func chaosSubmit(base, spec string, pin bool) (string, error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/runs", strings.NewReader(spec))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if pin {
+		req.Header.Set(forwardedByHeader, "chaos-pin")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("POST /runs = %d: %s", resp.StatusCode, raw)
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &view); err != nil || view.ID == "" {
+		return "", fmt.Errorf("submission response %q", raw)
+	}
+	return view.ID, nil
+}
+
+// chaosAwaitDone polls each job until done; an error state or a timeout is
+// a lost job.
+func chaosAwaitDone(base string, ids []string) error {
+	for _, id := range ids {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(base + "/runs/" + id)
+			if err != nil {
+				return err
+			}
+			var view struct {
+				Status string `json:"status"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&view)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if view.Status == "done" {
+				break
+			}
+			if view.Status == "error" {
+				return fmt.Errorf("job %s failed", id)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("job %s lost (stuck in %q)", id, view.Status)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// chaosPoll waits for cond, failing with msg on timeout.
+func chaosPoll(timeout time.Duration, msg string, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s", msg)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}
+
+// chaosAwaitReplication waits until every node's replica of every peer
+// journal holds exactly the peer's record census with zero ship lag.
+func chaosAwaitReplication(nodes map[string]*chaosNode) error {
+	for _, n := range nodes {
+		for pid, pn := range nodes {
+			if pid == n.id {
+				continue
+			}
+			n, pid, pn := n, pid, pn
+			if err := chaosPoll(20*time.Second,
+				fmt.Sprintf("node %s never caught up on %s's journal", n.id, pid), func() bool {
+					p := n.cl.peers[pid]
+					return p.replica.Len() == len(pn.srv.Store().All()) && p.shipLag() == 0
+				}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// chaosCompare asserts the census query answers byte-identically from all
+// three nodes and returns the body.
+func chaosCompare(nodes map[string]*chaosNode) ([]byte, error) {
+	const query = "/compare?workload=fft&threads=2&scale=test&seed=42&resamples=400"
+	var want []byte
+	for _, id := range []string{"a", "b", "c"} {
+		resp, err := http.Get(nodes[id].base + query)
+		if err != nil {
+			return nil, err
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("compare via %s: %d %s", id, resp.StatusCode, raw)
+		}
+		if want == nil {
+			want = raw
+			continue
+		}
+		if !bytes.Equal(raw, want) {
+			return nil, fmt.Errorf("census diverged: /compare via %s differs from a's answer", id)
+		}
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("empty compare body")
+	}
+	return want, nil
+}
+
+// chaosAwaitMesh waits until every node sees the whole ring healthy.
+func chaosAwaitMesh(nodes map[string]*chaosNode) error {
+	for _, n := range nodes {
+		n := n
+		if err := chaosPoll(10*time.Second, "node "+n.id+" never saw the full mesh", func() bool {
+			return len(n.cl.healthyNodes()) == len(nodes)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chaosTruncateLastRecord drops the journal's last line — the crash that
+// loses an acknowledged-but-unshipped suffix, the exact state anti-entropy
+// repair exists for.
+func chaosTruncateLastRecord(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	trimmed := bytes.TrimRight(data, "\n")
+	i := bytes.LastIndexByte(trimmed, '\n')
+	if i < 0 {
+		return fmt.Errorf("journal %s has fewer than two records", path)
+	}
+	return os.WriteFile(path, data[:i+1], 0o644)
+}
+
+// chaosRebind reopens a listener on the exact address a dead node held, so
+// the restarted node is reachable at the peers' configured base URL.
+func chaosRebind(addr string) (net.Listener, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// chaosCheckMetrics scrapes one node and requires every named series to be
+// present in the exposition.
+func chaosCheckMetrics(base string, series []string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	for _, s := range series {
+		if !bytes.Contains(raw, []byte(s)) {
+			return fmt.Errorf("series %s missing from /metrics", s)
+		}
+	}
+	return nil
+}

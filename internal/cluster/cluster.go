@@ -35,12 +35,12 @@ package cluster
 import (
 	"context"
 	"fmt"
-	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster/peernet"
 	"repro/internal/resultstore"
 	"repro/internal/server"
 )
@@ -69,6 +69,38 @@ type Config struct {
 	// HTTPTimeout bounds one peer HTTP exchange (except steal execution,
 	// which runs under the job budget). Default 10s.
 	HTTPTimeout time.Duration
+	// Transport performs peer exchanges. Nil takes the production HTTP
+	// transport; tests substitute a netfaulty-decorated one.
+	Transport peernet.PeerTransport
+	// BreakerWindow is the per-peer outcome window the circuit breaker
+	// judges failure rate over. Default 20.
+	BreakerWindow int
+	// BreakerMinSamples is the minimum window fill before the breaker may
+	// trip. Default 5.
+	BreakerMinSamples int
+	// BreakerCooldown is how long an open breaker refuses exchanges before
+	// admitting a half-open trial. Default 2s.
+	BreakerCooldown time.Duration
+	// RetryMax caps retries per exchange beyond the first attempt, on
+	// idempotent endpoints only. Default 2; negative disables retries.
+	RetryMax int
+	// RetryBaseDelay is the first backoff step; later steps double, with
+	// deterministic jitter. Default 25ms.
+	RetryBaseDelay time.Duration
+	// RetryBudget is the per-peer retry token bucket's burst size.
+	// Default 10.
+	RetryBudget int
+	// RetryBudgetRefill is the time to mint one retry token. Default 500ms.
+	RetryBudgetRefill time.Duration
+	// HedgeAfter is how long an idempotent read may go unanswered before a
+	// second identical request races it. Default 500ms; negative disables
+	// hedging.
+	HedgeAfter time.Duration
+	// RepairInterval paces the anti-entropy repair pass. Default 2s.
+	RepairInterval time.Duration
+	// RepairBurst caps journal chunks one repair pass pulls per peer while
+	// draining a backlog. Default 64.
+	RepairBurst int
 	// Logf, when set, receives cluster lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -104,6 +136,39 @@ func (c *Config) fill() error {
 	if c.HTTPTimeout <= 0 {
 		c.HTTPTimeout = 10 * time.Second
 	}
+	if c.Transport == nil {
+		c.Transport = peernet.NewHTTPTransport(c.HTTPTimeout)
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 20
+	}
+	if c.BreakerMinSamples <= 0 {
+		c.BreakerMinSamples = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 2
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 25 * time.Millisecond
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 10
+	}
+	if c.RetryBudgetRefill <= 0 {
+		c.RetryBudgetRefill = 500 * time.Millisecond
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 500 * time.Millisecond
+	}
+	if c.RepairInterval <= 0 {
+		c.RepairInterval = 2 * time.Second
+	}
+	if c.RepairBurst <= 0 {
+		c.RepairBurst = 64
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -124,6 +189,8 @@ type peer struct {
 	// keeps each writer off the others' lines.
 	up         atomic.Bool
 	_          [63]byte
+	everUp     atomic.Bool // saw at least one up probe; gates heal counting
+	_          [63]byte
 	queueDepth atomic.Int64
 	_          [56]byte
 
@@ -138,20 +205,47 @@ type peer struct {
 	skipped atomic.Int64
 	_       [56]byte
 
-	// tail buffers a torn trailing line between ship rounds.
+	// Journal generation tracking for anti-entropy repair: gen is the
+	// origin's last-advertised generation (health probe or journal
+	// response), syncedGen the generation the replica's bytes belong to.
+	// A mismatch means the origin restarted or replaced its journal; the
+	// repair pass resyncs the replica from offset zero (see repair.go).
+	gen       atomic.Uint64
+	_         [56]byte
+	syncedGen atomic.Uint64
+	_         [56]byte
+
+	// brk and budget are this peer's circuit breaker and retry bucket.
+	brk    *breaker
+	budget *retryBudget
+
+	// syncMu serializes one journal fetch-ingest-advance round against the
+	// repair pass's reset-and-refetch, so two pullers never ingest the
+	// same bytes twice.
+	syncMu sync.Mutex
+
+	// tail buffers a torn trailing line between ship rounds; guarded by
+	// tailMu, which nests inside syncMu on the fetch path.
 	tailMu sync.Mutex
 	tail   []byte
+}
+
+// padCounter is one cache-line-isolated counter for the per-endpoint
+// metric arrays.
+type padCounter struct {
+	v atomic.Int64
+	_ [56]byte
 }
 
 // Cluster is one node's cluster layer. Create with New, start with Start,
 // stop with Stop.
 type Cluster struct {
-	cfg   Config
-	srv   *server.Server
-	ring  *ring
-	peers map[string]*peer // by ID
-	order []string         // all node IDs incl. self, sorted
-	httpc *http.Client
+	cfg       Config
+	srv       *server.Server
+	ring      *ring
+	peers     map[string]*peer // by ID
+	order     []string         // all node IDs incl. self, sorted
+	transport peernet.PeerTransport
 
 	// Thief-side flow counters (the victim side lives in the server),
 	// bumped by the stealer, router, and shippers from different
@@ -169,6 +263,18 @@ type Cluster struct {
 	shipErrors     atomic.Int64
 	_              [56]byte
 
+	// Robustness counters: retries per endpoint (peernet.Endpoints
+	// order), hedged second requests, anti-entropy repair traffic,
+	// replica resyncs, and partition heals observed by the prober.
+	retries        []padCounter // one slot per peernet.Endpoints entry
+	hedgedTotal    padCounter
+	repairBytes    padCounter
+	resyncs        padCounter
+	partitionHeals padCounter
+	// jitterSeq drives deterministic backoff jitter.
+	jitterSeq atomic.Uint64
+	_         [56]byte
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -184,16 +290,21 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Cluster{
-		cfg:    cfg,
-		srv:    cfg.Server,
-		peers:  make(map[string]*peer, len(cfg.Peers)),
-		httpc:  &http.Client{Timeout: cfg.HTTPTimeout},
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:       cfg,
+		srv:       cfg.Server,
+		peers:     make(map[string]*peer, len(cfg.Peers)),
+		transport: cfg.Transport,
+		retries:   make([]padCounter, len(peernet.Endpoints)),
+		ctx:       ctx,
+		cancel:    cancel,
 	}
 	nodes := []string{cfg.Self}
 	for id, base := range cfg.Peers {
-		c.peers[id] = &peer{id: id, base: base, replica: resultstore.NewIndex()}
+		c.peers[id] = &peer{
+			id: id, base: base, replica: resultstore.NewIndex(),
+			brk:    newBreaker(cfg.BreakerWindow, cfg.BreakerMinSamples, cfg.BreakerCooldown),
+			budget: newRetryBudget(cfg.RetryBudget, cfg.RetryBudgetRefill),
+		}
 		nodes = append(nodes, id)
 	}
 	sort.Strings(nodes)
@@ -208,16 +319,18 @@ func New(cfg Config) (*Cluster, error) {
 }
 
 // Start launches the background loops: one health prober and one journal
-// shipper per peer, one work stealer, one reclaim sweeper.
+// shipper per peer, one work stealer, one reclaim sweeper, one anti-
+// entropy repair pass.
 func (c *Cluster) Start() {
 	for _, p := range c.peers {
 		c.wg.Add(2)
 		go c.probeLoop(p)
 		go c.shipLoop(p)
 	}
-	c.wg.Add(2)
+	c.wg.Add(3)
 	go c.stealLoop()
 	go c.reclaimLoop()
+	go c.repairLoop()
 	c.cfg.Logf("cluster: node %s up, ring %v", c.cfg.Self, c.order)
 }
 

@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/cluster/peernet"
 )
 
 // writeMetrics is the ClusterHooks.Metrics implementation: cluster metric
@@ -37,6 +39,29 @@ func (c *Cluster) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "splash4d_journal_replica_records{peer=%q} %d\n", id, c.peers[id].replica.Len())
 	}
 
+	fmt.Fprintf(w, "# HELP splash4d_peer_breaker_state Circuit breaker state for the peer: 0 closed, 1 open, 2 half-open.\n# TYPE splash4d_peer_breaker_state gauge\n")
+	for _, id := range c.order {
+		if id == c.cfg.Self {
+			continue
+		}
+		state, _ := c.peers[id].brk.snapshot()
+		fmt.Fprintf(w, "splash4d_peer_breaker_state{peer=%q} %d\n", id, state)
+	}
+
+	fmt.Fprintf(w, "# HELP splash4d_peer_breaker_transitions_total Circuit breaker state transitions for the peer since start.\n# TYPE splash4d_peer_breaker_transitions_total counter\n")
+	for _, id := range c.order {
+		if id == c.cfg.Self {
+			continue
+		}
+		_, transitions := c.peers[id].brk.snapshot()
+		fmt.Fprintf(w, "splash4d_peer_breaker_transitions_total{peer=%q} %d\n", id, transitions)
+	}
+
+	fmt.Fprintf(w, "# HELP splash4d_peer_retries_total Peer exchanges retried after a failure, by endpoint.\n# TYPE splash4d_peer_retries_total counter\n")
+	for i, ep := range peernet.Endpoints {
+		fmt.Fprintf(w, "splash4d_peer_retries_total{endpoint=%q} %d\n", ep, c.retries[i].v.Load())
+	}
+
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -47,6 +72,10 @@ func (c *Cluster) writeMetrics(w io.Writer) {
 	counter("splash4d_journal_ship_rounds_total", "Successful journal tail rounds across all peers.", c.shipRounds.Load())
 	counter("splash4d_journal_ship_errors_total", "Journal tail rounds that failed.", c.shipErrors.Load())
 	counter("splash4d_journal_ship_skipped_total", "Shipped journal lines skipped as malformed.", c.skippedTotal())
+	counter("splash4d_hedged_requests_total", "Idempotent peer reads hedged with a second request after the hedge delay.", c.hedgedTotal.v.Load())
+	counter("splash4d_repair_bytes_total", "Journal bytes pulled by the anti-entropy repair pass.", c.repairBytes.v.Load())
+	counter("splash4d_journal_resyncs_total", "Replica resyncs forced by an origin journal generation change.", c.resyncs.v.Load())
+	counter("splash4d_partition_heals_total", "Peers observed returning after a down period (down-to-up after first contact).", c.partitionHeals.v.Load())
 }
 
 // skippedTotal sums malformed-line skips across peers.

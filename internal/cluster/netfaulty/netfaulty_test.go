@@ -1,0 +1,216 @@
+package netfaulty
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/peernet"
+)
+
+// okTransport answers every exchange with a fixed 200 body and counts how
+// many exchanges reached it — the "wire" under the fault layer.
+type okTransport struct {
+	hits int
+	body string
+}
+
+func (o *okTransport) RoundTrip(_ context.Context, _ *peernet.PeerCall) (*peernet.PeerResponse, error) {
+	o.hits++
+	return &peernet.PeerResponse{
+		Status: 200,
+		Header: make(map[string][]string),
+		Body:   io.NopCloser(strings.NewReader(o.body)),
+	}, nil
+}
+
+func healthCall(peer string) *peernet.PeerCall {
+	return &peernet.PeerCall{Peer: peer, Endpoint: peernet.EndpointHealth,
+		Method: "GET", URL: "http://" + peer + "/peer/health"}
+}
+
+// drive performs n exchanges and returns each one's (error, body) outcome
+// as a compact trace string.
+func drive(t *testing.T, ft *Transport, call *peernet.PeerCall, n int) []string {
+	t.Helper()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		resp, err := ft.RoundTrip(context.Background(), call)
+		if err != nil {
+			out = append(out, "err:"+errClass(err))
+			continue
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			out = append(out, "cut")
+			continue
+		}
+		out = append(out, "ok:"+string(b))
+	}
+	return out
+}
+
+func errClass(err error) string {
+	if strings.Contains(err.Error(), "refused") {
+		return "refused"
+	}
+	return "other"
+}
+
+// TestScheduleIsDeterministic drives two transports with the same seed over
+// the same exchange sequence and asserts byte-identical outcomes and
+// decision logs, then that a different seed actually draws differently.
+func TestScheduleIsDeterministic(t *testing.T) {
+	plan := Aggressive(42)
+	plan.LatencyMax = time.Millisecond // keep the test fast
+	run := func(seed uint64) ([]string, Report) {
+		p := plan
+		p.Seed = seed
+		ft := New(&okTransport{body: `{"ready":true}`}, p)
+		var trace []string
+		for _, peer := range []string{"a", "b"} {
+			trace = append(trace, drive(t, ft, healthCall(peer), 200)...)
+		}
+		return trace, ft.Report()
+	}
+
+	t1, r1 := run(42)
+	t2, r2 := run(42)
+	if strings.Join(t1, ",") != strings.Join(t2, ",") {
+		t.Fatal("same seed produced different exchange outcomes")
+	}
+	if r1.Injected != r2.Injected {
+		t.Fatalf("same seed injected differently: %v vs %v", r1.Injected, r2.Injected)
+	}
+	if len(r1.Decisions) != len(r2.Decisions) {
+		t.Fatalf("same seed recorded %d vs %d decisions", len(r1.Decisions), len(r2.Decisions))
+	}
+	for i := range r1.Decisions {
+		if r1.Decisions[i] != r2.Decisions[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, r1.Decisions[i], r2.Decisions[i])
+		}
+	}
+	if r1.Total() == 0 {
+		t.Fatal("aggressive plan injected nothing over 400 exchanges")
+	}
+
+	t3, _ := run(43)
+	if strings.Join(t1, ",") == strings.Join(t3, ",") {
+		t.Fatal("different seeds produced identical outcomes")
+	}
+}
+
+// TestDirectedPartitionBeatsDice asserts a Partition rule refuses every
+// exchange to the target regardless of probabilities, that it is directed
+// (other peers unaffected), endpoint-scopable, and that Heal restores flow.
+func TestDirectedPartitionBeatsDice(t *testing.T) {
+	inner := &okTransport{body: "x"}
+	ft := New(inner, Plan{Seed: 7, Record: 16}) // zero probabilities: directed rules only
+
+	ft.Partition("b")
+	for i := 0; i < 5; i++ {
+		if _, err := ft.RoundTrip(context.Background(), healthCall("b")); err == nil {
+			t.Fatal("partitioned exchange went through")
+		}
+	}
+	if inner.hits != 0 {
+		t.Fatalf("%d exchanges reached the wire through a partition", inner.hits)
+	}
+	if resp, err := ft.RoundTrip(context.Background(), healthCall("c")); err != nil {
+		t.Fatalf("partition of b leaked onto c: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	ft.Heal("b")
+	resp, err := ft.RoundTrip(context.Background(), healthCall("b"))
+	if err != nil {
+		t.Fatalf("exchange after heal failed: %v", err)
+	}
+	resp.Body.Close()
+
+	// Endpoint-scoped partition: journal refused, health flows.
+	ft.Partition("b", peernet.EndpointJournal)
+	if _, err := ft.RoundTrip(context.Background(), &peernet.PeerCall{
+		Peer: "b", Endpoint: peernet.EndpointJournal, Method: "GET", URL: "http://b/peer/journal",
+	}); err == nil {
+		t.Fatal("endpoint-scoped partition did not refuse the journal fetch")
+	}
+	resp, err = ft.RoundTrip(context.Background(), healthCall("b"))
+	if err != nil {
+		t.Fatalf("endpoint-scoped partition leaked onto health: %v", err)
+	}
+	resp.Body.Close()
+
+	r := ft.Report()
+	if r.Injected[FaultPartition] != 6 {
+		t.Fatalf("counted %d partition injections, want 6", r.Injected[FaultPartition])
+	}
+	if len(r.Decisions) == 0 || r.Decisions[0].Fault != FaultPartition {
+		t.Fatalf("decision log %+v does not lead with the partition", r.Decisions)
+	}
+}
+
+// TestStaleReplayOnlyOnTolerantEndpoints asserts the stale fault replays a
+// previous health response verbatim but never touches journal streams,
+// whose byte-offset protocol cannot tolerate replays.
+func TestStaleReplayOnlyOnTolerantEndpoints(t *testing.T) {
+	inner := &okTransport{body: "first"}
+	ft := New(inner, Plan{Seed: 1, Stale: 1.0, Record: 16}) // always stale once possible
+
+	// First exchange has nothing to replay: it reaches the wire and its
+	// response is recorded on consumption.
+	out := drive(t, ft, healthCall("b"), 1)
+	if out[0] != "ok:first" {
+		t.Fatalf("first exchange got %q", out[0])
+	}
+	// Every subsequent health exchange replays the stored body.
+	inner.body = "second"
+	out = drive(t, ft, healthCall("b"), 3)
+	for _, o := range out {
+		if o != "ok:first" {
+			t.Fatalf("stale replay got %q, want the recorded first response", o)
+		}
+	}
+	if inner.hits != 1 {
+		t.Fatalf("%d exchanges reached the wire under Stale=1, want 1", inner.hits)
+	}
+
+	// Journal fetches are exempt: all reach the wire.
+	jc := &peernet.PeerCall{Peer: "b", Endpoint: peernet.EndpointJournal,
+		Method: "GET", URL: "http://b/peer/journal"}
+	drive(t, ft, jc, 3)
+	if inner.hits != 4 {
+		t.Fatalf("journal exchanges under Stale=1: %d wire hits, want 4", inner.hits)
+	}
+	if got := ft.Report().Injected[FaultStale]; got != 3 {
+		t.Fatalf("counted %d stale injections, want 3", got)
+	}
+}
+
+// TestCutTruncatesMidBody asserts a cut response yields a read error after
+// the decided byte count, like a torn TCP stream.
+func TestCutTruncatesMidBody(t *testing.T) {
+	body := strings.Repeat("z", 512)
+	ft := New(&okTransport{body: body}, Plan{Seed: 3, Cut: 1.0})
+	jc := &peernet.PeerCall{Peer: "b", Endpoint: peernet.EndpointJournal,
+		Method: "GET", URL: "http://b/peer/journal"}
+	resp, err := ft.RoundTrip(context.Background(), jc)
+	if err != nil {
+		t.Fatalf("cut exchange failed at dial: %v", err)
+	}
+	defer resp.Body.Close()
+	got, rerr := io.ReadAll(resp.Body)
+	if rerr == nil {
+		t.Fatal("cut body read to EOF without error")
+	}
+	if len(got) >= len(body) {
+		t.Fatalf("cut body delivered all %d bytes", len(got))
+	}
+	if got := ft.Report().Injected[FaultCut]; got != 1 {
+		t.Fatalf("counted %d cut injections, want 1", got)
+	}
+}

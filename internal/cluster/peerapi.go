@@ -7,17 +7,22 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/cluster/peernet"
 	"repro/internal/server"
 )
 
-// The peer-to-peer API. Four endpoints under /peer/, mounted by Handler in
+// The peer-to-peer API. Five endpoints under /peer/, mounted by Handler in
 // front of the wrapped server's public API:
 //
-//	GET  /peer/health    node ID, readiness, queue depth, durable journal size
+//	GET  /peer/health    node ID, readiness, queue depth, durable journal
+//	                     size, journal generation
 //	POST /peer/steal     {"thief":"b","max":2} → {"jobs":[{"id","spec"},...]}
 //	POST /peer/complete  {"id":"r-a-7","result":{...}} → 200 / 410
+//	GET  /peer/stolen?id=... → {"awaiting":bool}: completion re-probe
 //	GET  /peer/journal?offset=N → raw journal bytes from N, clamped to the
-//	                     durable watermark; X-Splash4d-Journal-Size carries it
+//	                     durable watermark; X-Splash4d-Journal-Size and
+//	                     X-Splash4d-Journal-Generation carry the watermark
+//	                     and the journal's generation
 //
 // Peer calls carry X-Request-ID like any other request (the wrapped
 // telemetry middleware logs them), and the steal/complete pair carries the
@@ -25,13 +30,16 @@ import (
 
 // healthView is the /peer/health body. Status mirrors /healthz ("ok",
 // "draining", "degraded"); Ready folds in the /readyz verdict so the
-// prober needs one round trip.
+// prober needs one round trip. Generation identifies the journal's
+// current open (see resultstore.Store.Generation), so the prober detects
+// an origin restart even while the journal endpoint is quiet.
 type healthView struct {
 	Node        string `json:"node"`
 	Status      string `json:"status"`
 	Ready       bool   `json:"ready"`
 	QueueDepth  int    `json:"queue_depth"`
 	DurableSize int64  `json:"durable_size"`
+	Generation  uint64 `json:"journal_generation"`
 }
 
 // handlePeerHealth is GET /peer/health.
@@ -50,6 +58,7 @@ func (c *Cluster) handlePeerHealth(w http.ResponseWriter, r *http.Request) {
 		Ready:       ready,
 		QueueDepth:  c.srv.QueueDepth(),
 		DurableSize: c.srv.Store().DurableSize(),
+		Generation:  c.srv.Store().Generation(),
 	})
 }
 
@@ -98,6 +107,26 @@ func (c *Cluster) handlePeerComplete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "landed": true})
 }
 
+// stolenQView is the GET /peer/stolen body: whether this node still
+// awaits a stolen completion for the job.
+type stolenQView struct {
+	ID       string `json:"id"`
+	Awaiting bool   `json:"awaiting"`
+}
+
+// handlePeerStolenQ is GET /peer/stolen?id=...: the completion re-probe.
+// A thief whose POST /peer/complete failed at the transport level asks
+// here whether the victim still awaits the outcome before retrying — the
+// completion POST is not idempotent-safe to retry blind, but this read is.
+func (c *Cluster) handlePeerStolenQ(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing id")
+		return
+	}
+	writeJSON(w, http.StatusOK, stolenQView{ID: id, Awaiting: c.srv.AwaitingStolen(id)})
+}
+
 // journalChunk caps one /peer/journal response body.
 const journalChunk = 256 << 10
 
@@ -105,6 +134,12 @@ const journalChunk = 256 << 10
 // /peer/journal response, so followers can compute ship lag even from an
 // empty (caught-up) read.
 const journalSizeHeader = "X-Splash4d-Journal-Size"
+
+// journalGenHeader carries the origin journal's generation on every
+// /peer/journal response. Followers only ingest bytes whose generation
+// matches the one their replica was built from; a mismatch parks the
+// shipper until the repair pass resyncs (see repair.go).
+const journalGenHeader = "X-Splash4d-Journal-Generation"
 
 // handlePeerJournal is GET /peer/journal?offset=N.
 func (c *Cluster) handlePeerJournal(w http.ResponseWriter, r *http.Request) {
@@ -121,13 +156,16 @@ func (c *Cluster) handlePeerJournal(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(journalSizeHeader, strconv.FormatInt(durable, 10))
+	w.Header().Set(journalGenHeader, strconv.FormatUint(c.srv.Store().Generation(), 10))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf[:n])
 }
 
 // probeLoop polls one peer's /peer/health. An up→down transition reclaims
 // every job donated to that peer immediately — waiting out the deadline
-// sweep would hold the victim's jobs hostage to a dead thief.
+// sweep would hold the victim's jobs hostage to a dead thief. A down→up
+// transition after the peer was ever up is a partition heal, counted for
+// the chaos gate's convergence assertions.
 func (c *Cluster) probeLoop(p *peer) {
 	defer c.wg.Done()
 	for {
@@ -138,6 +176,9 @@ func (c *Cluster) probeLoop(p *peer) {
 		if err == nil {
 			p.queueDepth.Store(int64(hv.QueueDepth))
 			p.durable.Store(hv.DurableSize)
+			if hv.Generation != 0 {
+				p.gen.Store(hv.Generation)
+			}
 		} else {
 			p.queueDepth.Store(0)
 		}
@@ -148,7 +189,13 @@ func (c *Cluster) probeLoop(p *peer) {
 				c.cfg.Logf("cluster: reclaimed %d job(s) stolen by dead peer %s", n, p.id)
 			}
 		case !was && now:
-			c.cfg.Logf("cluster: peer %s up", p.id)
+			if p.everUp.Load() {
+				c.partitionHeals.v.Add(1)
+				c.cfg.Logf("cluster: peer %s healed", p.id)
+			} else {
+				p.everUp.Store(true)
+				c.cfg.Logf("cluster: peer %s up", p.id)
+			}
 		}
 		if !c.sleep(c.cfg.HealthInterval) {
 			return
@@ -156,20 +203,18 @@ func (c *Cluster) probeLoop(p *peer) {
 	}
 }
 
-// fetchHealth performs one health probe round trip.
+// fetchHealth performs one health probe round trip through the transport
+// stack (hedged and budget-retried, never breaker-gated: the probe is the
+// liveness oracle everything else keys off).
 func (c *Cluster) fetchHealth(p *peer) (healthView, error) {
 	var hv healthView
-	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, p.base+"/peer/health", nil)
-	if err != nil {
-		return hv, err
-	}
-	resp, err := c.httpc.Do(req)
+	resp, err := c.call(c.ctx, p, peernet.EndpointHealth, http.MethodGet, "/peer/health", nil, nil)
 	if err != nil {
 		return hv, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return hv, fmt.Errorf("peer health: %s", resp.Status)
+	if resp.Status != http.StatusOK {
+		return hv, fmt.Errorf("peer health: status %d", resp.Status)
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<12)).Decode(&hv); err != nil {
 		return hv, err

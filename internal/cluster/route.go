@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster/peernet"
 	"repro/internal/server"
 )
 
@@ -43,6 +44,7 @@ func (c *Cluster) Handler() http.Handler {
 	mux.HandleFunc("GET /peer/health", c.handlePeerHealth)
 	mux.HandleFunc("POST /peer/steal", c.handlePeerSteal)
 	mux.HandleFunc("POST /peer/complete", c.handlePeerComplete)
+	mux.HandleFunc("GET /peer/stolen", c.handlePeerStolenQ)
 	mux.HandleFunc("GET /peer/journal", c.handlePeerJournal)
 	mux.Handle("POST /runs", c.routeSubmit(inner))
 	mux.Handle("GET /runs/{id}", c.routeByID(inner))
@@ -52,6 +54,8 @@ func (c *Cluster) Handler() http.Handler {
 }
 
 // routeSubmit forwards POST /runs to the spec's owning node.
+//
+//sync4:req SYNC4-CLUS-001 v2 MUST A request that arrives carrying the hop-guard header is served locally and never re-forwarded, so a misconfigured or disagreeing ring degrades to local service instead of a forwarding loop.
 func (c *Cluster) routeSubmit(inner http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
@@ -131,9 +135,13 @@ func ownerFromJobID(id string) string {
 
 // forward proxies the request to owner and relays the response, streaming
 // (and flushing) the body so SSE works across the hop. It reports false if
-// the hop failed before any response byte was written, in which case the
-// caller may serve locally; once relaying has begun, failures terminate
-// the response as-is.
+// the hop failed before any response byte was written — including an open
+// circuit breaker failing the hop without a network attempt — in which
+// case the caller serves locally; once relaying has begun, failures
+// terminate the response as-is. The hop rides the transport stack as a
+// single breaker-gated attempt: never retried (the local fallback is
+// faster and always available) and never hedged (the body may be a
+// long-lived SSE stream, which must not be buffered).
 func (c *Cluster) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
 	p := c.peers[owner]
 	if p == nil {
@@ -141,26 +149,18 @@ func (c *Cluster) forward(w http.ResponseWriter, r *http.Request, owner string, 
 	}
 	start := time.Now()
 	id := c.srv.EnsureRequestID(r)
-	var reqBody io.Reader
-	if body != nil {
-		reqBody = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.base+r.URL.RequestURI(), reqBody)
-	if err != nil {
-		c.forwardErrors.Add(1)
-		return false
-	}
+	hdr := make(http.Header, 4)
 	if ct := r.Header.Get("Content-Type"); ct != "" {
-		req.Header.Set("Content-Type", ct)
+		hdr.Set("Content-Type", ct)
 	}
 	if acc := r.Header.Get("Accept"); acc != "" {
-		req.Header.Set("Accept", acc)
+		hdr.Set("Accept", acc)
 	}
-	req.Header.Set("X-Request-ID", id)
-	req.Header.Set(forwardedByHeader, c.cfg.Self)
-	// The streaming client has no overall timeout — an SSE hop lives as
-	// long as the job — and is bounded by the client's request context.
-	resp, err := streamClient.Do(req)
+	hdr.Set("X-Request-ID", id)
+	hdr.Set(forwardedByHeader, c.cfg.Self)
+	// The client's request context bounds the hop, not c.ctx: an SSE hop
+	// lives exactly as long as the client keeps listening.
+	resp, err := c.call(r.Context(), p, peernet.EndpointForward, r.Method, r.URL.RequestURI(), hdr, body)
 	if err != nil {
 		c.forwardErrors.Add(1)
 		return false
@@ -173,7 +173,7 @@ func (c *Cluster) forward(w http.ResponseWriter, r *http.Request, owner string, 
 			w.Header().Set(h, v)
 		}
 	}
-	w.WriteHeader(resp.StatusCode)
+	w.WriteHeader(resp.Status)
 	var written int64
 	fl, _ := w.(http.Flusher)
 	buf := make([]byte, 32<<10)
@@ -194,12 +194,8 @@ func (c *Cluster) forward(w http.ResponseWriter, r *http.Request, owner string, 
 		}
 	}
 	// Proxied exchanges bypass the server's telemetry middleware; leave
-	// the same access-log trail and status count it would have.
-	c.srv.ObserveForward(start, id, r, resp.StatusCode, written)
+	// the same access-log trail and status count it would have, annotated
+	// with the peer that served the hop.
+	c.srv.ObserveForward(start, id, r, owner, resp.Status, written)
 	return true
 }
-
-// streamClient performs forwarded exchanges. No client-level timeout:
-// request contexts bound each exchange, and SSE hops are deliberately
-// long-lived.
-var streamClient = &http.Client{}

@@ -3,11 +3,13 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 
+	"repro/internal/cluster/peernet"
 	"repro/internal/resultstore"
 )
 
@@ -18,13 +20,22 @@ import (
 // The protocol is a byte-offset tail of an append-only file. The origin
 // clamps reads to its durable watermark (bytes whose append was
 // acknowledged), so a follower never sees a line the origin might not
-// re-acknowledge after a crash — offsets stay valid across origin
-// restarts, and a follower resumes exactly where it left off. Two
+// re-acknowledge after a crash. Every journal response also names the
+// origin journal's generation (minted fresh at each store open): a
+// follower ingests bytes only while the generation matches the one its
+// replica was built from. On a mismatch — origin restart, truncation, or
+// journal replacement — the shipper parks and the anti-entropy repair
+// pass (repair.go) resyncs the replica from offset zero, which is the
+// only safe response to offsets whose meaning may have changed. Two
 // tolerances mirror the origin's own replay-on-open: a chunk boundary may
 // split a line (buffered in p.tail until the rest arrives), and a torn
 // fragment from an origin write fault may glue onto the next good line
 // (skipped and counted, exactly as the origin's replay skips it — both
 // sides converge on the same record set).
+
+// errGenerationChanged parks a fetch whose response named a different
+// journal generation than the replica was built from.
+var errGenerationChanged = errors.New("cluster: peer journal generation changed")
 
 // shipLoop tails one peer's journal.
 func (c *Cluster) shipLoop(p *peer) {
@@ -36,44 +47,65 @@ func (c *Cluster) shipLoop(p *peer) {
 		if !p.up.Load() {
 			continue
 		}
-		if err := c.shipOnce(p); err != nil {
-			c.shipErrors.Add(1)
+		if _, err := c.fetchJournal(p); err != nil {
+			if !errors.Is(err, errGenerationChanged) {
+				c.shipErrors.Add(1)
+			}
 			continue
 		}
 		c.shipRounds.Add(1)
 	}
 }
 
-// shipOnce fetches one chunk from the peer's journal and folds its
-// complete lines into the replica index.
-func (c *Cluster) shipOnce(p *peer) error {
+// fetchJournal performs one serialized tail round: fetch a chunk at the
+// replica's offset, fold complete lines in, advance. It returns the byte
+// count ingested. The per-peer syncMu keeps concurrent pullers (the ship
+// loop and the repair pass) from ingesting the same bytes twice.
+func (c *Cluster) fetchJournal(p *peer) (int, error) {
+	p.syncMu.Lock()
+	defer p.syncMu.Unlock()
+	return c.fetchJournalLocked(p)
+}
+
+// fetchJournalLocked is fetchJournal with p.syncMu already held.
+func (c *Cluster) fetchJournalLocked(p *peer) (int, error) {
 	off := p.offset.Load()
-	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet,
-		fmt.Sprintf("%s/peer/journal?offset=%d", p.base, off), nil)
+	resp, err := c.call(c.ctx, p, peernet.EndpointJournal, http.MethodGet,
+		fmt.Sprintf("/peer/journal?offset=%d", off), nil, nil)
 	if err != nil {
-		return err
-	}
-	resp, err := c.httpc.Do(req)
-	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("journal from %s: %s", p.id, resp.Status)
+	if resp.Status != http.StatusOK {
+		return 0, fmt.Errorf("journal from %s: status %d", p.id, resp.Status)
 	}
 	if durable, err := strconv.ParseInt(resp.Header.Get(journalSizeHeader), 10, 64); err == nil {
 		p.durable.Store(durable)
 	}
+	if gen, err := strconv.ParseUint(resp.Header.Get(journalGenHeader), 10, 64); err == nil && gen != 0 {
+		p.gen.Store(gen)
+		synced := p.syncedGen.Load()
+		switch {
+		case synced == 0:
+			// First contact: the bytes about to be ingested belong to this
+			// generation by construction.
+			p.syncedGen.Store(gen)
+		case synced != gen:
+			// The origin reopened its journal since the replica was built.
+			// Ingesting would mix generations; park until repair resyncs.
+			return 0, errGenerationChanged
+		}
+	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, journalChunk+1))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(body) == 0 {
-		return nil // caught up
+		return 0, nil // caught up
 	}
 	p.ingest(body)
 	p.offset.Store(off + int64(len(body)))
-	return nil
+	return len(body), nil
 }
 
 // ingest folds shipped bytes into the replica: complete lines parse into
@@ -103,6 +135,13 @@ func (p *peer) ingest(chunk []byte) {
 		p.replica.Add(rec)
 	}
 	p.tail = append(p.tail[:0], data...)
+}
+
+// resetTail drops a buffered torn line. Caller holds p.syncMu.
+func (p *peer) resetTail() {
+	p.tailMu.Lock()
+	p.tail = p.tail[:0]
+	p.tailMu.Unlock()
 }
 
 // shipLag returns how many durable bytes of the peer's journal this node

@@ -9,7 +9,9 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/cluster/peernet"
 	"repro/internal/resultstore"
 )
 
@@ -99,10 +101,23 @@ func shippingCluster(t *testing.T) *Cluster {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
+	// Retries and hedging off: the test asserts exactly one journal fetch
+	// per ship round.
+	cfg := Config{Self: "follower", Logf: t.Logf, RetryMax: -1, HedgeAfter: -1}
 	return &Cluster{
-		cfg:   Config{Self: "follower", Logf: t.Logf},
-		httpc: http.DefaultClient,
-		ctx:   ctx,
+		cfg:       cfg,
+		transport: peernet.NewHTTPTransport(5 * time.Second),
+		retries:   make([]padCounter, len(peernet.Endpoints)),
+		ctx:       ctx,
+	}
+}
+
+// testPeer builds a peer wired for direct c.call use: breaker and retry
+// budget at defaults, replica empty.
+func testPeer(id, base string) *peer {
+	return &peer{
+		id: id, base: base, replica: resultstore.NewIndex(),
+		brk: newBreaker(0, 0, 0), budget: newRetryBudget(0, 0),
 	}
 }
 
@@ -111,10 +126,10 @@ func TestShipResumesFromOffsetAcrossOriginRestart(t *testing.T) {
 	first := journalLine(t, "r-origin-1", 1)
 	journal.append(first)
 	ts := httptest.NewServer(journal.handler())
-	p := &peer{id: "origin", base: ts.URL, replica: resultstore.NewIndex()}
+	p := testPeer("origin", ts.URL)
 	c := shippingCluster(t)
 
-	if err := c.shipOnce(p); err != nil {
+	if _, err := c.fetchJournal(p); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.offset.Load(); got != int64(len(first)) {
@@ -127,7 +142,7 @@ func TestShipResumesFromOffsetAcrossOriginRestart(t *testing.T) {
 	// Origin "crashes": its server goes away mid-ship. The follower's next
 	// round errors but keeps its offset.
 	ts.Close()
-	if err := c.shipOnce(p); err == nil {
+	if _, err := c.fetchJournal(p); err == nil {
 		t.Fatal("shipping from a dead origin did not error")
 	}
 	if got := p.offset.Load(); got != int64(len(first)) {
@@ -147,7 +162,7 @@ func TestShipResumesFromOffsetAcrossOriginRestart(t *testing.T) {
 	journal.offsets = nil
 	journal.mu.Unlock()
 
-	if err := c.shipOnce(p); err != nil {
+	if _, err := c.fetchJournal(p); err != nil {
 		t.Fatal(err)
 	}
 	journal.mu.Lock()

@@ -1,12 +1,13 @@
 package cluster
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
+	"repro/internal/cluster/peernet"
 	"repro/internal/server"
 )
 
@@ -70,22 +71,21 @@ func (c *Cluster) busiestPeer() *peer {
 	return best
 }
 
-// stealFrom asks victim to donate up to max queued jobs.
+// stealFrom asks victim to donate up to max queued jobs. A failed round
+// trip is not retried: the donation POST is not idempotent (each call
+// takes different jobs off the ring), the stealer asks again next tick
+// anyway, and a donation that left the victim but never arrived is
+// covered by the victim's reclaim deadline.
 func (c *Cluster) stealFrom(victim *peer, max int) ([]server.StolenJob, error) {
 	body, _ := json.Marshal(stealRequest{Thief: c.cfg.Self, Max: max})
-	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost,
-		victim.base+"/peer/steal", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpc.Do(req)
+	hdr := http.Header{"Content-Type": []string{"application/json"}}
+	resp, err := c.call(c.ctx, victim, peernet.EndpointSteal, http.MethodPost, "/peer/steal", hdr, body)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("steal from %s: %s", victim.id, resp.Status)
+	if resp.Status != http.StatusOK {
+		return nil, fmt.Errorf("steal from %s: status %d", victim.id, resp.Status)
 	}
 	var out struct {
 		Jobs []server.StolenJob `json:"jobs"`
@@ -99,29 +99,40 @@ func (c *Cluster) stealFrom(victim *peer, max int) ([]server.StolenJob, error) {
 // runStolen executes one donated job and returns the outcome to its owner.
 // Execution errors travel inside the RemoteResult; only the completion
 // callback's transport failure is counted here — the victim's reclaim
-// sweep covers a result that never lands.
+// sweep covers a result that never lands. The completion POST follows the
+// admission API's retry contract cluster-side: on a transport failure the
+// thief re-probes whether the victim still awaits the result, and resends
+// exactly once only when it does; every other answer means the victim has
+// moved on (landed, reclaimed, or unreachable) and the measurement is
+// dropped.
+//
+//sync4:req SYNC4-CLUS-005 v2 MUST NOT A failed stolen-completion POST is never retried blind: the thief first re-probes whether the victim still awaits the outcome (GET /peer/stolen) and resends only on an affirmative answer, so a completion that landed but lost its response is never double-delivered by the transport layer.
 func (c *Cluster) runStolen(victim *peer, sj server.StolenJob) {
 	res := c.srv.ExecuteSpec(c.ctx, sj.Spec)
 	if c.killed.Load() {
 		return // crashed mid-steal: the victim's reclaim owns the job now
 	}
 	body, _ := json.Marshal(completeRequest{ID: sj.ID, Result: res})
-	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost,
-		victim.base+"/peer/complete", bytes.NewReader(body))
-	if err != nil {
-		c.stealErrors.Add(1)
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpc.Do(req)
+	status, err := c.postCompletion(victim, body)
 	if err != nil {
 		c.stealErrors.Add(1)
 		c.cfg.Logf("cluster: completing stolen %s on %s failed: %v", sj.ID, victim.id, err)
-		return
+		if !c.victimAwaits(victim, sj.ID) {
+			return // landed, reclaimed, or unknowable: never resend blind
+		}
+		if !victim.budget.take(time.Now()) {
+			return // retry budget dry; the reclaim deadline owns the job
+		}
+		if i := endpointIndex(peernet.EndpointComplete); i >= 0 {
+			c.retries[i].v.Add(1)
+		}
+		status, err = c.postCompletion(victim, body)
+		if err != nil {
+			c.stealErrors.Add(1)
+			return
+		}
 	}
-	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
-	switch resp.StatusCode {
+	switch status {
 	case http.StatusOK:
 		c.stolenTotal.Add(1)
 	case http.StatusGone:
@@ -132,6 +143,39 @@ func (c *Cluster) runStolen(victim *peer, sj server.StolenJob) {
 	default:
 		c.stealErrors.Add(1)
 	}
+}
+
+// postCompletion performs one POST /peer/complete exchange.
+func (c *Cluster) postCompletion(victim *peer, body []byte) (int, error) {
+	hdr := http.Header{"Content-Type": []string{"application/json"}}
+	resp, err := c.call(c.ctx, victim, peernet.EndpointComplete, http.MethodPost, "/peer/complete", hdr, body)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	return resp.Status, nil
+}
+
+// victimAwaits re-probes whether the victim still awaits a stolen
+// completion for id. Any failure to learn the answer reports false: when
+// the victim is unreachable the reclaim deadline will re-run the job
+// there, and a blind resend risks double delivery.
+func (c *Cluster) victimAwaits(victim *peer, id string) bool {
+	resp, err := c.call(c.ctx, victim, peernet.EndpointStolenQ, http.MethodGet,
+		"/peer/stolen?id="+id, nil, nil)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.Status != http.StatusOK {
+		return false
+	}
+	var v stolenQView
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<12)).Decode(&v); err != nil {
+		return false
+	}
+	return v.Awaiting
 }
 
 // reclaimLoop sweeps donated jobs whose outcome has been owed longer than

@@ -26,6 +26,9 @@ type LiveConfig struct {
 	// the listed base URLs (a clustered splash4d accepts a spec on any node
 	// and routes it to its owner). Polling always goes to the node that
 	// accepted the submission, so reads follow the redirect-free job view.
+	// A connection error or a non-503 5xx fails the attempt over to the
+	// next target in rotation (tallied in LiveResult.Failovers) until the
+	// retry budget runs out, so one dead node doesn't sink the run.
 	// A single-element Targets behaves identically to Target.
 	Targets []string
 	Client  *http.Client
@@ -63,7 +66,13 @@ type LiveResult struct {
 	Rejected429 int
 	Unavail503  int
 	Errors      int
-	violations  map[string]int
+	// Failovers counts submission attempts abandoned to the next target in
+	// rotation after a connection error or a non-contract 5xx (anything in
+	// the 500 range except 503, which carries the Retry-After contract and
+	// is tallied under Unavail503 instead). A request that fails over and
+	// then lands still counts once under Accepted/Deduped.
+	Failovers  int
+	violations map[string]int
 }
 
 // Counts returns the outcome tallies (taken under the lock, so safe to
@@ -72,6 +81,14 @@ func (r *LiveResult) Counts() (accepted, deduped, rejected429, unavail503, error
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.Accepted, r.Deduped, r.Rejected429, r.Unavail503, r.Errors
+}
+
+// FailoverCount returns how many submission attempts were abandoned to
+// the next target after a connection error or non-contract 5xx.
+func (r *LiveResult) FailoverCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.Failovers
 }
 
 // LatencyHist returns a snapshot copy of the completion-latency histogram.
@@ -189,14 +206,25 @@ func RunLive(cfg LiveConfig, schedule []Request) (*LiveResult, error) {
 func (r *LiveResult) drive(cfg LiveConfig, req Request) {
 	first := time.Now()
 	body := cfg.SpecFor(req)
+	// The shared cursor spreads first attempts across targets; within one
+	// request each retry then advances deterministically, so a failover is
+	// guaranteed to reach a different node when more than one is offered
+	// (a shared cursor alone can't promise that under concurrency — two
+	// racing requests may bump it past each other).
+	rot := r.rr.Add(1)
 	for attempt := 0; ; attempt++ {
-		// Each attempt takes the next target in rotation, so retries after a
-		// bounce land on a different node when more than one is offered.
-		target := cfg.Targets[r.rr.Add(1)%int64(len(cfg.Targets))]
+		target := cfg.Targets[(rot+int64(attempt))%int64(len(cfg.Targets))]
 		t0 := time.Now()
 		resp, err := cfg.Client.Post(target+"/runs", "application/json", bytes.NewReader(body))
 		if err != nil {
-			r.violate("POST /runs transport error: %v", err)
+			// A dead or unreachable node is a failover, not a contract
+			// violation: the next attempt's rotation lands on the next
+			// target. Only exhausting the retry budget is terminal.
+			if attempt < cfg.MaxRetries {
+				r.countFailover()
+				continue
+			}
+			r.violate("POST /runs transport error after %d failovers: %v", attempt, err)
 			r.countError()
 			return
 		}
@@ -237,6 +265,13 @@ func (r *LiveResult) drive(cfg LiveConfig, req Request) {
 			}
 			time.Sleep(time.Duration(float64(retryAfter) * cfg.RetryAfterScale * float64(time.Second)))
 		default:
+			// Any other 5xx means this node is broken in a way the retry
+			// contract doesn't describe — fail over to the next target
+			// immediately rather than honoring a Retry-After it didn't send.
+			if resp.StatusCode >= 500 && attempt < cfg.MaxRetries {
+				r.countFailover()
+				continue
+			}
 			r.violate("unexpected submission status %d", resp.StatusCode)
 			r.countError()
 			return
@@ -321,5 +356,11 @@ func (r *LiveResult) countBounce(status int) {
 func (r *LiveResult) countError() {
 	r.mu.Lock()
 	r.Errors++
+	r.mu.Unlock()
+}
+
+func (r *LiveResult) countFailover() {
+	r.mu.Lock()
+	r.Failovers++
 	r.mu.Unlock()
 }

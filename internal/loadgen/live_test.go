@@ -199,6 +199,108 @@ func TestRunLiveMultiTargetRoundRobin(t *testing.T) {
 	}
 }
 
+func TestRunLiveFailoverDeadTarget(t *testing.T) {
+	// One target in the rotation is a corpse (listener closed, connections
+	// refused); every request must still land on the healthy node, with the
+	// abandoned attempts tallied as failovers instead of errors.
+	daemon := newStubDaemon(64)
+	ts := httptest.NewServer(daemon.handler())
+	defer ts.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // the address is now connection-refused
+
+	cfg := liveConfig("")
+	cfg.Target = ""
+	cfg.Targets = []string{deadURL, ts.URL}
+	cfg.Loop = "closed"
+	sched := mustSchedule(t, ScheduleConfig{Shape: ShapeSteady, Requests: 24, SpanNS: 1e9, Seed: 17})
+	res, err := RunLive(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Violations(); len(v) != 0 {
+		t.Fatalf("failover left contract violations: %v", v)
+	}
+	accepted, deduped, _, _, errors := res.Counts()
+	if accepted+deduped != 24 || errors != 0 {
+		t.Fatalf("accepted=%d deduped=%d errors=%d, want all 24 to land despite the dead node",
+			accepted, deduped, errors)
+	}
+	if res.FailoverCount() == 0 {
+		t.Error("a dead node in the rotation produced no failovers")
+	}
+}
+
+func TestRunLiveFailover5xx(t *testing.T) {
+	// A node answering 500 (no Retry-After contract) must be failed over,
+	// not treated as a terminal unexpected status.
+	daemon := newStubDaemon(64)
+	ts := httptest.NewServer(daemon.handler())
+	defer ts.Close()
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "internal", http.StatusInternalServerError)
+	}))
+	defer broken.Close()
+
+	cfg := liveConfig("")
+	cfg.Target = ""
+	cfg.Targets = []string{broken.URL, ts.URL}
+	cfg.Loop = "closed"
+	sched := mustSchedule(t, ScheduleConfig{Shape: ShapeSteady, Requests: 24, SpanNS: 1e9, Seed: 23})
+	res, err := RunLive(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Violations(); len(v) != 0 {
+		t.Fatalf("failover left contract violations: %v", v)
+	}
+	accepted, deduped, _, _, errors := res.Counts()
+	if accepted+deduped != 24 || errors != 0 {
+		t.Fatalf("accepted=%d deduped=%d errors=%d, want all 24 to land despite the 500-serving node",
+			accepted, deduped, errors)
+	}
+	if res.FailoverCount() == 0 {
+		t.Error("a 500-serving node in the rotation produced no failovers")
+	}
+}
+
+func TestRunLiveAllTargetsDeadExhaustsBudget(t *testing.T) {
+	// With every node dead the retry budget must run out and the request
+	// must land in Errors with a transport violation — failover bounds the
+	// work, it doesn't loop forever.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	cfg := liveConfig("")
+	cfg.Target = ""
+	cfg.Targets = []string{deadURL}
+	cfg.Loop = "closed"
+	cfg.MaxRetries = 2
+	sched := mustSchedule(t, ScheduleConfig{Shape: ShapeSteady, Requests: 3, SpanNS: 1e8, Seed: 9})
+	res, err := RunLive(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, _, errors := res.Counts()
+	if errors != 3 {
+		t.Fatalf("errors=%d, want all 3 requests terminal after budget exhaustion", errors)
+	}
+	if got := res.FailoverCount(); got != 6 {
+		t.Errorf("failovers=%d, want 2 per request (MaxRetries) before giving up", got)
+	}
+	found := false
+	for _, v := range res.Violations() {
+		if strings.Contains(v, "transport error after") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("budget exhaustion produced no transport violation; got %v", res.Violations())
+	}
+}
+
 func TestRunLiveSingleTargetFieldCompat(t *testing.T) {
 	// The legacy single-string Target field must keep working untouched —
 	// RunLive promotes it into a one-element rotation.

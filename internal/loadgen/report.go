@@ -28,6 +28,10 @@ type ShapeReport struct {
 	// got in is counted here and in Accepted.
 	Rejected429 int `json:"rejected_429"`
 	Errors      int `json:"errors"`
+	// Failovers counts live submission attempts abandoned to the next
+	// target after a connection error or non-contract 5xx (always zero in
+	// sim mode, which models a single healthy daemon).
+	Failovers int `json:"failovers,omitempty"`
 
 	P50NS  int64   `json:"p50_ns"`
 	P99NS  int64   `json:"p99_ns"`

@@ -26,6 +26,16 @@ func (ix *Index) Add(r Record) {
 	ix.mu.Unlock()
 }
 
+// Reset empties the index. Journal followers call it when the origin's
+// journal generation changes — the replicated records belong to a journal
+// that no longer exists, so the replica starts over from offset zero.
+func (ix *Index) Reset() {
+	ix.mu.Lock()
+	ix.recs = ix.recs[:0]
+	ix.byKey = make(map[Key][]int)
+	ix.mu.Unlock()
+}
+
 // add appends r. Caller holds mu.
 func (ix *Index) add(r Record) {
 	ix.recs = append(ix.recs, r)

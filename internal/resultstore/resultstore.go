@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
@@ -207,6 +208,33 @@ type Store struct {
 	// acknowledged — the fsync-respecting half of the shipping contract.
 	size    int64
 	durable int64
+
+	// gen is the journal generation: a nonzero value minted fresh at every
+	// Open. A follower that tails this journal remembers the generation its
+	// replicated bytes came from; seeing a different one means the origin
+	// reopened the journal — restart, truncation, or outright replacement —
+	// and byte offsets from the old generation can no longer be trusted, so
+	// the follower resyncs from offset zero (see internal/cluster's repair
+	// pass). The value is identity, not content: it never changes while the
+	// store stays open.
+	gen uint64
+}
+
+// genCounter disambiguates generations minted within one clock tick.
+var genCounter atomic.Uint64
+
+// newGeneration mints a nonzero generation identity.
+func newGeneration() uint64 {
+	z := uint64(time.Now().UnixNano()) + genCounter.Add(1)<<1
+	// splitmix64 finalizer: spread clock adjacency over the word.
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
 }
 
 // Open reads (or creates) the journal at path with the default options
@@ -253,8 +281,16 @@ func OpenWithOptions(path string, opts Options) (*Store, error) {
 		}
 	}
 	s.size, s.durable = end, end
+	s.gen = newGeneration()
 	return s, nil
 }
+
+// Generation returns the journal generation minted when this store opened.
+// It is stable for the store's lifetime and different across opens, which
+// is how journal followers detect that an origin restarted (and may have
+// truncated or replaced its journal) and that their byte offsets need a
+// resync.
+func (s *Store) Generation() uint64 { return s.gen }
 
 // replay loads every journal line into the index.
 func (s *Store) replay() error {

@@ -72,10 +72,13 @@ func (s *Server) EnsureRequestID(r *http.Request) string {
 }
 
 // ObserveForward records one proxied exchange in this node's telemetry: a
-// kind:http access-log line and the per-status-code request counter, the
-// same trail a locally-served request leaves. The cluster forwarder calls
-// it because proxied requests bypass withTelemetry's response writer.
-func (s *Server) ObserveForward(start time.Time, id string, r *http.Request, status int, bytes int64) {
+// kind:http access-log line — annotated with the peer that served the
+// hop — and the per-status-code request counter, the same trail a
+// locally-served request leaves. The cluster forwarder calls it because
+// proxied requests bypass withTelemetry's response writer.
+func (s *Server) ObserveForward(start time.Time, id string, r *http.Request, peer string, status int, bytes int64) {
 	s.countStatus(status)
-	s.accessLog.HTTP(telemetryHTTPEntry(start, id, r, &statusWriter{status: status, bytes: bytes}))
+	e := telemetryHTTPEntry(start, id, r, &statusWriter{status: status, bytes: bytes})
+	e.Peer = peer
+	s.accessLog.HTTP(e)
 }

@@ -97,6 +97,8 @@ func (s *Server) Donate(max int, thief string) []StolenJob {
 // exactly as if the job had run locally. A completion for a job that was
 // already reclaimed (or never stolen) returns ErrNotStolen and journals
 // nothing — the reclaim path owns the job now.
+//
+//sync4:req SYNC4-CLUS-002 v2 MUST The stolen map arbitrates the complete-vs-reclaim race under one lock: a donated job's outcome is journaled exactly once on its owning node, and a completion arriving after the job was reclaimed is refused (ErrNotStolen, surfaced as 410 Gone) and journals nothing.
 func (s *Server) CompleteStolen(id string, res RemoteResult) error {
 	s.mu.Lock()
 	e := s.stolen[id]
@@ -228,6 +230,17 @@ func (s *Server) failStolen(cause error) {
 		s.finishJob(j, StateFailed, cause)
 		s.jobsWG.Done()
 	}
+}
+
+// AwaitingStolen reports whether this node still awaits a stolen
+// completion for id — the read half of the thief's completion re-probe:
+// a thief whose POST /peer/complete failed in transit asks before
+// resending, so a completion that landed (or a job that was reclaimed)
+// is never double-delivered.
+func (s *Server) AwaitingStolen(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stolen[id] != nil
 }
 
 // StolenCount reports how many donated jobs are currently out on loan.

@@ -14,14 +14,15 @@ import (
 // share the stream, distinguished by their "kind" field:
 //
 //	{"kind":"http","ts":...,"request_id":...,"method":...,"path":...,
-//	 "status":...,"dur_ns":...,"bytes":...}
+//	 ["peer":...,]"status":...,"dur_ns":...,"bytes":...}
 //	{"kind":"job","ts":...,"request_id":...,"job_id":...,"workload":...,
 //	 "kit":...,["node":...,]["ran_on":...,]"status":...,"wall_ns":...,
 //	 "spans":[{...},...]}
 //
-// The optional node/ran_on fields appear on clustered deployments: node is
-// the job's owning node, ran_on the executing node when work stealing moved
-// the repetitions to a peer (see docs/CLUSTER.md).
+// The optional peer/node/ran_on fields appear on clustered deployments:
+// peer names the node an http exchange was proxied to, node is the job's
+// owning node, ran_on the executing node when work stealing moved the
+// repetitions to a peer (see docs/CLUSTER.md).
 //
 // An "http" line is written when a request's response completes; a "job"
 // line when an accepted job reaches its terminal state, carrying the full
@@ -64,9 +65,12 @@ type HTTPEntry struct {
 	RequestID string
 	Method    string
 	Path      string
-	Status    int
-	DurNS     int64
-	Bytes     int64
+	// Peer names the cluster peer that actually served the exchange when
+	// this node proxied it there; empty for locally-served requests.
+	Peer   string
+	Status int
+	DurNS  int64
+	Bytes  int64
 }
 
 // JobEntry is one terminal job with its lifecycle span chain.
@@ -103,6 +107,10 @@ func (l *AccessLog) HTTP(e HTTPEntry) {
 	b = strconv.AppendQuote(b, e.Method)
 	b = append(b, `,"path":`...)
 	b = strconv.AppendQuote(b, e.Path)
+	if e.Peer != "" {
+		b = append(b, `,"peer":`...)
+		b = strconv.AppendQuote(b, e.Peer)
+	}
 	b = append(b, `,"status":`...)
 	b = strconv.AppendInt(b, int64(e.Status), 10)
 	b = append(b, `,"dur_ns":`...)
